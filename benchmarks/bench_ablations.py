@@ -1,0 +1,157 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+- weight-family ablation (drop prior / context / coherence / type
+  signatures) measured on NED precision — the paper attributes the
+  pipeline variant's losses to the missing type-signature feature;
+- pronoun antecedent window sweep (the paper fixes 5 sentences);
+- confidence threshold tau sweep (0.5 default vs 0.9 precision mode);
+- parser ablation: greedy vs chart inside the full system.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.qkbfly import QKBfly, QKBflyConfig
+from repro.datasets.defie_wikipedia import build_defie_wikipedia
+from repro.eval.assess import FactMatcher, ned_verdicts
+from repro.eval.tables import print_table
+from repro.graph.weights import WeightParameters
+
+NUM_DOCS = 25
+
+
+@pytest.fixture(scope="module")
+def dataset(world):
+    return build_defie_wikipedia(world, num_documents=NUM_DOCS)
+
+
+def _ned_precision(world, system, dataset):
+    verdicts = []
+    for doc in dataset:
+        annotated = system.nlp.annotate_text(doc.text, doc_id=doc.doc_id)
+        _, graph, result = system.process_document(annotated)
+        verdicts.extend(ned_verdicts(world, doc, graph, result))
+    return sum(verdicts) / max(len(verdicts), 1), len(verdicts)
+
+
+def test_ablation_weight_families(world, dataset, benchmark):
+    variants = {
+        "full": WeightParameters(),
+        "-prior": WeightParameters(alpha1=0.0),
+        "-context": WeightParameters(alpha2=0.0),
+        "-coherence": WeightParameters(alpha3=0.0),
+        "-type signatures": WeightParameters(alpha4=0.0),
+    }
+    rows = []
+    precisions = {}
+    for name, params in variants.items():
+        system = QKBfly.from_world(
+            world, QKBflyConfig(weights=params), with_search=False
+        )
+        precision, n = _ned_precision(world, system, dataset)
+        precisions[name] = precision
+        rows.append((name, f"{precision:.3f}", n))
+    print_table(
+        "Ablation: edge-weight feature families (NED precision)",
+        ("Variant", "Precision", "#Judged"),
+        rows,
+    )
+    assert precisions["full"] >= precisions["-type signatures"] - 0.02, (
+        "removing type signatures must not improve NED"
+    )
+    system = QKBfly.from_world(world, with_search=False)
+    sample = dataset[0]
+    benchmark(lambda: system.process_text(sample.text))
+
+
+def test_ablation_pronoun_window(world, dataset, benchmark):
+    import repro.graph.coref as coref
+
+    rows = []
+    counts = {}
+    original = coref.PRONOUN_WINDOW_SENTENCES
+    try:
+        for window in (1, 2, 5, 10):
+            coref.PRONOUN_WINDOW_SENTENCES = window
+            system = QKBfly.from_world(world, with_search=False)
+            matcher = FactMatcher(world)
+            verdicts = []
+            for doc in dataset:
+                kb, _ = system.process_text(doc.text, doc_id=doc.doc_id)
+                verdicts.extend(
+                    matcher.is_correct(f, doc, kb) for f in kb.facts
+                )
+            precision = sum(verdicts) / max(len(verdicts), 1)
+            counts[window] = len(verdicts)
+            rows.append((window, f"{precision:.3f}", len(verdicts)))
+    finally:
+        coref.PRONOUN_WINDOW_SENTENCES = original
+    print_table(
+        "Ablation: pronoun antecedent window (sentences)",
+        ("Window", "Fact precision", "#Extractions"),
+        rows,
+    )
+    assert counts[5] >= counts[1], (
+        "a wider window must not reduce extraction recall"
+    )
+    system = QKBfly.from_world(world, with_search=False)
+    sample = dataset[0]
+    benchmark(lambda: system.process_text(sample.text))
+
+
+def test_ablation_confidence_threshold(world, dataset, benchmark):
+    rows = []
+    extraction_counts = {}
+    for tau in (0.25, 0.5, 0.75, 0.9):
+        system = QKBfly.from_world(
+            world, QKBflyConfig(tau=tau), with_search=False
+        )
+        matcher = FactMatcher(world)
+        verdicts = []
+        for doc in dataset:
+            kb, _ = system.process_text(doc.text, doc_id=doc.doc_id)
+            verdicts.extend(matcher.is_correct(f, doc, kb) for f in kb.facts)
+        precision = sum(verdicts) / max(len(verdicts), 1)
+        extraction_counts[tau] = len(verdicts)
+        rows.append((tau, f"{precision:.3f}", len(verdicts)))
+    print_table(
+        "Ablation: confidence threshold tau",
+        ("tau", "Fact precision", "#Extractions"),
+        rows,
+    )
+    assert extraction_counts[0.9] <= extraction_counts[0.25], (
+        "raising tau must not increase extraction count"
+    )
+    system = QKBfly.from_world(world, with_search=False)
+    sample = dataset[0]
+    benchmark(lambda: system.process_text(sample.text))
+
+
+def test_ablation_parser(world, dataset, benchmark):
+    rows = []
+    timings = {}
+    for parser in ("greedy", "chart"):
+        system = QKBfly.from_world(
+            world, QKBflyConfig(parser=parser), with_search=False
+        )
+        matcher = FactMatcher(world)
+        verdicts = []
+        start = time.perf_counter()
+        for doc in dataset:
+            kb, _ = system.process_text(doc.text, doc_id=doc.doc_id)
+            verdicts.extend(matcher.is_correct(f, doc, kb) for f in kb.facts)
+        seconds = (time.perf_counter() - start) / len(dataset)
+        precision = sum(verdicts) / max(len(verdicts), 1)
+        timings[parser] = seconds
+        rows.append((parser, f"{precision:.3f}", len(verdicts), f"{seconds:.3f}"))
+    print_table(
+        "Ablation: dependency parser inside the full system",
+        ("Parser", "Fact precision", "#Extractions", "s/doc"),
+        rows,
+    )
+    system = QKBfly.from_world(world, with_search=False)
+    sample = dataset[0]
+    benchmark(lambda: system.process_text(sample.text))

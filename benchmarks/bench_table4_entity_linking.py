@@ -1,0 +1,91 @@
+"""Table 4: linking entities to the repository (NED sub-task).
+
+Compares QKBfly (joint, with type signatures), QKBfly-pipeline (no type
+signatures) and DEFIE/Babelfy on mention-level linking precision.
+Expected shape (paper: 0.86 / 0.80 / 0.82): QKBfly gains over Babelfy,
+the pipeline variant loses against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.babelfy import BabelfyLinker
+from repro.core.qkbfly import QKBfly, QKBflyConfig
+from repro.datasets.defie_wikipedia import build_defie_wikipedia
+from repro.eval.assess import SimulatedAssessors, ned_verdicts
+from repro.eval.tables import print_table
+
+NUM_DOCS = 40
+
+
+def _qkbfly_verdicts(world, system, dataset):
+    verdicts = []
+    for doc in dataset:
+        annotated = system.nlp.annotate_text(doc.text, doc_id=doc.doc_id)
+        _, graph, result = system.process_document(annotated)
+        verdicts.extend(ned_verdicts(world, doc, graph, result))
+    return verdicts
+
+
+def _babelfy_verdicts(world, linker, nlp, dataset):
+    verdicts = []
+    for doc in dataset:
+        annotated = nlp.annotate_text(doc.text, doc_id=doc.doc_id)
+        links = linker.link(annotated)
+        truth = {}
+        for mention in doc.mentions:
+            truth.setdefault(
+                (mention.sentence_index, mention.surface.lower()),
+                mention.entity_id,
+            )
+        for (sentence_index, start, end), entity_id in links.items():
+            if entity_id is None:
+                continue
+            sentence = annotated.sentences[sentence_index]
+            surface = sentence.text(start, end).lower()
+            expected = truth.get((sentence_index, surface))
+            if expected is None:
+                continue
+            verdicts.append(expected == entity_id)
+    return verdicts
+
+
+def test_table4_entity_linking(world, background, benchmark):
+    dataset = build_defie_wikipedia(world, num_documents=NUM_DOCS)
+    joint = QKBfly.from_world(world, with_search=False)
+    pipeline = QKBfly.from_world(
+        world, QKBflyConfig(mode="pipeline"), with_search=False
+    )
+    linker = BabelfyLinker(world.entity_repository, background.statistics)
+
+    joint_v = _qkbfly_verdicts(world, joint, dataset)
+    pipeline_v = _qkbfly_verdicts(world, pipeline, dataset)
+    babelfy_v = _babelfy_verdicts(world, linker, joint.nlp, dataset)
+
+    assessors = SimulatedAssessors(seed=2018)
+    rows = []
+    for name, verdicts in (
+        ("DEFIE/Babelfy", babelfy_v),
+        ("QKBfly", joint_v),
+        ("QKBfly-pipeline", pipeline_v),
+    ):
+        a = assessors.assess(verdicts)
+        rows.append((name, f"{a.precision:.2f} ± {a.interval:.2f}", len(verdicts)))
+    print_table(
+        "Table 4: linking entities to the repository",
+        ("Method", "Precision", "#Linked mentions"),
+        rows,
+    )
+
+    def oracle(verdicts):
+        return sum(verdicts) / max(len(verdicts), 1)
+
+    # Shape: joint >= babelfy >= pipeline (small tolerance for noise).
+    assert oracle(joint_v) >= oracle(pipeline_v) - 0.01, (
+        "joint inference with type signatures must not lose to pipeline"
+    )
+    assert len(joint_v) > 0 and len(babelfy_v) > 0
+
+    sample = dataset[0]
+    benchmark(lambda: linker.link(joint.nlp.annotate_text(sample.text)))

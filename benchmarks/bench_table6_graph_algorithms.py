@@ -1,0 +1,92 @@
+"""Table 6: greedy densest-subgraph vs. exact ILP (Appendix A).
+
+Runs both Stage-2 algorithms on three datasets (DEFIE-Wikipedia, News,
+Wikia). Expected shape (paper): the ILP gains ~1-2% precision but is
+orders of magnitude slower, worst on the long Wikia documents; Wikia
+precision drops ~10% below the other datasets with ~71% out-of-repository
+entities (vs ~24% on News and ~13% on DEFIE-Wikipedia).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.qkbfly import QKBfly, QKBflyConfig
+from repro.datasets.defie_wikipedia import build_defie_wikipedia
+from repro.datasets.news import build_news_dataset
+from repro.datasets.wikia import build_wikia_dataset
+from repro.eval.assess import FactMatcher, SimulatedAssessors
+from repro.eval.tables import print_table
+
+
+def _run(world, system, dataset):
+    matcher = FactMatcher(world)
+    verdicts = []
+    emerging_args = 0
+    entity_args = 0
+    start = time.perf_counter()
+    for doc in dataset:
+        kb, _ = system.process_text(doc.text, doc_id=doc.doc_id)
+        for fact in kb.facts:
+            verdicts.append(matcher.is_correct(fact, doc, kb))
+            for argument in fact.arguments():
+                if argument.kind == "emerging":
+                    emerging_args += 1
+                    entity_args += 1
+                elif argument.kind == "entity":
+                    entity_args += 1
+    seconds = (time.perf_counter() - start) / max(len(dataset), 1)
+    new_rate = emerging_args / max(entity_args, 1)
+    return verdicts, seconds, new_rate
+
+
+def test_table6_graph_algorithms(world, benchmark):
+    datasets = {
+        "DEFIE-Wikipedia": build_defie_wikipedia(world, num_documents=10),
+        "News": build_news_dataset(world, num_documents=10),
+        "Wikia": build_wikia_dataset(
+            world, num_documents=2, sentences_per_document=18
+        ),
+    }
+    greedy = QKBfly.from_world(world, with_search=False)
+    ilp = QKBfly.from_world(
+        world, QKBflyConfig(algorithm="ilp", ilp_time_budget=30.0),
+        with_search=False,
+    )
+    assessors = SimulatedAssessors(seed=2019)
+
+    rows = []
+    oracle = {}
+    runtime = {}
+    for ds_name, dataset in datasets.items():
+        for algo_name, system in (("QKBfly", greedy), ("QKBfly-ilp", ilp)):
+            verdicts, seconds, new_rate = _run(world, system, dataset)
+            a = assessors.assess(verdicts)
+            oracle[(ds_name, algo_name)] = (
+                sum(verdicts) / max(len(verdicts), 1)
+            )
+            runtime[(ds_name, algo_name)] = seconds
+            rows.append((
+                ds_name, algo_name,
+                f"{a.precision:.2f} ± {a.interval:.2f}",
+                len(verdicts),
+                f"{seconds:.2f}",
+                f"{new_rate:.0%}",
+            ))
+    print_table(
+        "Table 6: graph algorithms (greedy vs ILP)",
+        ("Dataset", "Method", "Precision", "#Extract.", "s/doc", "out-of-KB"),
+        rows,
+    )
+
+    for ds_name in datasets:
+        assert runtime[(ds_name, "QKBfly-ilp")] > runtime[(ds_name, "QKBfly")], (
+            f"the exact ILP must be slower than greedy on {ds_name}"
+        )
+    # The Wikia dataset (emerging characters) is the hardest.
+    assert oracle[("Wikia", "QKBfly")] <= oracle[("DEFIE-Wikipedia", "QKBfly")] + 0.05
+
+    sample = datasets["DEFIE-Wikipedia"][0]
+    benchmark(lambda: greedy.process_text(sample.text, doc_id=sample.doc_id))

@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures: one medium world per session.
+
+The benchmark world uses the default :class:`WorldConfig` (a few hundred
+entities, ~1,000 ground-truth facts, 50 trend events) — large enough for
+stable precision estimates, small enough that the whole suite runs in
+minutes. The paper's absolute dataset sizes (14k Wikipedia pages) are
+out of scope for a benchmark run; shapes, orderings and ratios are what
+these benches reproduce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.background import build_background_corpus
+from repro.corpus.world import World, WorldConfig
+
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """The benchmark world (default config)."""
+    return World(WorldConfig(), seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def background(world):
+    """Background corpus + statistics for the benchmark world."""
+    return build_background_corpus(world)

@@ -1,0 +1,51 @@
+"""Ad-hoc question answering on trend events (Tables 8 and 10).
+
+Trains the Appendix-B answer classifier on WebQuestions-style pairs,
+then answers GoogleTrendsQuestions from question-specific on-the-fly
+KBs, printing the supporting facts (Table 8) and comparing against the
+AQQU-style static-KB system (Table 10).
+
+Run:  python examples/question_answering.py
+"""
+
+from __future__ import annotations
+
+from repro import QKBfly, build_world
+from repro.datasets.trends_questions import (
+    build_trends_questions,
+    build_training_questions,
+)
+from repro.qa.answering import QaSystem
+from repro.qa.baselines import AqquStyle
+
+
+def main() -> None:
+    world = build_world(seed=7)
+    system = QKBfly.from_world(world)
+    qa = QaSystem(system, num_news=5)
+    aqqu = AqquStyle(world)
+
+    print("Training the answer classifier on WebQuestions-style pairs...")
+    stats = qa.train(build_training_questions(world, limit=60))
+    print(f"  {stats['examples']} candidates, {stats['positives']} positive\n")
+
+    for question in build_trends_questions(world)[:6]:
+        print(f"Question: {question.question}")
+        print(f"  Gold:   {sorted(question.gold)[:2]}")
+        kb = qa.build_question_kb(question)
+        answers = qa.answer_from_kb(question, kb)
+        print(f"  QKBfly: {sorted(answers)[:3]}")
+        print(f"  AQQU:   {sorted(a for a in aqqu.answer(question))[:3]}")
+        # Show the supporting facts, Table 8 style.
+        supporting = [
+            f for f in kb.facts
+            if any(o.display.lower() in answers for o in f.objects)
+            or f.subject.display.lower() in answers
+        ]
+        for fact in supporting[:2]:
+            print(f"    supporting fact: {fact}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: build an on-the-fly KB for one entity (Table 1 analogue).
+
+The paper's Table 1 shows the KB excerpt QKBfly builds from the
+Wikipedia page of Brad Pitt: canonical and emerging entities with their
+mentions, relations with their paraphrases, and binary plus ternary
+facts. This script does the same for a prominent actor of the synthetic
+world.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import QKBfly, build_world
+
+
+def main() -> None:
+    world = build_world(seed=7)
+    system = QKBfly.from_world(world)
+
+    # Pick a prominent actor (the Brad Pitt of this world).
+    actor_id = max(
+        world.person_ids_by_profession["ACTOR"],
+        key=lambda e: world.entities[e].prominence,
+    )
+    actor = world.entities[actor_id]
+    print(f"Query: {actor.name}   Corpus: wikipedia   Size: 1")
+
+    kb = system.build_kb(actor.name, source="wikipedia", num_documents=1)
+
+    print(f"\nEntities & Mentions ({len(kb.entity_mentions)} linked, "
+          f"{len(kb.emerging)} emerging):")
+    for entity_id, mentions in sorted(kb.entity_mentions.items())[:6]:
+        name = world.entities[entity_id].name
+        print(f"  {name} -> {sorted(mentions)}")
+    for emerging in list(kb.emerging.values())[:4]:
+        print(f"  {emerging.display_name}* -> {emerging.mentions}")
+
+    print(f"\nRelations & Patterns ({len(kb.predicates())} predicates):")
+    for predicate in kb.predicates()[:8]:
+        if predicate in system.pattern_repository:
+            patterns = system.pattern_repository.get(predicate).patterns
+            print(f"  {predicate} -> {patterns[:4]}")
+        else:
+            print(f"  {predicate} -> new relation (not in PATTY)")
+
+    print(f"\nFacts ({len(kb)} total, {len(kb.higher_arity_facts())} higher-arity):")
+    for fact in kb.facts:
+        marker = "  [ternary+]" if not fact.is_triple() else ""
+        print(f"  {fact}  (conf {fact.confidence:.2f}){marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Baseline systems used in the paper's evaluation.
+
+- :mod:`repro.baselines.reverb` — purely pattern-based Open IE (fastest,
+  fewest extractions).
+- :mod:`repro.baselines.ollie` — dependency-pattern Open IE.
+- :mod:`repro.baselines.openie4` — SRL-flavored clause-based Open IE,
+  triples only.
+- :mod:`repro.baselines.babelfy` — graph-coherence NED (no pronouns, no
+  type signatures), the DEFIE linking stage.
+- :mod:`repro.baselines.defie` — the DEFIE pipeline: definition-oriented
+  Open IE feeding Babelfy-style NED, triples only.
+- :mod:`repro.baselines.deepdive` — distant-supervision spouse extractor
+  with a learned logistic-regression scorer.
+"""
+
+from repro.baselines.babelfy import BabelfyLinker
+from repro.baselines.deepdive import DeepDiveSpouse
+from repro.baselines.defie import Defie
+from repro.baselines.ollie import OllieExtractor
+from repro.baselines.openie4 import OpenIE4Extractor
+from repro.baselines.reverb import ReverbExtractor
+
+__all__ = [
+    "BabelfyLinker",
+    "DeepDiveSpouse",
+    "Defie",
+    "OllieExtractor",
+    "OpenIE4Extractor",
+    "ReverbExtractor",
+]

@@ -1,0 +1,117 @@
+"""Babelfy-style named-entity disambiguation.
+
+Babelfy (Moro et al., 2014) couples loose candidate identification with
+a densest-subgraph heuristic over *semantic coherence* between candidate
+meanings. Differences from QKBfly's Stage 2 that the paper calls out:
+no pronoun handling and no type-signature feature — which is exactly
+where QKBfly gains its 4% in Table 4 (e.g. Liverpool the city vs.
+Liverpool F.C.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.corpus.statistics import BackgroundStatistics, content_tokens
+from repro.kb.entity_repository import EntityRepository
+from repro.nlp.tokens import Document
+from repro.utils.text import strip_determiners
+from repro.utils.vectors import SparseVector, weighted_overlap
+
+
+class BabelfyLinker:
+    """Coherence-driven entity linker over a whole document."""
+
+    def __init__(
+        self,
+        repository: EntityRepository,
+        statistics: BackgroundStatistics,
+        prior_weight: float = 1.0,
+        context_weight: float = 0.8,
+        coherence_weight: float = 0.5,
+    ) -> None:
+        self.repository = repository
+        self.statistics = statistics
+        self.prior_weight = prior_weight
+        self.context_weight = context_weight
+        self.coherence_weight = coherence_weight
+
+    def link(self, document: Document) -> Dict[Tuple[int, int, int], Optional[str]]:
+        """Disambiguate every NER mention of the document.
+
+        Returns (sentence index, start, end) -> entity id or None.
+        """
+        mentions: List[Tuple[int, int, int, str, SparseVector]] = []
+        for sentence in document.sentences:
+            sentence_vector = self.statistics.tfidf_vector(
+                content_tokens(sentence.text())
+            )
+            for span in sentence.entity_mentions:
+                surface = sentence.text(span.start, span.end)
+                mentions.append(
+                    (sentence.index, span.start, span.end, surface, sentence_vector)
+                )
+
+        candidates: Dict[int, List[str]] = {}
+        for index, (_, _, _, surface, _) in enumerate(mentions):
+            cleaned = strip_determiners(surface)
+            candidates[index] = sorted(
+                c.entity_id for c in self.repository.candidates(cleaned)
+            )
+
+        # Densest-subgraph heuristic: iteratively drop the candidate with
+        # the weakest total score (local evidence + coherence degree to
+        # the other mentions' remaining candidates).
+        active: Dict[int, Set[str]] = {
+            i: set(c) for i, c in candidates.items()
+        }
+        while True:
+            worst: Optional[Tuple[int, str]] = None
+            worst_score = float("inf")
+            for index, cands in active.items():
+                if len(cands) < 2:
+                    continue
+                for entity_id in sorted(cands):
+                    score = self._score(index, entity_id, mentions, active)
+                    if score < worst_score:
+                        worst_score = score
+                        worst = (index, entity_id)
+            if worst is None:
+                break
+            active[worst[0]].discard(worst[1])
+
+        out: Dict[Tuple[int, int, int], Optional[str]] = {}
+        for index, (sent, start, end, _, _) in enumerate(mentions):
+            cands = sorted(active.get(index, ()))
+            out[(sent, start, end)] = cands[0] if len(cands) == 1 else None
+        return out
+
+    def _score(
+        self,
+        index: int,
+        entity_id: str,
+        mentions: List[Tuple[int, int, int, str, SparseVector]],
+        active: Dict[int, Set[str]],
+    ) -> float:
+        _, _, _, surface, sentence_vector = mentions[index]
+        prior = self.statistics.prior(strip_determiners(surface), entity_id)
+        context = weighted_overlap(
+            sentence_vector, self.statistics.context_of(entity_id)
+        )
+        coherence = 0.0
+        entity_vector = self.statistics.context_of(entity_id)
+        for other, cands in active.items():
+            if other == index:
+                continue
+            for other_entity in cands:
+                coherence += weighted_overlap(
+                    entity_vector, self.statistics.context_of(other_entity)
+                )
+        return (
+            self.prior_weight * prior
+            + self.context_weight * context
+            + self.coherence_weight * coherence
+        )
+
+
+__all__ = ["BabelfyLinker"]

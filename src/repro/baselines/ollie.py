@@ -1,0 +1,83 @@
+"""Ollie-style Open IE: dependency-pattern extraction.
+
+Ollie (Mausam et al., 2012) learns open patterns over dependency paths.
+Our reimplementation applies the core pattern inventory directly on the
+parse: subject-verb-object paths and subject-verb-preposition-object
+paths, without clause typing and without the adverbial bookkeeping that
+gives ClausIE its higher yield.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.nlp.dependency import coarse
+from repro.nlp.tokens import Sentence
+from repro.openie.clauses import Proposition
+
+
+class OllieExtractor:
+    """Dependency-path triple extractor."""
+
+    def extract(self, sentence: Sentence) -> List[Proposition]:
+        """Extract triples from nsubj/dobj/prep-pobj paths."""
+        tokens = sentence.tokens
+        children: Dict[int, List[int]] = {}
+        for i, token in enumerate(tokens):
+            children.setdefault(token.head, []).append(i)
+
+        out: List[Proposition] = []
+        for verb_index, token in enumerate(tokens):
+            if coarse(token.pos) != "V":
+                continue
+            subject = None
+            for child in children.get(verb_index, []):
+                if tokens[child].deprel == "nsubj" and tokens[child].ner not in (
+                    "TIME", "MONEY",
+                ):
+                    subject = child
+                    break
+            if subject is None:
+                continue
+            subject_text = self._np_text(sentence, subject)
+            # Direct objects.
+            for child in children.get(verb_index, []):
+                if tokens[child].deprel in ("dobj", "attr", "acomp"):
+                    out.append(
+                        Proposition(
+                            subject=subject_text,
+                            pattern=token.lemma,
+                            arguments=[
+                                (self._np_text(sentence, child), "np")
+                            ],
+                            clause_type="SVO",
+                            sentence_index=sentence.index,
+                        )
+                    )
+            # Prepositional objects.
+            for child in children.get(verb_index, []):
+                if tokens[child].deprel != "prep":
+                    continue
+                for grandchild in children.get(child, []):
+                    if tokens[grandchild].deprel == "pobj":
+                        out.append(
+                            Proposition(
+                                subject=subject_text,
+                                pattern=f"{token.lemma} {tokens[child].lemma}",
+                                arguments=[
+                                    (self._np_text(sentence, grandchild), "np")
+                                ],
+                                clause_type="SVA",
+                                sentence_index=sentence.index,
+                            )
+                        )
+        return out
+
+    def _np_text(self, sentence: Sentence, head: int) -> str:
+        for chunk in sentence.noun_phrases:
+            if chunk.contains(head):
+                return sentence.text(chunk.start, chunk.end)
+        return sentence.tokens[head].text
+
+
+__all__ = ["OllieExtractor"]

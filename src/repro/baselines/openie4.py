@@ -1,0 +1,47 @@
+"""Open IE 4.2-style extraction: SRL-flavored, triples only.
+
+Open IE 4 builds on semantic role labeling over the parse; compared to
+ClausIE it keeps verb frames but flattens every frame to a triple whose
+second argument concatenates the remaining role fillers. We approximate
+this by reusing the clause detector and serializing each clause to one
+triple (argument texts joined), which reproduces the observed behavior:
+fewer, coarser extractions than ClausIE at similar speed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nlp.tokens import Sentence
+from repro.openie.clausie import ClausIE
+from repro.openie.clauses import Proposition
+
+
+class OpenIE4Extractor:
+    """Frame-to-triple extractor on top of the clause detector."""
+
+    def __init__(self) -> None:
+        self._clausie = ClausIE()
+
+    def extract(self, sentence: Sentence) -> List[Proposition]:
+        """One triple per clause; extra arguments folded into the object."""
+        out: List[Proposition] = []
+        for proposition in self._clausie.propositions(sentence):
+            if not proposition.arguments:
+                continue
+            first_text, first_kind = proposition.arguments[0]
+            rest = "; ".join(text for text, _ in proposition.arguments[1:])
+            merged = first_text if not rest else f"{first_text} {rest}"
+            out.append(
+                Proposition(
+                    subject=proposition.subject,
+                    pattern=proposition.pattern,
+                    arguments=[(merged, first_kind)],
+                    clause_type=proposition.clause_type,
+                    sentence_index=sentence.index,
+                )
+            )
+        return out
+
+
+__all__ = ["OpenIE4Extractor"]

@@ -1,0 +1,89 @@
+"""Reverb-style Open IE: POS-pattern matching, no parsing.
+
+Reverb (Fader et al., 2011) extracts triples whose relation phrase
+matches the regular expression ``V | V P | V W* P`` between two noun
+phrases, using only POS tags. It is the fastest Open IE method in
+Table 5 and produces the fewest extractions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.nlp.tokens import Sentence, Span
+from repro.openie.clauses import Proposition
+
+_VERB = {"VB", "VBD", "VBZ", "VBP", "VBN", "VBG"}
+_NOUN_END = {"NN", "NNS", "NNP", "NNPS", "PRP", "CD"}
+
+
+class ReverbExtractor:
+    """Pattern-based triple extractor (no dependency parse needed)."""
+
+    def extract(self, sentence: Sentence) -> List[Proposition]:
+        """Extract (NP, V(P), NP) triples from a POS-tagged sentence."""
+        tokens = sentence.tokens
+        chunks = sentence.noun_phrases
+        out: List[Proposition] = []
+        for i, left in enumerate(chunks):
+            # Find the relation phrase directly after the left NP.
+            rel = self._relation_phrase(sentence, left.end)
+            if rel is None:
+                continue
+            rel_span, pattern = rel
+            right = self._chunk_starting_near(chunks, rel_span.end)
+            if right is None:
+                continue
+            out.append(
+                Proposition(
+                    subject=sentence.text(left.start, left.end),
+                    pattern=pattern,
+                    arguments=[
+                        (sentence.text(right.start, right.end), "np")
+                    ],
+                    clause_type="SVO",
+                    sentence_index=sentence.index,
+                )
+            )
+        return out
+
+    def _relation_phrase(
+        self, sentence: Sentence, start: int
+    ) -> Optional[Tuple[Span, str]]:
+        tokens = sentence.tokens
+        i = start
+        verbs = []
+        while i < len(tokens) and tokens[i].pos in _VERB:
+            verbs.append(i)
+            i += 1
+        if not verbs:
+            return None
+        end = i
+        # Optional particle/preposition.
+        prep = ""
+        if i < len(tokens) and tokens[i].pos in ("IN", "TO"):
+            prep = tokens[i].lemma
+            end = i + 1
+        content = verbs[-1]
+        lemma = tokens[content].lemma
+        if tokens[content].pos == "VBN" and len(verbs) > 1:
+            pattern = f"be {tokens[content].text.lower()}"
+        else:
+            pattern = lemma
+        if prep:
+            pattern = f"{pattern} {prep}"
+        return Span(verbs[0], end), pattern
+
+    def _chunk_starting_near(
+        self, chunks: List[Span], position: int
+    ) -> Optional[Span]:
+        for chunk in chunks:
+            if chunk.start == position:
+                return chunk
+        for chunk in chunks:
+            if position <= chunk.start <= position + 1:
+                return chunk
+        return None
+
+
+__all__ = ["ReverbExtractor"]

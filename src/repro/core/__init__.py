@@ -1,0 +1,6 @@
+"""QKBfly core: canonicalization and the end-to-end system."""
+
+from repro.core.canonicalize import Canonicalizer
+from repro.core.qkbfly import QKBfly, QKBflyConfig
+
+__all__ = ["Canonicalizer", "QKBfly", "QKBflyConfig"]

@@ -1,0 +1,302 @@
+"""QKBfly: the end-to-end query-driven on-the-fly KB builder.
+
+Pipeline (Figure 1): query -> document retrieval -> linguistic
+pre-processing -> semantic graph -> graph densification (joint NED + CR)
+-> canonicalization -> on-the-fly KB.
+
+Variants used in the paper's experiments (Section 7):
+
+- ``mode="joint"`` — full QKBfly: fact extraction, NED and CR jointly.
+- ``mode="pipeline"`` — three separate stages; NED uses only prior +
+  context similarity (the type-signature feature is omitted), CR is
+  recency/salience-based. Mirrors "QKBfly-pipeline".
+- ``mode="noun"`` — no co-reference resolution: pronoun nodes are
+  dropped. Mirrors "QKBfly-noun".
+- ``algorithm="ilp"`` — Stage 2 solved exactly by the ILP of Appendix A
+  instead of the greedy algorithm. Mirrors "QKBfly-ilp".
+- ``triples_only=True`` — restrict the KB to SPO triples ("QKBfly-
+  triples" in the QA experiment).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.canonicalize import Canonicalizer, CanonicalizerConfig
+from repro.corpus.background import BackgroundCorpus, build_background_corpus
+from repro.corpus.realizer import RealizedDocument
+from repro.corpus.retrieval import SearchEngine
+from repro.corpus.statistics import BackgroundStatistics
+from repro.corpus.world import World
+from repro.graph.builder import GraphBuilder
+from repro.graph.densify import DensestSubgraph, DensifyResult
+from repro.graph.semantic_graph import NodeType, SemanticGraph
+from repro.graph.weights import EdgeWeights, WeightParameters
+from repro.kb.entity_repository import EntityRepository
+from repro.kb.facts import Fact, KnowledgeBase
+from repro.kb.pattern_repository import PatternRepository
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+from repro.nlp.tokens import Document
+
+
+@dataclass
+class QKBflyConfig:
+    """Configuration of the end-to-end system."""
+
+    mode: str = "joint"          # joint | pipeline | noun
+    algorithm: str = "greedy"    # greedy | ilp
+    parser: str = "greedy"       # greedy | chart
+    tau: float = 0.5
+    triples_only: bool = False
+    weights: WeightParameters = field(default_factory=WeightParameters)
+    ilp_time_budget: float = 120.0
+
+
+@dataclass
+class DocumentTrace:
+    """Per-document diagnostics (timings in seconds, graph sizes)."""
+
+    doc_id: str
+    preprocess_seconds: float = 0.0
+    graph_seconds: float = 0.0
+    canonicalize_seconds: float = 0.0
+    graph_stats: Dict[str, int] = field(default_factory=dict)
+    num_facts: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end processing time for the document."""
+        return (
+            self.preprocess_seconds
+            + self.graph_seconds
+            + self.canonicalize_seconds
+        )
+
+
+class QKBfly:
+    """The on-the-fly KB construction system."""
+
+    def __init__(
+        self,
+        entity_repository: EntityRepository,
+        pattern_repository: PatternRepository,
+        statistics: BackgroundStatistics,
+        search_engine: Optional[SearchEngine] = None,
+        config: Optional[QKBflyConfig] = None,
+    ) -> None:
+        self.config = config or QKBflyConfig()
+        self.entity_repository = entity_repository
+        self.pattern_repository = pattern_repository
+        self.statistics = statistics
+        self.search_engine = search_engine
+        self.nlp = NlpPipeline(
+            PipelineConfig(
+                parser=self.config.parser,
+                gazetteer=entity_repository.gazetteer(),
+            )
+        )
+        self.builder = GraphBuilder(entity_repository)
+        self.canonicalizer = Canonicalizer(
+            pattern_repository,
+            entity_repository,
+            CanonicalizerConfig(tau=self.config.tau),
+        )
+
+    @classmethod
+    def from_world(
+        cls,
+        world: World,
+        config: Optional[QKBflyConfig] = None,
+        with_search: bool = True,
+    ) -> "QKBfly":
+        """Assemble the system from a synthetic world's repositories."""
+        background = build_background_corpus(world)
+        engine = None
+        if with_search:
+            engine = SearchEngine.from_world(world, background.documents)
+        return cls(
+            entity_repository=world.entity_repository,
+            pattern_repository=world.pattern_repository,
+            statistics=background.statistics,
+            search_engine=engine,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # Query-driven entry point
+    # ------------------------------------------------------------------
+
+    def build_kb(
+        self,
+        query: str,
+        source: str = "wikipedia",
+        num_documents: int = 1,
+    ) -> KnowledgeBase:
+        """Retrieve documents for ``query`` and build the on-the-fly KB."""
+        if self.search_engine is None:
+            raise RuntimeError("QKBfly was constructed without a search engine")
+        documents = self.search_engine.search(query, source=source, k=num_documents)
+        kb = KnowledgeBase()
+        for document in documents:
+            fragment, _ = self.process_text(document.text, doc_id=document.doc_id)
+            kb.merge(fragment)
+        return kb
+
+    # ------------------------------------------------------------------
+    # Document processing
+    # ------------------------------------------------------------------
+
+    def process_text(
+        self, text: str, doc_id: str = "doc"
+    ) -> Tuple[KnowledgeBase, DocumentTrace]:
+        """Run the full pipeline over raw text."""
+        trace = DocumentTrace(doc_id=doc_id)
+        t0 = time.perf_counter()
+        annotated = self.nlp.annotate_text(text, doc_id=doc_id)
+        trace.preprocess_seconds = time.perf_counter() - t0
+        kb, _, _ = self.process_document(annotated, trace)
+        return kb, trace
+
+    def process_document(
+        self,
+        annotated: Document,
+        trace: Optional[DocumentTrace] = None,
+    ) -> Tuple[KnowledgeBase, SemanticGraph, DensifyResult]:
+        """Stages 1-3 over a pre-annotated document."""
+        trace = trace or DocumentTrace(doc_id=annotated.doc_id)
+        t0 = time.perf_counter()
+        graph = self.builder.build(annotated)
+        if self.config.mode == "noun":
+            self._drop_pronouns(graph)
+        if self.config.mode == "pipeline":
+            result = self._pipeline_stage2(graph, annotated)
+        elif self.config.algorithm == "ilp":
+            result = self._ilp_stage2(graph, annotated)
+        else:
+            weights = EdgeWeights(
+                graph, annotated, self.statistics, self.config.weights
+            )
+            result = DensestSubgraph().run(graph, weights)
+        trace.graph_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        kb = self.canonicalizer.canonicalize(graph, result, doc_id=annotated.doc_id)
+        if self.config.triples_only:
+            kb = _restrict_to_triples(kb)
+        trace.canonicalize_seconds = time.perf_counter() - t0
+        trace.graph_stats = graph.stats()
+        trace.num_facts = len(kb)
+        return kb, graph, result
+
+    # ------------------------------------------------------------------
+    # Variant stage-2 implementations
+    # ------------------------------------------------------------------
+
+    def _drop_pronouns(self, graph: SemanticGraph) -> None:
+        """QKBfly-noun: remove all pronoun sameAs links."""
+        for pronoun_id in graph.pronouns():
+            for neighbor in list(graph.same_as.get(pronoun_id, ())):
+                graph.remove_same_as(pronoun_id, neighbor)
+
+    def _pipeline_stage2(
+        self, graph: SemanticGraph, annotated: Document
+    ) -> DensifyResult:
+        """QKBfly-pipeline: independent NED then CR, no joint inference.
+
+        NED picks, per sameAs group, the candidate maximizing only the
+        means weight (prior + context similarity); the type-signature and
+        coherence features are omitted. CR resolves each pronoun to the
+        nearest preceding subject noun phrase with compatible gender.
+        """
+        params = WeightParameters(
+            alpha1=self.config.weights.alpha1,
+            alpha2=self.config.weights.alpha2,
+            alpha3=0.0,
+            alpha4=0.0,
+        )
+        weights = EdgeWeights(graph, annotated, self.statistics, params)
+        result = DensifyResult()
+        seen: set = set()
+        for phrase_id in sorted(graph.noun_phrases()):
+            if phrase_id in seen:
+                continue
+            group = sorted(graph.np_same_as_group(phrase_id))
+            seen.update(group)
+            scores: Dict[str, float] = {}
+            for member in group:
+                for entity_id in graph.candidates(member):
+                    scores[entity_id] = scores.get(entity_id, 0.0) + (
+                        weights.means_weight(member, entity_id)
+                    )
+            if scores:
+                ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+                chosen, best = ranked[0]
+                total = sum(v for _, v in ranked) or 1.0
+                for member in group:
+                    result.assignment[member] = chosen
+                    result.confidence[member] = best / total
+            else:
+                for member in group:
+                    result.assignment[member] = None
+        for pronoun_id in sorted(graph.pronouns()):
+            result.antecedent[pronoun_id] = self._nearest_antecedent(
+                graph, pronoun_id
+            )
+        return result
+
+    def _nearest_antecedent(
+        self, graph: SemanticGraph, pronoun_id: str
+    ) -> Optional[str]:
+        pronoun = graph.phrases[pronoun_id]
+        best: Optional[str] = None
+        best_key: Tuple = ()
+        for neighbor in sorted(graph.same_as.get(pronoun_id, ())):
+            node = graph.phrases[neighbor]
+            if node.node_type != NodeType.NOUN_PHRASE:
+                continue
+            distance = pronoun.sentence_index - node.sentence_index
+            key = (node.is_subject, -distance, node.start)
+            if best is None or key > best_key:
+                best = neighbor
+                best_key = key
+        return best
+
+    def _ilp_stage2(
+        self, graph: SemanticGraph, annotated: Document
+    ) -> DensifyResult:
+        """QKBfly-ilp: exact Stage 2 via the Appendix-A ILP."""
+        from repro.graph.ilp import IlpStage2
+
+        weights = EdgeWeights(
+            graph, annotated, self.statistics, self.config.weights
+        )
+        return IlpStage2(time_budget=self.config.ilp_time_budget).run(
+            graph, weights
+        )
+
+
+def _restrict_to_triples(kb: KnowledgeBase) -> KnowledgeBase:
+    """Keep only subject-predicate-object projections of the facts."""
+    out = KnowledgeBase()
+    out.emerging = dict(kb.emerging)
+    out.entity_mentions = {k: set(v) for k, v in kb.entity_mentions.items()}
+    out.entity_types = {k: list(v) for k, v in kb.entity_types.items()}
+    for fact in kb.facts:
+        out.add_fact(
+            Fact(
+                subject=fact.subject,
+                predicate=fact.predicate,
+                objects=fact.objects[:1],
+                pattern=fact.pattern,
+                confidence=fact.confidence,
+                doc_id=fact.doc_id,
+                sentence_index=fact.sentence_index,
+                canonical_predicate=fact.canonical_predicate,
+            )
+        )
+    return out
+
+
+__all__ = ["DocumentTrace", "QKBfly", "QKBflyConfig"]

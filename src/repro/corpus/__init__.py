@@ -1,0 +1,23 @@
+"""Synthetic corpus substrate: world model, realizer, statistics, retrieval.
+
+The paper's experiments run over Wikipedia, news sites and Google
+retrieval — none of which are available offline. This package builds the
+closest synthetic equivalent that exercises the same code paths:
+
+- :mod:`repro.corpus.world` — a deterministic ground-truth world of
+  entities (with aliases, genders, types, deliberate name ambiguity) and
+  n-ary facts with type-correct arguments.
+- :mod:`repro.corpus.realizer` — renders Wikipedia-style articles and
+  news articles from world facts, with pronouns, possessives, relative
+  clauses, appositions and entity-link anchors.
+- :mod:`repro.corpus.background` / :mod:`repro.corpus.statistics` — the
+  background corpus and the (co-)occurrence statistics QKBfly's feature
+  functions need: anchor link priors, TF-IDF context vectors and
+  type-signature counts.
+- :mod:`repro.corpus.retrieval` — a BM25 search engine standing in for
+  Wikipedia / Google News retrieval.
+"""
+
+from repro.corpus.world import World, WorldConfig, build_world
+
+__all__ = ["World", "WorldConfig", "build_world"]

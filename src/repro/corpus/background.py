@@ -1,0 +1,66 @@
+"""Background corpus: the Wikipedia-dump stand-in.
+
+Realizes one Wikipedia-style article per repository entity, computes the
+background statistics over them, and caches the result per (seed,
+config) so benchmarks and tests share one build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.corpus.realizer import RealizedDocument, Realizer
+from repro.corpus.statistics import BackgroundStatistics, compute_statistics
+from repro.corpus.world import World
+
+
+@dataclass
+class BackgroundCorpus:
+    """The realized background corpus plus its statistics."""
+
+    documents: List[RealizedDocument]
+    statistics: BackgroundStatistics
+    by_entity: Dict[str, RealizedDocument]
+
+    def article_of(self, entity_id: str) -> Optional[RealizedDocument]:
+        """The Wikipedia-style article about ``entity_id`` (if any)."""
+        return self.by_entity.get(entity_id)
+
+
+def build_background_corpus(
+    world: World, use_cache: bool = True
+) -> BackgroundCorpus:
+    """Realize articles for every repository entity and compute statistics.
+
+    The result is cached on the world instance: rebuilding it would
+    always produce the identical corpus (the realizer is seeded from the
+    world seed), so sharing is safe.
+    """
+    if use_cache:
+        cached = getattr(world, "_background_corpus", None)
+        if cached is not None:
+            return cached
+
+    realizer = Realizer(world, seed=world.seed * 7919 + 13)
+    documents: List[RealizedDocument] = []
+    by_entity: Dict[str, RealizedDocument] = {}
+    for entity in world.entities.values():
+        if not entity.in_repository:
+            continue
+        doc = realizer.wikipedia_article(entity.entity_id)
+        if not doc.sentences:
+            continue
+        documents.append(doc)
+        by_entity[entity.entity_id] = doc
+
+    statistics = compute_statistics(world, documents)
+    corpus = BackgroundCorpus(
+        documents=documents, statistics=statistics, by_entity=by_entity
+    )
+    if use_cache:
+        world._background_corpus = corpus
+    return corpus
+
+
+__all__ = ["BackgroundCorpus", "build_background_corpus"]

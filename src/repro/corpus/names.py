@@ -1,0 +1,131 @@
+"""Name vocabularies for the synthetic world.
+
+All names are invented (no real-world entities) but orthographically
+realistic so the NER shape heuristics behave as they would on real text.
+The lists are deliberately sized so that the world generator can create
+*ambiguous* aliases: shared surnames, a city and a football club with the
+same name, etc. — the ambiguity structure that drives the paper's NED
+experiments (e.g. "Liverpool" the city vs. Liverpool F.C.).
+"""
+
+from __future__ import annotations
+
+MALE_FIRST_NAMES = [
+    "Adam", "Albert", "Arthur", "Bernard", "Caleb", "Cedric", "Conrad",
+    "Daniel", "Dexter", "Edgar", "Elliot", "Felix", "Gareth", "Gregor",
+    "Harvey", "Hector", "Ivan", "Jasper", "Julian", "Kendall", "Lionel",
+    "Magnus", "Marcus", "Nathan", "Oscar", "Patrick", "Quentin", "Roland",
+    "Rupert", "Samuel", "Tobias", "Victor", "Walter", "Xavier", "Logan",
+]
+
+FEMALE_FIRST_NAMES = [
+    "Alice", "Amelia", "Beatrice", "Camilla", "Clara", "Daphne", "Eleanor",
+    "Elsa", "Fiona", "Greta", "Harriet", "Imogen", "Ingrid", "Isolde",
+    "Johanna", "Katrina", "Lavinia", "Lydia", "Margot", "Matilda", "Nadia",
+    "Olivia", "Paulina", "Phoebe", "Ramona", "Rosalind", "Sabrina",
+    "Serena", "Tamara", "Ursula", "Verena", "Viola", "Wilhelmina", "Yvette",
+]
+
+SURNAMES = [
+    "Ashford", "Barrington", "Blackwood", "Caldwell", "Carrow", "Delmont",
+    "Drayton", "Easton", "Fairbanks", "Farrow", "Gainsborough", "Granger",
+    "Hale", "Harrington", "Holloway", "Kingsley", "Lockhart", "Marchetti",
+    "Mercer", "Northwood", "Oakes", "Pemberton", "Quill", "Ravenel",
+    "Sheffield", "Stanton", "Stone", "Thorne", "Underwood", "Vance",
+    "Wexford", "Whitmore", "Winslow", "Yardley", "Zeller", "Mallory",
+]
+
+CITY_NAMES = [
+    "Aldenport", "Bramwick", "Carlow", "Dunmore", "Eastvale", "Fenwick",
+    "Garrowby", "Hartsmere", "Ironbridge", "Jarrowfield", "Kelbrook",
+    "Lowdale", "Marwick", "Northhaven", "Ostermouth", "Penrith",
+    "Quarrington", "Ravenglass", "Silverford", "Thornbury", "Umberfield",
+    "Virelay", "Westmoor", "Yarrowgate",
+]
+
+COUNTRY_NAMES = [
+    "Ardenia", "Belmora", "Cordovia", "Drelland", "Esperia", "Florin",
+    "Galdonia", "Hesperia",
+]
+
+COMPANY_WORDS = [
+    "Apex", "Beacon", "Cinder", "Drift", "Ember", "Flux", "Glacier",
+    "Horizon", "Ion", "Junction", "Keystone", "Lumen", "Meridian",
+    "Nimbus", "Orbit", "Pinnacle",
+]
+
+COMPANY_SUFFIXES = ["Inc.", "Technologies", "Systems", "Industries", "Labs"]
+
+BAND_WORDS = [
+    "Crimson", "Velvet", "Midnight", "Electric", "Wandering", "Silent",
+    "Golden", "Hollow", "Savage", "Northern",
+]
+
+BAND_NOUNS = [
+    "Foxes", "Harbors", "Lanterns", "Mirrors", "Pilots", "Rivers",
+    "Shadows", "Sparrows", "Tides", "Wolves",
+]
+
+FILM_ADJECTIVES = [
+    "Broken", "Crimson", "Distant", "Endless", "Fallen", "Frozen",
+    "Gilded", "Hidden", "Iron", "Lost", "Scarlet", "Silent", "Burning",
+    "Forgotten",
+]
+
+FILM_NOUNS = [
+    "Citadel", "Crown", "Empire", "Harbor", "Horizon", "Kingdom",
+    "Lantern", "Meridian", "Orchard", "Passage", "River", "Summit",
+    "Voyage", "Winter",
+]
+
+AWARD_WORDS = [
+    "Meridian", "Sterling", "Aurora", "Obsidian", "Laurel", "Vanguard",
+    "Pinnacle", "Beacon",
+]
+
+AWARD_KINDS = ["Prize", "Award", "Medal", "Trophy"]
+
+AWARD_FIELDS = [
+    "Literature", "Cinema", "Music", "Science", "Journalism", "Peace",
+]
+
+CHARACTER_FIRST = [
+    "Arion", "Belgarath", "Caspar", "Dorian", "Evandra", "Fenris",
+    "Galadrien", "Hestia", "Ilyana", "Joren", "Kaelith", "Lysandra",
+    "Morwen", "Nerian", "Orla", "Peregrin",
+]
+
+CHARACTER_LAST = [
+    "Ashveil", "Blackbriar", "Duskwane", "Emberfall", "Frostmane",
+    "Greycastle", "Hollowell", "Ironwood", "Nightriver", "Stormhold",
+]
+
+SONG_WORDS = [
+    "Rain", "Roads", "Echoes", "Candles", "Harbors", "Strangers",
+    "Embers", "Compass", "Thunder", "Paper",
+]
+
+FESTIVAL_WORDS = [
+    "Solstice", "Harvest", "Riverlight", "Stonebridge", "Equinox", "Aurora",
+]
+
+__all__ = [
+    "AWARD_FIELDS",
+    "AWARD_KINDS",
+    "AWARD_WORDS",
+    "BAND_NOUNS",
+    "BAND_WORDS",
+    "CHARACTER_FIRST",
+    "CHARACTER_LAST",
+    "CITY_NAMES",
+    "COMPANY_SUFFIXES",
+    "COMPANY_WORDS",
+    "COUNTRY_NAMES",
+    "FEMALE_FIRST_NAMES",
+    "FESTIVAL_WORDS",
+    "FILM_ADJECTIVES",
+    "FILM_NOUNS",
+    "MALE_FIRST_NAMES",
+    "SONG_WORDS",
+    "SURNAMES",
+]

@@ -1,0 +1,387 @@
+"""Relation schema: canonical relations, paraphrase synsets and templates.
+
+Each :class:`RelationSpec` defines one canonical relation of the world:
+its semantic type signature, the lemmatized paraphrase patterns (the
+PATTY synset), and the surface templates the realizer renders. Templates
+and patterns are written to be mutually consistent: a sentence produced
+from a template, run through the full pipeline + clause detection, yields
+the template's ``pattern`` as the lemmatized relation pattern.
+
+Relations marked ``in_patty=False`` are *not* registered in the pattern
+repository — extracting them exercises the "new relation" path of the
+canonicalization stage (Section 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Template:
+    """One surface realization of a relation.
+
+    Placeholders: ``{S}`` subject, ``{O}`` object, ``{O2}`` second object
+    (ternary relations), ``{AMOUNT}`` money literal, ``{LIT}`` plain
+    literal. ``time_prep`` / ``loc`` control optional adverbial adjuncts
+    the realizer may append ("in 2014", "in Marwick"), which turn the
+    fact into a higher-arity extraction.
+    """
+
+    text: str
+    pattern: str
+    time_prep: str = ""      # "" = no time adjunct allowed; else "in"/"on"
+    loc: bool = False
+    possessive: bool = False  # rendered via the "'s <noun>" construction
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """A canonical relation of the synthetic world."""
+
+    relation_id: str
+    display: str
+    subject_type: str
+    object_type: str
+    patterns: Tuple[str, ...]
+    templates: Tuple[Template, ...]
+    symmetric: bool = False
+    object2_type: str = ""    # non-empty for ternary relations
+    amount: bool = False      # object is a money literal
+    literal_object2: Tuple[str, ...] = ()  # literal fillers for {LIT}
+    in_patty: bool = True
+
+
+def _spec(
+    relation_id: str,
+    display: str,
+    subject_type: str,
+    object_type: str,
+    patterns: List[str],
+    templates: List[Template],
+    **kwargs,
+) -> RelationSpec:
+    return RelationSpec(
+        relation_id=relation_id,
+        display=display,
+        subject_type=subject_type,
+        object_type=object_type,
+        patterns=tuple(patterns),
+        templates=tuple(templates),
+        **kwargs,
+    )
+
+
+RELATION_SPECS: Tuple[RelationSpec, ...] = (
+    _spec(
+        "born_in", "born in", "PERSON", "CITY",
+        ["be born in", "hail from", "be native of"],
+        [
+            Template("{S} was born in {O}", "be born in", time_prep="on"),
+            Template("{S} hails from {O}", "hail from"),
+        ],
+    ),
+    _spec(
+        "born_to", "born to", "PERSON", "PERSON",
+        ["be born to", "be son of", "be daughter of", "father", "mother"],
+        [
+            Template("{S} was born to {O}", "be born to"),
+            Template("{S}'s father {O} attended the ceremony", "father",
+                     possessive=True),
+            Template("{S}'s mother {O} attended the wedding", "mother",
+                     possessive=True),
+        ],
+    ),
+    _spec(
+        "parent_of", "parent of", "PERSON", "PERSON",
+        ["son", "daughter", "adopt", "have child"],
+        [
+            Template("{S} adopted {O}", "adopt", time_prep="in"),
+            Template("{S}'s son {O} visited the museum", "son",
+                     possessive=True),
+            Template("{S}'s daughter {O} visited the festival", "daughter",
+                     possessive=True),
+        ],
+    ),
+    _spec(
+        "married_to", "married to", "PERSON", "PERSON",
+        ["marry", "be married to", "wed", "tie the knot with",
+         "wife", "husband", "ex-wife", "ex-husband", "spouse"],
+        [
+            Template("{S} married {O}", "marry", time_prep="in", loc=True),
+            Template("{S} is married to {O}", "be married to"),
+            Template("{S} wed {O}", "wed", time_prep="in"),
+            Template("{S}'s wife {O} joined the tour", "wife",
+                     possessive=True),
+            Template("{S}'s husband {O} joined the tour", "husband",
+                     possessive=True),
+        ],
+        symmetric=True,
+    ),
+    _spec(
+        "divorced_from", "divorced from", "PERSON", "PERSON",
+        ["divorce", "file for divorce from", "split from"],
+        [
+            Template("{S} divorced {O}", "divorce", time_prep="in"),
+            Template("{S} filed for divorce from {O}",
+                     "file for divorce from", time_prep="on"),
+            Template("{S} split from {O}", "split from", time_prep="in"),
+        ],
+        symmetric=True,
+    ),
+    _spec(
+        "plays_role_in", "plays role in", "ACTOR", "CHARACTER",
+        ["play in", "portray in"],
+        [
+            Template("{S} played {O} in {O2}", "play in"),
+            Template("{S} portrayed {O} in {O2}", "portray in"),
+        ],
+        object2_type="FILM",
+    ),
+    _spec(
+        "acts_in", "acts in", "ACTOR", "FILM",
+        ["star in", "appear in", "have role in", "act in"],
+        [
+            Template("{S} starred in {O}", "star in", time_prep="in"),
+            Template("{S} appeared in {O}", "appear in"),
+        ],
+    ),
+    _spec(
+        "directed", "directed", "DIRECTOR", "FILM",
+        ["direct", "be director of"],
+        [Template("{S} directed {O}", "direct", time_prep="in")],
+    ),
+    _spec(
+        "wins_award", "wins", "PERSON", "AWARD",
+        ["win", "be awarded"],
+        [
+            Template("{S} won the {O}", "win", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "receives_from", "receives from", "PERSON", "AWARD",
+        ["receive from", "receive"],
+        [
+            Template("{S} received the {O} from {O2}", "receive from",
+                     time_prep="in"),
+        ],
+        object2_type="PERSON",
+    ),
+    _spec(
+        "donates_to", "donates to", "PERSON", "FOUNDATION",
+        ["donate to", "give to", "contribute to"],
+        [
+            Template("{S} donated {AMOUNT} to {O}", "donate to",
+                     time_prep="in"),
+            Template("{S} gave {AMOUNT} to {O}", "give to"),
+        ],
+        amount=True,
+    ),
+    _spec(
+        "plays_for", "plays for", "FOOTBALLER", "FOOTBALL_CLUB",
+        ["play for", "sign for"],
+        [
+            Template("{S} plays for {O}", "play for"),
+            Template("{S} signed for {O}", "sign for", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "joins", "joins", "PERSON", "ORGANIZATION",
+        ["join", "transfer to"],
+        [Template("{S} joined {O}", "join", time_prep="in")],
+    ),
+    _spec(
+        "ceo_of", "CEO of", "BUSINESSPERSON", "COMPANY",
+        ["be ceo of", "lead", "head"],
+        [
+            Template("{S} is the ceo of {O}", "be ceo of"),
+            Template("{S} leads {O}", "lead"),
+        ],
+    ),
+    _spec(
+        "founded", "founded", "BUSINESSPERSON", "COMPANY",
+        ["found", "establish", "co-found", "launch"],
+        [
+            Template("{S} founded {O}", "found", time_prep="in", loc=True),
+            Template("{S} established {O}", "establish", time_prep="in"),
+            Template("{S} launched {O}", "launch", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "studied_at", "studied at", "PERSON", "UNIVERSITY",
+        ["study at", "graduate from", "enroll at"],
+        [
+            Template("{S} studied at {O}", "study at"),
+            Template("{S} graduated from {O}", "graduate from",
+                     time_prep="in"),
+            Template("{S} enrolled at {O}", "enroll at", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "based_in", "based in", "ORGANIZATION", "CITY",
+        ["be based in", "be headquartered in"],
+        [
+            Template("{S} is based in {O}", "be based in"),
+            Template("{S} is headquartered in {O}", "be headquartered in"),
+        ],
+    ),
+    _spec(
+        "city_in", "city in", "CITY", "COUNTRY",
+        ["be city in", "lie in", "be town in"],
+        [
+            Template("{S} is a city in {O}", "be city in"),
+            Template("{S} lies in {O}", "lie in"),
+        ],
+    ),
+    _spec(
+        "capital_of", "capital of", "CITY", "COUNTRY",
+        ["be capital of"],
+        [Template("{S} is the capital of {O}", "be capital of")],
+    ),
+    _spec(
+        "performs_at", "performs at", "MUSICAL_ARTIST", "FESTIVAL",
+        ["perform at", "headline"],
+        [
+            Template("{S} performed at {O}", "perform at", time_prep="in"),
+            Template("{S} headlined {O}", "headline", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "records", "records", "MUSICAL_ARTIST", "ALBUM",
+        ["record", "release"],
+        [
+            Template("{S} released {O}", "release", time_prep="in"),
+            Template("{S} recorded {O}", "record", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "member_of", "member of", "MUSICAL_ARTIST", "BAND",
+        ["be member of", "sing in"],
+        [Template("{S} is a member of {O}", "be member of")],
+    ),
+    _spec(
+        "writes", "writes", "WRITER", "BOOK",
+        ["write", "publish"],
+        [
+            Template("{S} wrote {O}", "write", time_prep="in"),
+            Template("{S} published {O}", "publish", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "supports", "supports", "PERSON", "FOUNDATION",
+        ["support", "back", "endorse"],
+        [
+            Template("{S} supports {O}", "support"),
+            Template("{S} endorses {O}", "endorse"),
+        ],
+    ),
+    _spec(
+        "lives_in", "lives in", "PERSON", "CITY",
+        ["live in", "reside in", "move to"],
+        [
+            Template("{S} lives in {O}", "live in"),
+            Template("{S} resides in {O}", "reside in"),
+            Template("{S} moved to {O}", "move to", time_prep="in"),
+        ],
+    ),
+    _spec(
+        "works_for", "works for", "JOURNALIST", "NEWSPAPER",
+        ["work for", "report for", "write for"],
+        [
+            Template("{S} works for {O}", "work for"),
+            Template("{S} reports for {O}", "report for"),
+        ],
+    ),
+    _spec(
+        "accuses_of", "accuses of", "PERSON", "PERSON",
+        ["accuse of"],
+        [Template("{S} accused {O} of {LIT}", "accuse of", time_prep="on")],
+        literal_object2=("fraud", "plagiarism", "negligence", "corruption"),
+    ),
+    _spec(
+        "coach_of", "coaches", "COACH", "FOOTBALL_CLUB",
+        ["coach", "manage", "train"],
+        [
+            Template("{S} coaches {O}", "coach"),
+            Template("{S} manages {O}", "manage"),
+        ],
+    ),
+    _spec(
+        "mayor_of", "mayor of", "POLITICIAN", "CITY",
+        ["be mayor of", "govern"],
+        [
+            Template("{S} is the mayor of {O}", "be mayor of"),
+            Template("{S} governs {O}", "govern"),
+        ],
+    ),
+    _spec(
+        "defeats", "defeats", "FOOTBALL_CLUB", "FOOTBALL_CLUB",
+        ["defeat", "beat"],
+        [Template("{S} defeated {O}", "defeat", time_prep="on", loc=True)],
+    ),
+    # ---- relations NOT in the pattern repository: the "new relation"
+    # path of the canonicalization stage.
+    _spec(
+        "visits", "visits", "PERSON", "CITY",
+        ["visit"],
+        [Template("{S} visited {O}", "visit", time_prep="in")],
+        in_patty=False,
+    ),
+    _spec(
+        "praises", "praises", "PERSON", "PERSON",
+        ["praise"],
+        [Template("{S} praised {O}", "praise")],
+        in_patty=False,
+    ),
+    _spec(
+        "shoots", "shoots", "PERSON", "PERSON",
+        ["shoot"],
+        [Template("{S} shot {O}", "shoot", time_prep="on", loc=True)],
+        in_patty=False,
+    ),
+    _spec(
+        "forgets", "forgets", "PERSON", "MISC",
+        ["forget"],
+        [Template("{S} forgot the lyrics", "forget")],
+        in_patty=False,
+    ),
+)
+
+SPECS_BY_ID: Dict[str, RelationSpec] = {
+    spec.relation_id: spec for spec in RELATION_SPECS
+}
+
+
+def patty_specs() -> List[RelationSpec]:
+    """Specs registered in the pattern repository."""
+    return [spec for spec in RELATION_SPECS if spec.in_patty]
+
+
+def build_pattern_repository():
+    """Instantiate a :class:`repro.kb.pattern_repository.PatternRepository`."""
+    from repro.kb.pattern_repository import PatternRepository, Relation
+
+    repo = PatternRepository()
+    for spec in patty_specs():
+        repo.add(
+            Relation(
+                relation_id=spec.relation_id,
+                display_name=spec.display,
+                patterns=list(spec.patterns),
+                signature=(spec.subject_type, spec.object_type),
+                symmetric=spec.symmetric,
+                arity_hint=3 if spec.object2_type or spec.amount else 2,
+            )
+        )
+    return repo
+
+
+__all__ = [
+    "RELATION_SPECS",
+    "SPECS_BY_ID",
+    "RelationSpec",
+    "Template",
+    "build_pattern_repository",
+    "patty_specs",
+]

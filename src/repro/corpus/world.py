@@ -1,0 +1,969 @@
+"""The synthetic ground-truth world.
+
+A :class:`World` holds entities (people, organizations, locations, works,
+awards, fictional characters) with aliases, genders, types and
+prominence; n-ary ground-truth facts that respect the relation schema's
+type signatures; and a set of *trend events* (recent news-worthy
+happenings) used by the news corpus and the QA benchmark.
+
+Deliberate ambiguity is injected to exercise NED:
+
+- several people share a surname, so the bare surname alias is ambiguous;
+- every football club is named after its city and carries the bare city
+  name as an alias (the "Liverpool vs. Liverpool F.C." situation the
+  paper highlights for the type-signature feature);
+- a configurable fraction of people (and most fictional characters) are
+  *not* registered in the entity repository — they are the emerging
+  entities the on-the-fly KB must discover.
+
+Everything is generated from a :class:`repro.utils.rng.DeterministicRng`,
+so a given (seed, config) pair always yields the identical world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.corpus import names
+from repro.corpus.schema import RELATION_SPECS, SPECS_BY_ID, build_pattern_repository
+from repro.kb.entity_repository import Entity, EntityRepository
+from repro.kb.pattern_repository import PatternRepository
+from repro.kb.typesystem import TypeSystem
+from repro.utils.rng import DeterministicRng
+
+_MONTH_NAMES = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+
+@dataclass
+class WorldEntity:
+    """Ground-truth entity (superset of the repository's view)."""
+
+    entity_id: str
+    name: str
+    types: List[str]
+    gender: str = ""
+    aliases: List[str] = field(default_factory=list)
+    prominence: float = 1.0
+    in_repository: bool = True
+    home_city: str = ""       # entity id of a city, when applicable
+    profession_noun: str = ""  # e.g. "actor", used for appositive flavor
+
+    def __post_init__(self) -> None:
+        if self.name and self.name not in self.aliases:
+            self.aliases.insert(0, self.name)
+
+
+@dataclass
+class WorldFact:
+    """Ground-truth n-ary fact.
+
+    ``object_id`` / ``object2_id`` hold entity ids; literals are stored
+    in ``amount`` (money) or ``literal`` (plain string). ``time`` holds
+    ``(display, normalized)``; ``location_id`` an optional city id.
+    """
+
+    fact_id: str
+    relation_id: str
+    subject_id: str
+    object_id: str = ""
+    object2_id: str = ""
+    amount: str = ""
+    literal: str = ""
+    time: Optional[Tuple[str, str]] = None
+    location_id: str = ""
+    recent: bool = False   # True for trend-event facts (news-only)
+
+
+@dataclass
+class TrendEvent:
+    """A recent event of wider interest (the Google-Trends analogue)."""
+
+    event_id: str
+    kind: str
+    date: Tuple[str, str]          # (display, normalized)
+    main_entities: List[str]
+    fact_ids: List[str]
+    headline: str = ""
+
+
+@dataclass
+class WorldConfig:
+    """Size knobs of the synthetic world."""
+
+    num_countries: int = 6
+    num_cities: int = 18
+    num_clubs: int = 10
+    num_companies: int = 10
+    num_foundations: int = 6
+    num_universities: int = 8
+    num_newspapers: int = 5
+    num_bands: int = 6
+    num_awards: int = 8
+    num_festivals: int = 5
+    num_films: int = 16
+    num_albums: int = 10
+    num_books: int = 8
+    num_actors: int = 16
+    num_musicians: int = 10
+    num_footballers: int = 12
+    num_politicians: int = 8
+    num_scientists: int = 6
+    num_businesspeople: int = 8
+    num_journalists: int = 6
+    num_coaches: int = 4
+    num_writers: int = 6
+    num_models: int = 4
+    num_characters: int = 12
+    emerging_person_fraction: float = 0.15
+    shared_surname_pool: int = 20   # smaller pool -> more shared surnames
+    num_events: int = 50
+
+    @classmethod
+    def tiny(cls) -> "WorldConfig":
+        """A miniature world for fast unit tests."""
+        return cls(
+            num_countries=3, num_cities=6, num_clubs=4, num_companies=4,
+            num_foundations=3, num_universities=3, num_newspapers=2,
+            num_bands=3, num_awards=3, num_festivals=2, num_films=6,
+            num_albums=4, num_books=3, num_actors=6, num_musicians=4,
+            num_footballers=5, num_politicians=3, num_scientists=2,
+            num_businesspeople=3, num_journalists=2, num_coaches=2,
+            num_writers=2, num_models=2, num_characters=5,
+            shared_surname_pool=10, num_events=10,
+        )
+
+
+class World:
+    """The generated world: entities, facts, events and repositories."""
+
+    def __init__(self, config: WorldConfig, seed: int = 7) -> None:
+        self.config = config
+        self.seed = seed
+        self.rng = DeterministicRng(seed, namespace="world")
+        self.type_system = TypeSystem()
+        self.entities: Dict[str, WorldEntity] = {}
+        self.facts: List[WorldFact] = []
+        self.facts_by_subject: Dict[str, List[WorldFact]] = {}
+        self.events: List[TrendEvent] = []
+        self._next_entity = 0
+        self._next_fact = 0
+        self._by_type: Dict[str, List[str]] = {}
+        self._generate()
+        self.entity_repository = self._build_repository()
+        self.pattern_repository: PatternRepository = build_pattern_repository()
+
+    # ------------------------------------------------------------------
+    # Public helpers
+    # ------------------------------------------------------------------
+
+    def entity(self, entity_id: str) -> WorldEntity:
+        """Ground-truth entity by id."""
+        return self.entities[entity_id]
+
+    def of_type(self, type_name: str) -> List[str]:
+        """Ids of entities whose primary type is (a subtype of) ``type_name``."""
+        out: List[str] = []
+        for tname, ids in self._by_type.items():
+            if self.type_system.is_subtype(tname, type_name):
+                out.extend(ids)
+        return out
+
+    def facts_of(self, entity_id: str) -> List[WorldFact]:
+        """Facts whose subject is ``entity_id``."""
+        return list(self.facts_by_subject.get(entity_id, []))
+
+    def all_person_ids(self) -> List[str]:
+        """Ids of all person entities (including emerging ones)."""
+        return self.of_type("PERSON")
+
+    def display(self, fact: WorldFact) -> str:
+        """Human-readable rendering of a ground-truth fact."""
+        parts = [self.entities[fact.subject_id].name, fact.relation_id]
+        if fact.amount:
+            parts.append(fact.amount)
+        if fact.object_id:
+            parts.append(self.entities[fact.object_id].name)
+        if fact.object2_id:
+            parts.append(self.entities[fact.object2_id].name)
+        if fact.literal:
+            parts.append(repr(fact.literal))
+        if fact.time:
+            parts.append(fact.time[0])
+        return "<" + ", ".join(parts) + ">"
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def _generate(self) -> None:
+        rng = self.rng
+        self._make_geography(rng.fork("geo"))
+        self._make_organizations(rng.fork("orgs"))
+        self._make_works(rng.fork("works"))
+        self._make_people(rng.fork("people"))
+        self._make_characters(rng.fork("characters"))
+        self._make_person_facts(rng.fork("facts"))
+        self._make_org_facts(rng.fork("org-facts"))
+        self._make_events(rng.fork("events"))
+
+    def _new_id(self) -> str:
+        self._next_entity += 1
+        return f"E{self._next_entity:05d}"
+
+    def _add_entity(self, entity: WorldEntity) -> str:
+        self.entities[entity.entity_id] = entity
+        primary = entity.types[0] if entity.types else "MISC"
+        self._by_type.setdefault(primary, []).append(entity.entity_id)
+        return entity.entity_id
+
+    def _add_fact(self, **kwargs) -> WorldFact:
+        self._next_fact += 1
+        fact = WorldFact(fact_id=f"F{self._next_fact:06d}", **kwargs)
+        self.facts.append(fact)
+        self.facts_by_subject.setdefault(fact.subject_id, []).append(fact)
+        spec = SPECS_BY_ID[fact.relation_id]
+        if spec.symmetric and fact.object_id:
+            self._next_fact += 1
+            mirror = WorldFact(
+                fact_id=f"F{self._next_fact:06d}",
+                relation_id=fact.relation_id,
+                subject_id=fact.object_id,
+                object_id=fact.subject_id,
+                time=fact.time,
+                location_id=fact.location_id,
+                recent=fact.recent,
+            )
+            self.facts.append(mirror)
+            self.facts_by_subject.setdefault(mirror.subject_id, []).append(mirror)
+        return fact
+
+    def _random_date(
+        self, rng: DeterministicRng, year_lo: int, year_hi: int, full: bool = False
+    ) -> Tuple[str, str]:
+        year = rng.randint(year_lo, year_hi)
+        month = rng.randint(1, 12)
+        if full or rng.maybe(0.4):
+            day = rng.randint(1, 28)
+            display = f"{_MONTH_NAMES[month - 1]} {day}, {year}"
+            return display, f"{year:04d}-{month:02d}-{day:02d}"
+        if rng.maybe(0.5):
+            return f"{_MONTH_NAMES[month - 1]} {year}", f"{year:04d}-{month:02d}"
+        return str(year), f"{year:04d}"
+
+    # ---- geography --------------------------------------------------------
+
+    def _make_geography(self, rng: DeterministicRng) -> None:
+        country_names = rng.sample(names.COUNTRY_NAMES, self.config.num_countries)
+        self.country_ids: List[str] = []
+        for name in country_names:
+            eid = self._add_entity(
+                WorldEntity(self._new_id(), name, ["COUNTRY"], prominence=3.0)
+            )
+            self.country_ids.append(eid)
+        city_names = rng.sample(names.CITY_NAMES, self.config.num_cities)
+        self.city_ids: List[str] = []
+        capitals: Dict[str, str] = {}
+        for name in city_names:
+            country = rng.choice(self.country_ids)
+            prominence = 1.0 + 4.0 * rng.random()
+            eid = self._add_entity(
+                WorldEntity(self._new_id(), name, ["CITY"], prominence=prominence)
+            )
+            self.city_ids.append(eid)
+            self._add_fact(relation_id="city_in", subject_id=eid, object_id=country)
+            if country not in capitals:
+                capitals[country] = eid
+                self._add_fact(
+                    relation_id="capital_of", subject_id=eid, object_id=country
+                )
+
+    # ---- organizations ------------------------------------------------------
+
+    def _make_organizations(self, rng: DeterministicRng) -> None:
+        cfg = self.config
+        self.club_ids: List[str] = []
+        club_cities = rng.sample(self.city_ids, min(cfg.num_clubs, len(self.city_ids)))
+        for city_id in club_cities:
+            city = self.entities[city_id]
+            club_name = f"{city.name} F.C."
+            entity = WorldEntity(
+                self._new_id(), club_name, ["FOOTBALL_CLUB"],
+                aliases=[club_name, city.name],  # deliberate ambiguity
+                prominence=2.0 + 2.0 * rng.random(), home_city=city_id,
+            )
+            self.club_ids.append(self._add_entity(entity))
+
+        self.company_ids: List[str] = []
+        used = set()
+        for _ in range(cfg.num_companies):
+            while True:
+                word = rng.choice(names.COMPANY_WORDS)
+                suffix = rng.choice(names.COMPANY_SUFFIXES)
+                full = f"{word} {suffix}"
+                if full not in used:
+                    used.add(full)
+                    break
+            entity = WorldEntity(
+                self._new_id(), full, ["COMPANY"], aliases=[full, word],
+                prominence=1.0 + 2.0 * rng.random(),
+                home_city=rng.choice(self.city_ids),
+            )
+            self.company_ids.append(self._add_entity(entity))
+
+        self.foundation_ids: List[str] = []
+        surnames = rng.sample(names.SURNAMES, cfg.num_foundations)
+        for surname in surnames:
+            name = f"{surname} Foundation"
+            entity = WorldEntity(
+                self._new_id(), name, ["FOUNDATION"], prominence=1.5,
+                home_city=rng.choice(self.city_ids),
+            )
+            self.foundation_ids.append(self._add_entity(entity))
+
+        self.university_ids: List[str] = []
+        uni_cities = rng.sample(
+            self.city_ids, min(cfg.num_universities, len(self.city_ids))
+        )
+        for city_id in uni_cities:
+            city = self.entities[city_id]
+            name = f"{city.name} University"
+            entity = WorldEntity(
+                self._new_id(), name, ["UNIVERSITY"], prominence=1.5,
+                home_city=city_id,
+            )
+            self.university_ids.append(self._add_entity(entity))
+
+        self.newspaper_ids: List[str] = []
+        paper_cities = rng.sample(
+            self.city_ids, min(cfg.num_newspapers, len(self.city_ids))
+        )
+        for city_id in paper_cities:
+            city = self.entities[city_id]
+            name = f"The {city.name} Times"
+            entity = WorldEntity(
+                self._new_id(), name, ["NEWSPAPER"],
+                aliases=[name, f"{city.name} Times"], prominence=1.2,
+                home_city=city_id,
+            )
+            self.newspaper_ids.append(self._add_entity(entity))
+
+        self.band_ids: List[str] = []
+        used_bands = set()
+        for _ in range(cfg.num_bands):
+            while True:
+                word = rng.choice(names.BAND_WORDS)
+                noun = rng.choice(names.BAND_NOUNS)
+                name = f"The {word} {noun}"
+                if name not in used_bands:
+                    used_bands.add(name)
+                    break
+            entity = WorldEntity(
+                self._new_id(), name, ["BAND"],
+                aliases=[name, f"{word} {noun}"],
+                prominence=1.0 + 2.0 * rng.random(),
+            )
+            self.band_ids.append(self._add_entity(entity))
+
+        self.award_ids: List[str] = []
+        used_awards = set()
+        for _ in range(cfg.num_awards):
+            while True:
+                word = rng.choice(names.AWARD_WORDS)
+                kind = rng.choice(names.AWARD_KINDS)
+                name = f"the {word} {kind}"
+                if name not in used_awards:
+                    used_awards.add(name)
+                    break
+            entity = WorldEntity(
+                self._new_id(), f"{word} {kind}", ["AWARD"],
+                aliases=[f"{word} {kind}"], prominence=2.0,
+            )
+            self.award_ids.append(self._add_entity(entity))
+
+        self.festival_ids: List[str] = []
+        fest_words = rng.sample(names.FESTIVAL_WORDS, cfg.num_festivals)
+        for word in fest_words:
+            name = f"{word} Festival"
+            entity = WorldEntity(
+                self._new_id(), name, ["FESTIVAL"], prominence=1.3,
+                home_city=rng.choice(self.city_ids),
+            )
+            self.festival_ids.append(self._add_entity(entity))
+
+    # ---- works ---------------------------------------------------------------
+
+    def _make_works(self, rng: DeterministicRng) -> None:
+        cfg = self.config
+        self.film_ids: List[str] = []
+        used = set()
+        for _ in range(cfg.num_films):
+            while True:
+                adj = rng.choice(names.FILM_ADJECTIVES)
+                noun = rng.choice(names.FILM_NOUNS)
+                name = f"The {adj} {noun}"
+                if name not in used:
+                    used.add(name)
+                    break
+            entity = WorldEntity(
+                self._new_id(), name, ["FILM"],
+                aliases=[name, f"{adj} {noun}"],
+                prominence=1.0 + 2.0 * rng.random(),
+            )
+            self.film_ids.append(self._add_entity(entity))
+
+        self.album_ids: List[str] = []
+        used_albums = set()
+        for _ in range(cfg.num_albums):
+            while True:
+                word = rng.choice(names.BAND_WORDS)
+                song = rng.choice(names.SONG_WORDS)
+                name = f"{word} {song}"
+                if name not in used_albums:
+                    used_albums.add(name)
+                    break
+            entity = WorldEntity(
+                self._new_id(), name, ["ALBUM"], prominence=1.0,
+            )
+            self.album_ids.append(self._add_entity(entity))
+
+        self.book_ids: List[str] = []
+        used_books = set()
+        for _ in range(cfg.num_books):
+            while True:
+                adj = rng.choice(names.FILM_ADJECTIVES)
+                song = rng.choice(names.SONG_WORDS)
+                name = f"The {adj} {song}"
+                if name not in used_books and name not in used:
+                    used_books.add(name)
+                    break
+            entity = WorldEntity(
+                self._new_id(), name, ["BOOK"], prominence=0.8,
+            )
+            self.book_ids.append(self._add_entity(entity))
+
+    # ---- people -------------------------------------------------------------
+
+    _PROFESSIONS: Tuple[Tuple[str, str, str], ...] = (
+        # (config attr, primary type, profession noun)
+        ("num_actors", "ACTOR", "actor"),
+        ("num_musicians", "MUSICAL_ARTIST", "singer"),
+        ("num_footballers", "FOOTBALLER", "footballer"),
+        ("num_politicians", "POLITICIAN", "politician"),
+        ("num_scientists", "SCIENTIST", "scientist"),
+        ("num_businesspeople", "BUSINESSPERSON", "businessman"),
+        ("num_journalists", "JOURNALIST", "journalist"),
+        ("num_coaches", "COACH", "coach"),
+        ("num_writers", "WRITER", "writer"),
+        ("num_models", "MODEL", "model"),
+    )
+
+    def _make_people(self, rng: DeterministicRng) -> None:
+        cfg = self.config
+        surname_pool = rng.sample(
+            names.SURNAMES, min(cfg.shared_surname_pool, len(names.SURNAMES))
+        )
+        self.person_ids: List[str] = []
+        self.person_ids_by_profession: Dict[str, List[str]] = {}
+        used_full_names = set()
+        for attr, primary_type, noun in self._PROFESSIONS:
+            count = getattr(cfg, attr)
+            bucket: List[str] = []
+            for _ in range(count):
+                gender = "female" if rng.maybe(0.5) else "male"
+                first_pool = (
+                    names.FEMALE_FIRST_NAMES if gender == "female"
+                    else names.MALE_FIRST_NAMES
+                )
+                while True:
+                    first = rng.choice(first_pool)
+                    surname = rng.choice(surname_pool)
+                    full = f"{first} {surname}"
+                    if full not in used_full_names:
+                        used_full_names.add(full)
+                        break
+                prominence = 0.5 + 4.5 / (1 + rng.zipf_rank(20))
+                emerging = rng.maybe(cfg.emerging_person_fraction)
+                entity = WorldEntity(
+                    self._new_id(), full, [primary_type],
+                    gender=gender,
+                    aliases=[full, surname],
+                    prominence=prominence,
+                    in_repository=not emerging,
+                    home_city=rng.choice(self.city_ids),
+                    profession_noun="actress" if (
+                        primary_type == "ACTOR" and gender == "female"
+                    ) else noun,
+                )
+                eid = self._add_entity(entity)
+                bucket.append(eid)
+                self.person_ids.append(eid)
+            self.person_ids_by_profession[primary_type] = bucket
+
+    def _make_characters(self, rng: DeterministicRng) -> None:
+        self.character_ids: List[str] = []
+        used = set()
+        for _ in range(self.config.num_characters):
+            while True:
+                first = rng.choice(names.CHARACTER_FIRST)
+                last = rng.choice(names.CHARACTER_LAST)
+                full = f"{first} {last}"
+                if full not in used:
+                    used.add(full)
+                    break
+            gender = "female" if rng.maybe(0.5) else "male"
+            entity = WorldEntity(
+                self._new_id(), full, ["CHARACTER"],
+                gender=gender, aliases=[full, first],
+                prominence=0.6,
+                in_repository=rng.maybe(0.2),  # most characters are emerging
+                profession_noun="character",
+            )
+            self.character_ids.append(self._add_entity(entity))
+
+    # ---- person facts ----------------------------------------------------
+
+    def _make_person_facts(self, rng: DeterministicRng) -> None:
+        married: Dict[str, str] = {}
+        for eid in list(self.person_ids):
+            person = self.entities[eid]
+            r = rng.fork(eid)
+            birth = self._random_date(r, 1945, 1995, full=True)
+            self._add_fact(
+                relation_id="born_in", subject_id=eid,
+                object_id=person.home_city, time=birth,
+            )
+            if r.maybe(0.7):
+                self._add_fact(
+                    relation_id="lives_in", subject_id=eid,
+                    object_id=r.choice(self.city_ids),
+                )
+            if r.maybe(0.6) and self.university_ids:
+                self._add_fact(
+                    relation_id="studied_at", subject_id=eid,
+                    object_id=r.choice(self.university_ids),
+                    time=self._random_date(r, 1965, 2014),
+                )
+            if r.maybe(0.35) and self.foundation_ids:
+                self._add_fact(
+                    relation_id="supports", subject_id=eid,
+                    object_id=r.choice(self.foundation_ids),
+                )
+            if r.maybe(0.4):
+                self._add_fact(
+                    relation_id="visits", subject_id=eid,
+                    object_id=r.choice(self.city_ids),
+                    time=self._random_date(r, 2010, 2016),
+                )
+            # Marriage: pick an unmarried person of opposite gender.
+            if eid not in married and r.maybe(0.5):
+                partner = self._find_partner(r, eid, married)
+                if partner is not None:
+                    wedding = self._random_date(r, 1990, 2014)
+                    self._add_fact(
+                        relation_id="married_to", subject_id=eid,
+                        object_id=partner, time=wedding,
+                        location_id=r.choice(self.city_ids) if r.maybe(0.4) else "",
+                    )
+                    married[eid] = partner
+                    married[partner] = eid
+                    if r.maybe(0.3):
+                        self._add_fact(
+                            relation_id="divorced_from", subject_id=eid,
+                            object_id=partner,
+                            time=self._random_date(r, 2014, 2016),
+                        )
+            # Parents: dedicated (often emerging) entities.
+            if r.maybe(0.4):
+                parent = self._make_parent(r, person)
+                self._add_fact(
+                    relation_id="born_to", subject_id=eid, object_id=parent
+                )
+            # Children / adoption.
+            if r.maybe(0.2):
+                child = self._make_child(r, person)
+                self._add_fact(
+                    relation_id="parent_of", subject_id=eid, object_id=child,
+                    time=self._random_date(r, 2000, 2015) if r.maybe(0.5) else None,
+                )
+            self._profession_facts(r, eid, person)
+
+    def _find_partner(
+        self, rng: DeterministicRng, eid: str, married: Dict[str, str]
+    ) -> Optional[str]:
+        person = self.entities[eid]
+        want = "male" if person.gender == "female" else "female"
+        pool = [
+            pid for pid in self.person_ids
+            if pid != eid and pid not in married
+            and self.entities[pid].gender == want
+        ]
+        if not pool:
+            return None
+        return rng.choice(pool)
+
+    def _make_parent(self, rng: DeterministicRng, child: WorldEntity) -> str:
+        surname = child.name.split()[-1]
+        gender = "female" if rng.maybe(0.5) else "male"
+        pool = (
+            names.FEMALE_FIRST_NAMES if gender == "female"
+            else names.MALE_FIRST_NAMES
+        )
+        first = rng.choice(pool)
+        middle = rng.choice(pool)
+        name = f"{first} {middle} {surname}"
+        entity = WorldEntity(
+            self._new_id(), name, ["PERSON"], gender=gender,
+            aliases=[name], prominence=0.3,
+            in_repository=rng.maybe(0.25),
+            profession_noun="parent",
+        )
+        self.person_ids.append(entity.entity_id)
+        return self._add_entity(entity)
+
+    def _make_child(self, rng: DeterministicRng, parent: WorldEntity) -> str:
+        surname = parent.name.split()[-1]
+        gender = "female" if rng.maybe(0.5) else "male"
+        pool = (
+            names.FEMALE_FIRST_NAMES if gender == "female"
+            else names.MALE_FIRST_NAMES
+        )
+        name = f"{rng.choice(pool)} {surname}"
+        entity = WorldEntity(
+            self._new_id(), name, ["PERSON"], gender=gender,
+            aliases=[name], prominence=0.2,
+            in_repository=rng.maybe(0.2),
+            profession_noun="child",
+        )
+        self.person_ids.append(entity.entity_id)
+        return self._add_entity(entity)
+
+    def _profession_facts(
+        self, r: DeterministicRng, eid: str, person: WorldEntity
+    ) -> None:
+        primary = person.types[0]
+        if primary == "ACTOR":
+            for film in r.sample(self.film_ids, min(r.randint(2, 4), len(self.film_ids))):
+                self._add_fact(
+                    relation_id="acts_in", subject_id=eid, object_id=film,
+                    time=self._random_date(r, 1995, 2016) if r.maybe(0.4) else None,
+                )
+            if self.character_ids and r.maybe(0.8):
+                character = r.choice(self.character_ids)
+                film = r.choice(self.film_ids)
+                self._add_fact(
+                    relation_id="plays_role_in", subject_id=eid,
+                    object_id=character, object2_id=film,
+                )
+            self._maybe_award(r, eid)
+            if r.maybe(0.4) and self.foundation_ids:
+                amount = f"${r.randint(10, 900)},000"
+                self._add_fact(
+                    relation_id="donates_to", subject_id=eid,
+                    object_id=r.choice(self.foundation_ids), amount=amount,
+                    time=self._random_date(r, 2008, 2016) if r.maybe(0.5) else None,
+                )
+        elif primary == "MUSICAL_ARTIST":
+            if self.band_ids and r.maybe(0.5):
+                self._add_fact(
+                    relation_id="member_of", subject_id=eid,
+                    object_id=r.choice(self.band_ids),
+                )
+            for album in r.sample(self.album_ids, min(r.randint(1, 3), len(self.album_ids))):
+                self._add_fact(
+                    relation_id="records", subject_id=eid, object_id=album,
+                    time=self._random_date(r, 1990, 2016) if r.maybe(0.6) else None,
+                )
+            if self.festival_ids:
+                self._add_fact(
+                    relation_id="performs_at", subject_id=eid,
+                    object_id=r.choice(self.festival_ids),
+                    time=self._random_date(r, 2012, 2016) if r.maybe(0.5) else None,
+                )
+            self._maybe_award(r, eid, probability=0.4)
+        elif primary == "FOOTBALLER":
+            clubs = r.sample(self.club_ids, min(r.randint(1, 2), len(self.club_ids)))
+            for club in clubs:
+                self._add_fact(relation_id="plays_for", subject_id=eid, object_id=club)
+            if r.maybe(0.5) and self.club_ids:
+                self._add_fact(
+                    relation_id="joins", subject_id=eid,
+                    object_id=r.choice(self.club_ids),
+                    time=self._random_date(r, 2010, 2016),
+                )
+            self._maybe_award(r, eid, probability=0.25)
+        elif primary == "POLITICIAN":
+            if r.maybe(0.5):
+                self._add_fact(
+                    relation_id="mayor_of", subject_id=eid,
+                    object_id=r.choice(self.city_ids),
+                )
+            if r.maybe(0.4):
+                self._add_fact(
+                    relation_id="praises", subject_id=eid,
+                    object_id=r.choice(self.person_ids),
+                )
+        elif primary == "SCIENTIST":
+            self._maybe_award(r, eid, probability=0.6)
+        elif primary == "BUSINESSPERSON":
+            if self.company_ids:
+                company = r.choice(self.company_ids)
+                self._add_fact(relation_id="ceo_of", subject_id=eid, object_id=company)
+                if r.maybe(0.6):
+                    self._add_fact(
+                        relation_id="founded", subject_id=eid, object_id=company,
+                        time=self._random_date(r, 1995, 2014),
+                        location_id=r.choice(self.city_ids) if r.maybe(0.3) else "",
+                    )
+            if r.maybe(0.4) and self.foundation_ids:
+                amount = f"${r.randint(1, 50)},000,000"
+                self._add_fact(
+                    relation_id="donates_to", subject_id=eid,
+                    object_id=r.choice(self.foundation_ids), amount=amount,
+                )
+        elif primary == "JOURNALIST":
+            if self.newspaper_ids:
+                self._add_fact(
+                    relation_id="works_for", subject_id=eid,
+                    object_id=r.choice(self.newspaper_ids),
+                )
+        elif primary == "COACH":
+            if self.club_ids:
+                self._add_fact(
+                    relation_id="coach_of", subject_id=eid,
+                    object_id=r.choice(self.club_ids),
+                )
+        elif primary == "WRITER":
+            for book in r.sample(self.book_ids, min(r.randint(1, 2), len(self.book_ids))):
+                self._add_fact(
+                    relation_id="writes", subject_id=eid, object_id=book,
+                    time=self._random_date(r, 1990, 2016) if r.maybe(0.5) else None,
+                )
+            self._maybe_award(r, eid, probability=0.5)
+
+    def _maybe_award(
+        self, r: DeterministicRng, eid: str, probability: float = 0.5
+    ) -> None:
+        if not self.award_ids or not r.maybe(probability):
+            return
+        award = r.choice(self.award_ids)
+        if r.maybe(0.35) and self.person_ids_by_profession.get("POLITICIAN"):
+            presenter = r.choice(self.person_ids_by_profession["POLITICIAN"])
+            self._add_fact(
+                relation_id="receives_from", subject_id=eid,
+                object_id=award, object2_id=presenter,
+                time=self._random_date(r, 2000, 2016),
+            )
+        else:
+            self._add_fact(
+                relation_id="wins_award", subject_id=eid, object_id=award,
+                time=self._random_date(r, 2000, 2016) if r.maybe(0.6) else None,
+            )
+
+    # ---- organization facts -------------------------------------------------
+
+    def _make_org_facts(self, rng: DeterministicRng) -> None:
+        for eid in self.club_ids + self.company_ids + self.foundation_ids:
+            entity = self.entities[eid]
+            if entity.home_city:
+                self._add_fact(
+                    relation_id="based_in", subject_id=eid,
+                    object_id=entity.home_city,
+                )
+
+    # ---- trend events ---------------------------------------------------------
+
+    _EVENT_KINDS = (
+        "divorce", "award", "transfer", "premiere", "accusation",
+        "concert", "founding", "derby",
+    )
+
+    def _make_events(self, rng: DeterministicRng) -> None:
+        for index in range(self.config.num_events):
+            r = rng.fork(f"event:{index}")
+            kind = self._EVENT_KINDS[index % len(self._EVENT_KINDS)]
+            date = self._random_date(r, 2015, 2016, full=True)
+            event_id = f"EV{index:03d}"
+            fact_ids: List[str] = []
+            main: List[str] = []
+            if kind == "divorce":
+                couples = [
+                    f for f in self.facts
+                    if f.relation_id == "married_to"
+                    and not any(
+                        g.relation_id == "divorced_from"
+                        and g.subject_id == f.subject_id
+                        for g in self.facts_by_subject.get(f.subject_id, [])
+                    )
+                ]
+                if not couples:
+                    continue
+                couple = r.choice(couples)
+                fact = self._add_fact(
+                    relation_id="divorced_from", subject_id=couple.subject_id,
+                    object_id=couple.object_id, time=date, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [couple.subject_id, couple.object_id]
+                headline = "divorce filing"
+            elif kind == "award":
+                winner = r.choice(self.person_ids)
+                award = r.choice(self.award_ids)
+                presenter = r.choice(
+                    self.person_ids_by_profession.get("POLITICIAN", self.person_ids)
+                )
+                fact = self._add_fact(
+                    relation_id="receives_from", subject_id=winner,
+                    object_id=award, object2_id=presenter, time=date,
+                    recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [winner]
+                headline = "award ceremony"
+            elif kind == "transfer":
+                pool = self.person_ids_by_profession.get("FOOTBALLER", [])
+                if not pool or not self.club_ids:
+                    continue
+                player = r.choice(pool)
+                club = r.choice(self.club_ids)
+                fact = self._add_fact(
+                    relation_id="joins", subject_id=player, object_id=club,
+                    time=date, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [player]
+                headline = "transfer"
+            elif kind == "premiere":
+                pool = self.person_ids_by_profession.get("ACTOR", [])
+                if not pool or not self.character_ids or not self.film_ids:
+                    continue
+                actor = r.choice(pool)
+                character = r.choice(self.character_ids)
+                film = r.choice(self.film_ids)
+                fact = self._add_fact(
+                    relation_id="plays_role_in", subject_id=actor,
+                    object_id=character, object2_id=film, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [actor, film]
+                headline = "film premiere"
+            elif kind == "accusation":
+                target = r.choice(self.person_ids)
+                accuser = self._make_accuser(r)
+                spec = SPECS_BY_ID["accuses_of"]
+                fact = self._add_fact(
+                    relation_id="accuses_of", subject_id=accuser,
+                    object_id=target,
+                    literal=r.choice(list(spec.literal_object2)),
+                    time=date, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [target, accuser]
+                headline = "accusation"
+            elif kind == "concert":
+                pool = self.person_ids_by_profession.get("MUSICAL_ARTIST", [])
+                if not pool or not self.festival_ids:
+                    continue
+                artist = r.choice(pool)
+                festival = r.choice(self.festival_ids)
+                fact = self._add_fact(
+                    relation_id="performs_at", subject_id=artist,
+                    object_id=festival, time=date, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                if r.maybe(0.4):
+                    oops = self._add_fact(
+                        relation_id="forgets", subject_id=artist,
+                        literal="the lyrics", time=date, recent=True,
+                    )
+                    fact_ids.append(oops.fact_id)
+                main = [artist]
+                headline = "concert"
+            elif kind == "founding":
+                pool = self.person_ids_by_profession.get("BUSINESSPERSON", [])
+                if not pool or not self.company_ids:
+                    continue
+                founder = r.choice(pool)
+                company = r.choice(self.company_ids)
+                fact = self._add_fact(
+                    relation_id="founded", subject_id=founder,
+                    object_id=company, time=date, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [founder, company]
+                headline = "company launch"
+            else:  # derby
+                if len(self.club_ids) < 2:
+                    continue
+                home, away = r.sample(self.club_ids, 2)
+                fact = self._add_fact(
+                    relation_id="defeats", subject_id=home, object_id=away,
+                    time=date, recent=True,
+                )
+                fact_ids.append(fact.fact_id)
+                main = [home, away]
+                headline = "derby"
+            if fact_ids:
+                self.events.append(
+                    TrendEvent(
+                        event_id=event_id, kind=kind, date=date,
+                        main_entities=main, fact_ids=fact_ids,
+                        headline=headline,
+                    )
+                )
+
+    def _make_accuser(self, r: DeterministicRng) -> str:
+        gender = "female" if r.maybe(0.5) else "male"
+        pool = (
+            names.FEMALE_FIRST_NAMES if gender == "female"
+            else names.MALE_FIRST_NAMES
+        )
+        name = f"{r.choice(pool)} {r.choice(names.SURNAMES)}"
+        entity = WorldEntity(
+            self._new_id(), name, ["PERSON"], gender=gender,
+            aliases=[name], prominence=0.1,
+            in_repository=False,  # emerging entity, like Jessica Leeds
+            profession_noun="accuser",
+        )
+        self.person_ids.append(entity.entity_id)
+        self._add_entity(entity)
+        return entity.entity_id
+
+    # ------------------------------------------------------------------
+    # Repository construction
+    # ------------------------------------------------------------------
+
+    def _build_repository(self) -> EntityRepository:
+        repo = EntityRepository(self.type_system)
+        for entity in self.entities.values():
+            if not entity.in_repository:
+                continue
+            repo.add(
+                Entity(
+                    entity_id=entity.entity_id,
+                    canonical_name=entity.name,
+                    aliases=list(entity.aliases),
+                    types=list(entity.types),
+                    gender=entity.gender,
+                    prominence=entity.prominence,
+                )
+            )
+        return repo
+
+
+def build_world(seed: int = 7, config: Optional[WorldConfig] = None) -> World:
+    """Build the default world for ``seed`` (convenience entry point)."""
+    return World(config or WorldConfig(), seed=seed)
+
+
+__all__ = [
+    "TrendEvent",
+    "World",
+    "WorldConfig",
+    "WorldEntity",
+    "WorldFact",
+    "build_world",
+]

@@ -1,0 +1,35 @@
+"""Benchmark dataset builders.
+
+Synthetic counterparts of the paper's evaluation datasets:
+
+- :mod:`repro.datasets.defie_wikipedia` — the DEFIE-Wikipedia dataset
+  (randomly chosen Wikipedia pages) used for end-to-end KB construction.
+- :mod:`repro.datasets.reverb500` — 500 standalone web sentences for the
+  Open IE component comparison.
+- :mod:`repro.datasets.news` — news articles (Table 6's News dataset).
+- :mod:`repro.datasets.wikia` — long fan-wiki pages dominated by
+  out-of-repository fictional characters (Table 6's Wikia dataset).
+- :mod:`repro.datasets.trends_questions` — the GoogleTrendsQuestions QA
+  benchmark (100 questions over 50 trend events) plus WebQuestions-style
+  training pairs.
+"""
+
+from repro.datasets.defie_wikipedia import build_defie_wikipedia
+from repro.datasets.news import build_news_dataset
+from repro.datasets.reverb500 import build_reverb500
+from repro.datasets.trends_questions import (
+    QaQuestion,
+    build_trends_questions,
+    build_training_questions,
+)
+from repro.datasets.wikia import build_wikia_dataset
+
+__all__ = [
+    "QaQuestion",
+    "build_defie_wikipedia",
+    "build_news_dataset",
+    "build_reverb500",
+    "build_trends_questions",
+    "build_training_questions",
+    "build_wikia_dataset",
+]

@@ -1,0 +1,219 @@
+"""GoogleTrendsQuestions: the ad-hoc QA benchmark (Section 7.4).
+
+The paper identified 50 recent events via Google Trends and had students
+write 100 questions with gold answers. We generate two questions per
+trend event from kind-specific templates, with gold answers taken from
+the event's ground-truth facts. Training questions (the WebQuestions
+stand-in for the answer classifier) are generated from non-event world
+facts with a disjoint set of templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.corpus.world import TrendEvent, World, WorldFact
+from repro.utils.rng import DeterministicRng
+
+PERSON_TYPES = ("PERSON", "CHARACTER", "ORGANIZATION")
+WHERE_TYPES = ("LOCATION",)
+WHEN_TYPES = ("TIME",)
+
+
+@dataclass
+class QaQuestion:
+    """One benchmark question.
+
+    Attributes:
+        question: Natural-language question text.
+        gold: Acceptable answer strings (lower-cased aliases).
+        query: Retrieval query (usually the main entity's name).
+        answer_types: Coarse types a candidate answer must satisfy.
+        relation_id: Ground-truth relation (for analysis only).
+        event_id: Originating trend event ("" for training questions).
+    """
+
+    question: str
+    gold: Set[str]
+    query: str
+    answer_types: Tuple[str, ...] = PERSON_TYPES
+    relation_id: str = ""
+    event_id: str = ""
+
+
+def _aliases(world: World, entity_id: str) -> Set[str]:
+    return {a.lower() for a in world.entities[entity_id].aliases}
+
+
+def build_trends_questions(world: World) -> List[QaQuestion]:
+    """Two questions per trend event, mirroring the 100-question set."""
+    questions: List[QaQuestion] = []
+    for event in world.events:
+        fact = _event_fact(world, event)
+        if fact is None:
+            continue
+        subject = world.entities[fact.subject_id]
+        obj = world.entities.get(fact.object_id) if fact.object_id else None
+        if event.kind == "divorce" and obj is not None:
+            questions.append(QaQuestion(
+                question=f"Who did {subject.name} divorce?",
+                gold=_aliases(world, fact.object_id),
+                query=subject.name,
+                relation_id="divorced_from", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"Who divorced {obj.name}?",
+                gold=_aliases(world, fact.subject_id),
+                query=obj.name,
+                relation_id="divorced_from", event_id=event.event_id,
+            ))
+        elif event.kind == "award" and obj is not None and fact.object2_id:
+            presenter = world.entities[fact.object2_id]
+            questions.append(QaQuestion(
+                question=f"Who presented the {obj.name} to {subject.name}?",
+                gold=_aliases(world, fact.object2_id),
+                query=subject.name,
+                relation_id="receives_from", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"Which award did {subject.name} receive from {presenter.name}?",
+                gold=_aliases(world, fact.object_id),
+                query=subject.name,
+                answer_types=("MISC",),
+                relation_id="receives_from", event_id=event.event_id,
+            ))
+        elif event.kind == "transfer" and obj is not None:
+            questions.append(QaQuestion(
+                question=f"Which club did {subject.name} join?",
+                gold=_aliases(world, fact.object_id),
+                query=subject.name,
+                answer_types=("ORGANIZATION",),
+                relation_id="joins", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"Who joined {obj.name}?",
+                gold=_aliases(world, fact.subject_id),
+                query=obj.name,
+                relation_id="joins", event_id=event.event_id,
+            ))
+        elif event.kind == "premiere" and obj is not None and fact.object2_id:
+            film = world.entities[fact.object2_id]
+            questions.append(QaQuestion(
+                question=f"Who plays {obj.name} in {film.name}?",
+                gold=_aliases(world, fact.subject_id),
+                query=film.name,
+                relation_id="plays_role_in", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"In which film does {subject.name} play {obj.name}?",
+                gold=_aliases(world, fact.object2_id),
+                query=subject.name,
+                answer_types=("MISC",),
+                relation_id="plays_role_in", event_id=event.event_id,
+            ))
+        elif event.kind == "accusation" and obj is not None:
+            questions.append(QaQuestion(
+                question=f"Who accused {obj.name}?",
+                gold=_aliases(world, fact.subject_id),
+                query=obj.name,
+                relation_id="accuses_of", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"Who did {subject.name} accuse?",
+                gold=_aliases(world, fact.object_id),
+                query=obj.name,
+                relation_id="accuses_of", event_id=event.event_id,
+            ))
+        elif event.kind == "concert" and obj is not None:
+            questions.append(QaQuestion(
+                question=f"Which festival did {subject.name} perform at?",
+                gold=_aliases(world, fact.object_id),
+                query=subject.name,
+                answer_types=("MISC", "LOCATION"),
+                relation_id="performs_at", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"Who performed at {obj.name}?",
+                gold=_aliases(world, fact.subject_id),
+                query=obj.name,
+                relation_id="performs_at", event_id=event.event_id,
+            ))
+        elif event.kind == "founding" and obj is not None:
+            questions.append(QaQuestion(
+                question=f"Which company did {subject.name} launch?",
+                gold=_aliases(world, fact.object_id),
+                query=subject.name,
+                answer_types=("ORGANIZATION",),
+                relation_id="founded", event_id=event.event_id,
+            ))
+            questions.append(QaQuestion(
+                question=f"Who launched {obj.name}?",
+                gold=_aliases(world, fact.subject_id),
+                query=obj.name,
+                relation_id="founded", event_id=event.event_id,
+            ))
+        elif event.kind == "derby" and obj is not None:
+            questions.append(QaQuestion(
+                question=f"Which team did {subject.name} defeat?",
+                gold=_aliases(world, fact.object_id),
+                query=subject.name,
+                answer_types=("ORGANIZATION",),
+                relation_id="defeats", event_id=event.event_id,
+            ))
+    return questions
+
+
+def _event_fact(world: World, event: TrendEvent) -> Optional[WorldFact]:
+    for fact in world.facts:
+        if fact.fact_id == event.fact_ids[0]:
+            return fact
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Training questions (WebQuestions stand-in)
+# ---------------------------------------------------------------------------
+
+_TRAINING_TEMPLATES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "married_to": ("Who did {S} marry?", PERSON_TYPES),
+    "born_in": ("Where was {S} born?", WHERE_TYPES),
+    "lives_in": ("Where does {S} live?", WHERE_TYPES),
+    "plays_for": ("Which club does {S} play for?", ("ORGANIZATION",)),
+    "ceo_of": ("Which company does {S} lead?", ("ORGANIZATION",)),
+    "studied_at": ("Where did {S} study?", ("ORGANIZATION",)),
+    "acts_in": ("Which film did {S} appear in?", ("MISC",)),
+    "records": ("Which album did {S} release?", ("MISC",)),
+    "wins_award": ("Which award did {S} win?", ("MISC",)),
+    "works_for": ("Which newspaper does {S} work for?", ("ORGANIZATION",)),
+}
+
+
+def build_training_questions(
+    world: World, limit: int = 200, seed: int = 3778
+) -> List[QaQuestion]:
+    """Training question/gold pairs from non-event facts."""
+    rng = DeterministicRng(seed, namespace="webquestions")
+    eligible = [
+        f for f in world.facts
+        if not f.recent
+        and f.relation_id in _TRAINING_TEMPLATES
+        and f.object_id
+        and world.entities[f.subject_id].in_repository
+    ]
+    rng.shuffle(eligible)
+    questions: List[QaQuestion] = []
+    for fact in eligible[:limit]:
+        template, answer_types = _TRAINING_TEMPLATES[fact.relation_id]
+        subject = world.entities[fact.subject_id]
+        questions.append(QaQuestion(
+            question=template.format(S=subject.name),
+            gold=_aliases(world, fact.object_id),
+            query=subject.name,
+            answer_types=answer_types,
+            relation_id=fact.relation_id,
+        ))
+    return questions
+
+
+__all__ = ["QaQuestion", "build_trends_questions", "build_training_questions"]

@@ -1,0 +1,78 @@
+"""Wikia dataset: long fan-wiki episode pages.
+
+The original consists of 10 Wikia pages about Game-of-Thrones episodes,
+where 71% of the extracted entities are out-of-Yago fictional
+characters. We synthesize episode recaps: long documents whose subjects
+are mostly emerging characters interacting with each other, plus a few
+in-repository actors/films for the residual linkable mentions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.corpus.realizer import RealizedDocument, Realizer
+from repro.corpus.world import World, WorldFact
+from repro.utils.rng import DeterministicRng
+
+_CHARACTER_RELATIONS = (
+    "praises", "accuses_of", "shoots", "married_to", "visits",
+)
+
+
+def build_wikia_dataset(
+    world: World,
+    num_documents: int = 10,
+    sentences_per_document: int = 40,
+    seed: int = 1810,
+) -> List[RealizedDocument]:
+    """Synthesize ``num_documents`` character-heavy episode pages."""
+    rng = DeterministicRng(seed, namespace="wikia")
+    realizer = Realizer(world, seed=seed + 1)
+    characters = list(world.character_ids)
+    cities = list(world.city_ids)
+    if len(characters) < 2:
+        return []
+    documents: List[RealizedDocument] = []
+    fact_counter = 0
+    for doc_index in range(num_documents):
+        r = rng.fork(f"episode:{doc_index}")
+        facts: List[WorldFact] = []
+        for _ in range(sentences_per_document):
+            relation = r.choice(_CHARACTER_RELATIONS)
+            subject, other = r.sample(characters, 2)
+            fact_counter += 1
+            if relation == "accuses_of":
+                fact = WorldFact(
+                    fact_id=f"WK{fact_counter:05d}",
+                    relation_id=relation,
+                    subject_id=subject,
+                    object_id=other,
+                    literal=r.choice(["treason", "theft", "cowardice"]),
+                )
+            elif relation == "visits":
+                fact = WorldFact(
+                    fact_id=f"WK{fact_counter:05d}",
+                    relation_id=relation,
+                    subject_id=subject,
+                    object_id=r.choice(cities),
+                )
+            else:
+                fact = WorldFact(
+                    fact_id=f"WK{fact_counter:05d}",
+                    relation_id=relation,
+                    subject_id=subject,
+                    object_id=other,
+                )
+            facts.append(fact)
+        doc = realizer.article_from_facts(
+            doc_id=f"wikia:{doc_index}",
+            title=f"Episode {doc_index + 1}",
+            facts=facts,
+        )
+        if doc.sentences:
+            documents.append(doc)
+    return documents
+
+
+__all__ = ["build_wikia_dataset"]

@@ -1,0 +1,28 @@
+"""Evaluation: metrics and simulated assessment against ground truth.
+
+The paper evaluates with two human assessors over 200-extraction samples
+(Cohen's kappa 0.7), Wald 95% confidence intervals, precision at recall
+levels, and macro-averaged P/R/F1 for QA. We reproduce the measurement
+process: an oracle checks extractions against the realizer's emitted
+ground truth, and two simulated assessors add calibrated judgement noise.
+"""
+
+from repro.eval.assess import Assessment, FactMatcher, SimulatedAssessors
+from repro.eval.metrics import (
+    cohen_kappa,
+    macro_prf,
+    paired_t_test,
+    precision_recall_f1,
+    wald_interval,
+)
+
+__all__ = [
+    "Assessment",
+    "FactMatcher",
+    "SimulatedAssessors",
+    "cohen_kappa",
+    "macro_prf",
+    "paired_t_test",
+    "precision_recall_f1",
+    "wald_interval",
+]

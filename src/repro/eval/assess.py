@@ -1,0 +1,280 @@
+"""Ground-truth fact matching and simulated human assessment.
+
+:class:`FactMatcher` decides whether an extracted fact is supported by
+the realizer's per-document emitted ground truth — the oracle replacing
+the paper's human judgement. :class:`SimulatedAssessors` reproduces the
+measurement process: two assessors whose judgements flip the oracle's
+verdict with a small independent error rate, calibrated so that
+inter-assessor agreement lands near the paper's kappa = 0.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.corpus.realizer import EmittedFact, RealizedDocument
+from repro.corpus.world import World
+from repro.eval.metrics import cohen_kappa, wald_interval
+from repro.kb.facts import (
+    ARG_EMERGING,
+    ARG_ENTITY,
+    ARG_LITERAL,
+    ARG_MONEY,
+    ARG_TIME,
+    Argument,
+    Fact,
+    KnowledgeBase,
+)
+from repro.utils.rng import DeterministicRng
+from repro.utils.text import strip_determiners
+
+
+class FactMatcher:
+    """Checks extracted facts against emitted ground truth."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.patterns = world.pattern_repository
+
+    def is_correct(
+        self,
+        fact: Fact,
+        document: RealizedDocument,
+        kb: Optional[KnowledgeBase] = None,
+    ) -> bool:
+        """True when some emitted fact of ``document`` supports ``fact``."""
+        for emitted in document.emitted:
+            if self._matches(fact, emitted, kb):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _matches(
+        self, fact: Fact, emitted: EmittedFact, kb: Optional[KnowledgeBase]
+    ) -> bool:
+        if not self._predicate_matches(fact, emitted):
+            return False
+        symmetric = self._is_symmetric(emitted)
+        if self._argument_is_entity(fact.subject, emitted.subject_id, kb):
+            return self._objects_match(fact.objects, emitted.args, kb)
+        if symmetric and len(fact.objects) >= 1:
+            # <A, married_to, B> matches emitted <B, married_to, A>: the
+            # extracted subject must be the emitted object and vice versa.
+            entity_args = [v for k, v in emitted.args if k == "entity"]
+            if entity_args and self._argument_is_entity(
+                fact.subject, entity_args[0], kb
+            ):
+                swapped = [("entity", emitted.subject_id)] + [
+                    a for a in emitted.args
+                    if not (a[0] == "entity" and a[1] == entity_args[0])
+                ]
+                return self._objects_match(fact.objects, swapped, kb)
+        return False
+
+    def _is_symmetric(self, emitted: EmittedFact) -> bool:
+        if emitted.relation_id is None:
+            return False
+        spec = None
+        from repro.corpus.schema import SPECS_BY_ID
+
+        spec = SPECS_BY_ID.get(emitted.relation_id)
+        return bool(spec and spec.symmetric)
+
+    def _predicate_matches(self, fact: Fact, emitted: EmittedFact) -> bool:
+        if fact.canonical_predicate:
+            if emitted.relation_id is not None:
+                return fact.predicate == emitted.relation_id
+            # Extracted canonical relation vs narrative pattern: compare
+            # through the pattern repository.
+            return self.patterns.canonicalize(emitted.pattern) == fact.predicate
+        # New relation: lemmatized pattern comparison (synset-tolerant).
+        if _normalize_pattern(fact.pattern) == _normalize_pattern(emitted.pattern):
+            return True
+        extracted_rel = self.patterns.canonicalize(fact.pattern)
+        emitted_rel = (
+            emitted.relation_id
+            if emitted.relation_id is not None
+            else self.patterns.canonicalize(emitted.pattern)
+        )
+        return extracted_rel is not None and extracted_rel == emitted_rel
+
+    def _objects_match(
+        self,
+        objects: Sequence[Argument],
+        emitted_args: Sequence[Tuple[str, str]],
+        kb: Optional[KnowledgeBase],
+    ) -> bool:
+        """Every extracted object must be supported by an emitted arg."""
+        remaining = list(emitted_args)
+        for argument in objects:
+            index = self._find_match(argument, remaining, kb)
+            if index is None:
+                return False
+            remaining.pop(index)
+        return True
+
+    def _find_match(
+        self,
+        argument: Argument,
+        emitted_args: List[Tuple[str, str]],
+        kb: Optional[KnowledgeBase],
+    ) -> Optional[int]:
+        for index, (kind, value) in enumerate(emitted_args):
+            if kind == "entity" and self._argument_is_entity(argument, value, kb):
+                return index
+            if kind == "time" and argument.kind == ARG_TIME:
+                if _time_compatible(argument.value, value):
+                    return index
+            if kind == "money" and argument.kind == ARG_MONEY:
+                if argument.value.replace(" ", "") == value.replace(" ", ""):
+                    return index
+            if kind == "literal" and argument.kind == ARG_LITERAL:
+                extracted = strip_determiners(argument.value).lower()
+                if value.lower() in extracted or extracted in value.lower():
+                    return index
+        return None
+
+    def _argument_is_entity(
+        self, argument: Argument, entity_id: str, kb: Optional[KnowledgeBase]
+    ) -> bool:
+        """Does an extracted argument denote the given world entity?"""
+        entity = self.world.entities.get(entity_id)
+        if entity is None:
+            return False
+        if argument.kind == ARG_ENTITY:
+            return argument.value == entity_id
+        if argument.kind == ARG_EMERGING:
+            aliases = {a.lower() for a in entity.aliases}
+            mentions = {argument.display.lower()}
+            if kb is not None and argument.value in kb.emerging:
+                mentions.update(
+                    strip_determiners(m).lower()
+                    for m in kb.emerging[argument.value].mentions
+                )
+            return bool(aliases & mentions)
+        if argument.kind == ARG_LITERAL:
+            return argument.value.lower() in {a.lower() for a in entity.aliases}
+        return False
+
+
+def _normalize_pattern(pattern: str) -> str:
+    return " ".join(pattern.lower().replace("not ", "").split())
+
+
+def _time_compatible(a: str, b: str) -> bool:
+    """ISO-ish prefix compatibility: "2009" matches "2009-04-19"."""
+    a, b = a.strip(), b.strip()
+    if not a or not b:
+        return False
+    return a.startswith(b) or b.startswith(a)
+
+
+def ned_verdicts(
+    world: World,
+    document: RealizedDocument,
+    graph,
+    result,
+) -> List[bool]:
+    """Entity-linking correctness per linked mention (Table 4 judging).
+
+    For every noun-phrase node the densification linked to an entity,
+    the verdict is True when a realizer mention with the same sentence
+    and surface refers to that entity.
+    """
+    truth: Dict[Tuple[int, str], str] = {}
+    for mention in document.mentions:
+        truth.setdefault(
+            (mention.sentence_index, mention.surface.lower()),
+            mention.entity_id,
+        )
+    verdicts: List[bool] = []
+    for phrase_id, entity_id in sorted(result.assignment.items()):
+        if entity_id is None:
+            continue
+        node = graph.phrases[phrase_id]
+        key = (node.sentence_index, node.surface.lower())
+        expected = truth.get(key)
+        if expected is None:
+            stripped = strip_determiners(node.surface).lower()
+            expected = truth.get((node.sentence_index, stripped))
+        if expected is None:
+            continue  # descriptor spans etc.: not judged
+        verdicts.append(expected == entity_id)
+    return verdicts
+
+
+def babelfy_verdicts(
+    world: World, document: RealizedDocument, links: Dict
+) -> List[bool]:
+    """Entity-linking correctness for a Babelfy-style linker output."""
+    truth: Dict[Tuple[int, str], str] = {}
+    for mention in document.mentions:
+        truth.setdefault(
+            (mention.sentence_index, mention.surface.lower()),
+            mention.entity_id,
+        )
+    # links: (sentence, start, end) -> entity id; we need surfaces, which
+    # the caller supplies via an annotated document in links_surfaces.
+    verdicts: List[bool] = []
+    for (sentence_index, surface), entity_id in links.items():
+        if entity_id is None:
+            continue
+        expected = truth.get((sentence_index, surface.lower()))
+        if expected is None:
+            continue
+        verdicts.append(expected == entity_id)
+    return verdicts
+
+
+@dataclass
+class Assessment:
+    """Outcome of a (simulated) manual assessment."""
+
+    sample_size: int
+    precision: float
+    interval: float          # Wald 95% half-width
+    kappa: float
+    oracle_precision: float  # noise-free precision over the same sample
+
+
+class SimulatedAssessors:
+    """Two noisy assessors over a sample of extraction correctness."""
+
+    def __init__(self, seed: int = 2017, error_rate: float = 0.09) -> None:
+        # Two independent assessors flipping the oracle verdict with
+        # probability ``error_rate`` land near kappa = 0.7, matching the
+        # inter-assessor agreement reported in Section 7.1.
+        self._rng = DeterministicRng(seed, namespace="assessors")
+        self.error_rate = error_rate
+
+    def assess(
+        self, oracle_verdicts: Sequence[bool], sample_size: int = 200
+    ) -> Assessment:
+        """Sample extractions and produce the reported precision."""
+        verdicts = list(oracle_verdicts)
+        if not verdicts:
+            return Assessment(0, 0.0, 0.0, 1.0, 0.0)
+        rng = self._rng.fork(f"sample:{len(verdicts)}")
+        if len(verdicts) > sample_size:
+            indices = rng.sample(range(len(verdicts)), sample_size)
+            verdicts = [verdicts[i] for i in sorted(indices)]
+        labels_a = [self._judge(rng.fork("a"), v, i) for i, v in enumerate(verdicts)]
+        labels_b = [self._judge(rng.fork("b"), v, i) for i, v in enumerate(verdicts)]
+        precision = (sum(labels_a) + sum(labels_b)) / (2 * len(verdicts))
+        kappa = cohen_kappa(labels_a, labels_b)
+        return Assessment(
+            sample_size=len(verdicts),
+            precision=precision,
+            interval=wald_interval(precision, len(verdicts)),
+            kappa=kappa,
+            oracle_precision=sum(verdicts) / len(verdicts),
+        )
+
+    def _judge(self, rng: DeterministicRng, verdict: bool, index: int) -> int:
+        flip = rng.fork(str(index)).maybe(self.error_rate)
+        return int(verdict != flip)
+
+
+__all__ = ["Assessment", "FactMatcher", "SimulatedAssessors"]

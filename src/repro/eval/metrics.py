@@ -1,0 +1,123 @@
+"""Statistical metrics used throughout the experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+def wald_interval(p: float, n: int, z: float = 1.96) -> float:
+    """Half-width of the Wald confidence interval for a proportion.
+
+    The paper reports "precision values ... with Wald confidence
+    intervals at 95%"; z = 1.96 corresponds to 95%.
+    """
+    if n <= 0:
+        return 0.0
+    return z * math.sqrt(max(p * (1.0 - p), 0.0) / n)
+
+
+def cohen_kappa(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Cohen's kappa for two binary annotators."""
+    if len(labels_a) != len(labels_b):
+        raise ValueError("annotator label lists must have the same length")
+    n = len(labels_a)
+    if n == 0:
+        return 0.0
+    agree = sum(1 for a, b in zip(labels_a, labels_b) if a == b) / n
+    pa = sum(labels_a) / n
+    pb = sum(labels_b) / n
+    expected = pa * pb + (1 - pa) * (1 - pb)
+    if expected >= 1.0:
+        return 1.0
+    return (agree - expected) / (1.0 - expected)
+
+
+def precision_recall_f1(
+    predicted: Set, gold: Set
+) -> Tuple[float, float, float]:
+    """Set-based precision / recall / F1 for one instance."""
+    if not predicted and not gold:
+        return 1.0, 1.0, 1.0
+    if not predicted:
+        return 0.0, 0.0, 0.0
+    if not gold:
+        return 0.0, 0.0, 0.0
+    hits = len(predicted & gold)
+    precision = hits / len(predicted)
+    recall = hits / len(gold)
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def macro_prf(
+    answer_sets: Sequence[Set], gold_sets: Sequence[Set]
+) -> Tuple[float, float, float]:
+    """Macro-averaged precision / recall / F1 across questions.
+
+    Exactly the formulas of Section 7.4: per-question P/R/F1 averaged
+    uniformly over questions.
+    """
+    if len(answer_sets) != len(gold_sets):
+        raise ValueError("answer and gold lists must have the same length")
+    if not answer_sets:
+        return 0.0, 0.0, 0.0
+    totals = [0.0, 0.0, 0.0]
+    for predicted, gold in zip(answer_sets, gold_sets):
+        p, r, f = precision_recall_f1(predicted, gold)
+        totals[0] += p
+        totals[1] += r
+        totals[2] += f
+    n = len(answer_sets)
+    return totals[0] / n, totals[1] / n, totals[2] / n
+
+
+def paired_t_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Paired t-test; returns (t statistic, two-sided p-value).
+
+    Used for the significance claim in Section 7.2 (greedy vs ILP).
+    """
+    from scipy import stats
+
+    t, p = stats.ttest_rel(list(a), list(b))
+    return float(t), float(p)
+
+
+def precision_at(ranked_correctness: Sequence[bool], k: int) -> float:
+    """Precision within the top-``k`` of a confidence-ranked list."""
+    if k <= 0:
+        return 0.0
+    window = list(ranked_correctness)[:k]
+    if not window:
+        return 0.0
+    return sum(window) / len(window)
+
+
+def precision_recall_curve(
+    ranked_correctness: Sequence[bool],
+) -> List[Tuple[int, float]]:
+    """(#extractions, precision) points along a confidence ranking.
+
+    This is the curve of Figure 5: precision as a function of the number
+    of extractions kept.
+    """
+    points: List[Tuple[int, float]] = []
+    correct = 0
+    for index, is_correct in enumerate(ranked_correctness, start=1):
+        if is_correct:
+            correct += 1
+        points.append((index, correct / index))
+    return points
+
+
+__all__ = [
+    "cohen_kappa",
+    "macro_prf",
+    "paired_t_test",
+    "precision_at",
+    "precision_recall_curve",
+    "precision_recall_f1",
+    "wald_interval",
+]

@@ -1,0 +1,24 @@
+"""Pretty-printing of reproduced tables (used by the benchmark harness)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence, rows: Iterable[Sequence]) -> None:
+    """Print one reproduced table in a paper-like fixed-width layout."""
+    rows = [tuple(row) for row in rows]
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+__all__ = ["print_table"]

@@ -1,0 +1,35 @@
+"""Semantic graph and the joint NED + co-reference graph algorithm.
+
+The heart of QKBfly (Sections 3-4): per-sentence semantic graphs over
+clause / noun-phrase / pronoun / entity nodes with depends / relation /
+sameAs / means edges, densified by a greedy constrained densest-subgraph
+algorithm that jointly disambiguates entities and resolves co-references.
+An exact ILP formulation (Appendix A) is provided for comparison, solved
+by our own branch-and-bound 0-1 solver (the Gurobi stand-in).
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.densify import DensestSubgraph, DensifyResult
+from repro.graph.semantic_graph import (
+    EdgeType,
+    EntityNode,
+    NodeType,
+    PhraseNode,
+    RelationEdge,
+    SemanticGraph,
+)
+from repro.graph.weights import EdgeWeights, WeightParameters
+
+__all__ = [
+    "DensestSubgraph",
+    "DensifyResult",
+    "EdgeType",
+    "EdgeWeights",
+    "EntityNode",
+    "GraphBuilder",
+    "NodeType",
+    "PhraseNode",
+    "RelationEdge",
+    "SemanticGraph",
+    "WeightParameters",
+]

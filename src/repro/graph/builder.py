@@ -1,0 +1,331 @@
+"""Semantic-graph construction from annotated documents (Section 3).
+
+Builds one graph per document: per-sentence subgraphs from ClausIE
+clauses, linked across sentences by the initial sameAs edges from
+:mod:`repro.graph.coref`. Adds:
+
+- phrase nodes for clause constituents (anchored at the primary entity
+  mention inside each constituent span),
+- relation edges labeled with lemmatized verb(+preposition) patterns,
+- the "'s <noun>" possessive relation heuristic from the paper,
+- predicate-nominal sameAs links from copular clauses ("Brad Pitt is an
+  actor" makes the two phrases co-referent),
+- means edges to every entity-repository candidate of each mention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.coref import initialize_same_as
+from repro.graph.semantic_graph import (
+    ClauseNode,
+    EntityNode,
+    NodeType,
+    PhraseNode,
+    RelationEdge,
+    SemanticGraph,
+    clause_node_id,
+    entity_node_id,
+    phrase_node_id,
+)
+from repro.kb.entity_repository import EntityRepository
+from repro.nlp.lexicon import is_pronoun, pronoun_features
+from repro.nlp.tokens import Document, Sentence, Span
+from repro.openie.clausie import ClausIE
+from repro.openie.clauses import Clause, Constituent
+from repro.utils.text import strip_determiners
+
+_COPULAS = {"be"}
+
+
+class GraphBuilder:
+    """Builds semantic graphs from annotated documents."""
+
+    def __init__(
+        self,
+        entity_repository: EntityRepository,
+        clausie: Optional[ClausIE] = None,
+        possessive_heuristic: bool = True,
+        copula_same_as: bool = True,
+    ) -> None:
+        self.repository = entity_repository
+        self.clausie = clausie or ClausIE()
+        self.possessive_heuristic = possessive_heuristic
+        self.copula_same_as = copula_same_as
+
+    def build(self, document: Document) -> SemanticGraph:
+        """Build the document-level semantic graph."""
+        graph = SemanticGraph()
+        for sentence in document.sentences:
+            self._add_sentence(graph, sentence)
+        initialize_same_as(graph)
+        self._add_means_edges(graph)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Sentence-level construction
+    # ------------------------------------------------------------------
+
+    def _add_sentence(self, graph: SemanticGraph, sentence: Sentence) -> None:
+        clauses = self.clausie.extract(sentence)
+        clause_ids: List[str] = []
+        for clause in clauses:
+            clause_id = clause_node_id(sentence.index, clause.verb_span.end - 1)
+            graph.add_clause(
+                ClauseNode(
+                    node_id=clause_id,
+                    sentence_index=sentence.index,
+                    clause_type=clause.clause_type,
+                    pattern=clause.pattern(),
+                    negated=clause.negated,
+                )
+            )
+            clause_ids.append(clause_id)
+            self._add_clause_structure(graph, sentence, clause, clause_id)
+        for clause, clause_id in zip(clauses, clause_ids):
+            if 0 <= clause.parent < len(clause_ids):
+                graph.clause_parents[clause_id] = clause_ids[clause.parent]
+        if self.possessive_heuristic:
+            self._add_possessives(graph, sentence)
+
+    def _add_clause_structure(
+        self,
+        graph: SemanticGraph,
+        sentence: Sentence,
+        clause: Clause,
+        clause_id: str,
+    ) -> None:
+        if clause.subject is None:
+            return
+        subject_node = self._phrase_node(graph, sentence, clause.subject)
+        subject_node.is_subject = True
+        graph.add_depends(clause_id, subject_node.node_id)
+
+        primary_prep = ""
+        for adverbial in clause.adverbials:
+            if (
+                not primary_prep
+                and adverbial.preposition
+                and adverbial.kind in ("np", "pronoun")
+            ):
+                primary_prep = adverbial.preposition
+
+        folded = (
+            clause.verb_lemma in _COPULAS
+            and clause.complement is not None
+            and clause.complement.kind in ("np", "literal")
+            and bool(primary_prep)
+        )
+        if folded:
+            complement_head = sentence.tokens[clause.complement.head]
+            folded_pattern = f"be {complement_head.lemma} {primary_prep}"
+        else:
+            folded_pattern = ""
+
+        for constituent in clause.objects:
+            node = self._phrase_node(graph, sentence, constituent)
+            graph.add_depends(clause_id, node.node_id)
+            graph.add_relation(
+                RelationEdge(
+                    source=subject_node.node_id,
+                    target=node.node_id,
+                    pattern=clause.pattern(),
+                    clause_id=clause_id,
+                )
+            )
+        if clause.complement is not None and not folded:
+            node = self._phrase_node(graph, sentence, clause.complement)
+            graph.add_depends(clause_id, node.node_id)
+            graph.add_relation(
+                RelationEdge(
+                    source=subject_node.node_id,
+                    target=node.node_id,
+                    pattern=clause.pattern(),
+                    clause_id=clause_id,
+                )
+            )
+            if (
+                self.copula_same_as
+                and clause.verb_lemma in _COPULAS
+                and not clause.negated
+                and node.kind in ("np", "literal")
+            ):
+                graph.add_same_as(subject_node.node_id, node.node_id)
+        for adverbial in clause.adverbials:
+            if adverbial.kind == "literal" and not adverbial.preposition:
+                continue
+            node = self._phrase_node(graph, sentence, adverbial)
+            graph.add_depends(clause_id, node.node_id)
+            if folded and adverbial.preposition == primary_prep:
+                pattern = folded_pattern
+            else:
+                pattern = clause.pattern(adverbial.preposition)
+            graph.add_relation(
+                RelationEdge(
+                    source=subject_node.node_id,
+                    target=node.node_id,
+                    pattern=pattern,
+                    clause_id=clause_id,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Phrase nodes
+    # ------------------------------------------------------------------
+
+    def _phrase_node(
+        self, graph: SemanticGraph, sentence: Sentence, constituent: Constituent
+    ) -> PhraseNode:
+        span, ner = self._primary_span(sentence, constituent)
+        surface = sentence.text(span.start, span.end)
+        if constituent.kind == "pronoun":
+            features = pronoun_features(surface)
+            gender = features[0] if features and features[0] in ("male", "female") else ""
+            node = PhraseNode(
+                node_id=phrase_node_id(sentence.index, span.start, span.end),
+                node_type=NodeType.PRONOUN,
+                sentence_index=sentence.index,
+                start=span.start,
+                end=span.end,
+                surface=surface,
+                ner="PERSON" if gender else "O",
+                kind="pronoun",
+                gender=gender,
+            )
+        else:
+            node = PhraseNode(
+                node_id=phrase_node_id(sentence.index, span.start, span.end),
+                node_type=NodeType.NOUN_PHRASE,
+                sentence_index=sentence.index,
+                start=span.start,
+                end=span.end,
+                surface=surface,
+                ner=ner,
+                kind=constituent.kind,
+                normalized=constituent.normalized,
+            )
+        return graph.add_phrase(node)
+
+    def _primary_span(
+        self, sentence: Sentence, constituent: Constituent
+    ) -> Tuple[Span, str]:
+        """The primary mention span inside a constituent, with its label.
+
+        Prefers the NER mention containing the constituent head, then the
+        longest mention overlapping the span, then the raw span.
+        """
+        if constituent.kind in ("time", "money", "pronoun"):
+            label = {"time": "TIME", "money": "MONEY", "pronoun": "O"}[
+                constituent.kind
+            ]
+            return constituent.span, label
+        containing = [
+            m for m in sentence.entity_mentions if m.contains(constituent.head)
+        ]
+        if containing:
+            mention = max(containing, key=len)
+            return Span(mention.start, mention.end), mention.label
+        overlapping = [
+            m for m in sentence.entity_mentions if m.overlaps(constituent.span)
+        ]
+        if overlapping:
+            mention = max(overlapping, key=len)
+            return Span(mention.start, mention.end), mention.label
+        return constituent.span, "O"
+
+    # ------------------------------------------------------------------
+    # Possessive heuristic ("Pitt's ex-wife Angelina Jolie")
+    # ------------------------------------------------------------------
+
+    def _add_possessives(self, graph: SemanticGraph, sentence: Sentence) -> None:
+        tokens = sentence.tokens
+        for i, token in enumerate(tokens):
+            if token.pos != "POS":
+                continue
+            possessor = self._mention_ending_at(sentence, i - 1)
+            if possessor is None:
+                continue
+            # The middle noun directly after 's.
+            j = i + 1
+            if j >= len(tokens) or tokens[j].pos not in ("NN", "NNS"):
+                continue
+            middle = tokens[j]
+            # A name mention following the middle noun.
+            name = self._mention_starting_at(sentence, j + 1)
+            if name is None:
+                continue
+            possessor_node = self._span_phrase(graph, sentence, possessor)
+            name_node = self._span_phrase(graph, sentence, name)
+            graph.add_relation(
+                RelationEdge(
+                    source=possessor_node.node_id,
+                    target=name_node.node_id,
+                    pattern=middle.lemma,
+                    clause_id="",
+                )
+            )
+
+    def _mention_ending_at(self, sentence: Sentence, index: int) -> Optional[Span]:
+        for mention in sentence.entity_mentions:
+            if mention.end - 1 == index:
+                return Span(mention.start, mention.end, mention.label)
+        return None
+
+    def _mention_starting_at(self, sentence: Sentence, index: int) -> Optional[Span]:
+        for mention in sentence.entity_mentions:
+            if mention.start == index:
+                return Span(mention.start, mention.end, mention.label)
+        return None
+
+    def _span_phrase(
+        self, graph: SemanticGraph, sentence: Sentence, span: Span
+    ) -> PhraseNode:
+        node = PhraseNode(
+            node_id=phrase_node_id(sentence.index, span.start, span.end),
+            node_type=NodeType.NOUN_PHRASE,
+            sentence_index=sentence.index,
+            start=span.start,
+            end=span.end,
+            surface=sentence.text(span.start, span.end),
+            ner=span.label or "O",
+            kind="np",
+        )
+        return graph.add_phrase(node)
+
+    # ------------------------------------------------------------------
+    # Means edges
+    # ------------------------------------------------------------------
+
+    def _add_means_edges(self, graph: SemanticGraph) -> None:
+        for phrase_id in graph.noun_phrases():
+            node = graph.phrases[phrase_id]
+            if node.kind in ("time", "money"):
+                continue
+            for candidate in self._entity_candidates(node.surface):
+                entity = self.repository.get(candidate)
+                graph.add_entity(
+                    EntityNode(
+                        node_id=entity_node_id(candidate),
+                        entity_id=candidate,
+                        name=entity.canonical_name,
+                        types=tuple(
+                            self.repository.types_of(candidate, with_ancestors=True)
+                        ),
+                        gender=entity.gender,
+                    )
+                )
+                graph.add_means(phrase_id, candidate)
+
+    def _entity_candidates(self, surface: str) -> List[str]:
+        """Alias-dictionary candidates for a mention surface.
+
+        Strict alias lookup only: partial-name backoff would wrongly give
+        an emerging "Verena Wexford" the candidates of a repository
+        entity that happens to share the surname.
+        """
+        cleaned = strip_determiners(surface).strip()
+        return [c.entity_id for c in self.repository.candidates(cleaned)]
+
+
+__all__ = ["GraphBuilder"]

@@ -1,0 +1,263 @@
+"""Semantic graph data model (Section 3 of the paper).
+
+Nodes: clause, noun-phrase, pronoun and entity nodes. Edges: ``depends``
+(clause structure), ``relation`` (lemmatized verb patterns between
+phrase nodes), ``sameAs`` (co-reference candidates) and ``means``
+(phrase -> entity candidate links).
+
+Phrase nodes carry their sentence/span provenance; entity nodes are
+shared per entity id. The graph object supports the removal operations
+the densification algorithm performs (means / pronoun-sameAs edge
+removal with candidate-set bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class NodeType:
+    """Node type constants."""
+
+    CLAUSE = "clause"
+    NOUN_PHRASE = "noun_phrase"
+    PRONOUN = "pronoun"
+    ENTITY = "entity"
+
+
+class EdgeType:
+    """Edge type constants."""
+
+    DEPENDS = "depends"
+    RELATION = "relation"
+    SAME_AS = "sameAs"
+    MEANS = "means"
+
+
+@dataclass
+class PhraseNode:
+    """A noun-phrase or pronoun node.
+
+    Attributes:
+        node_id: Unique id, e.g. ``"n3:5-7"`` (sentence 3, tokens 5-7).
+        node_type: NOUN_PHRASE or PRONOUN.
+        sentence_index / start / end: Provenance span.
+        surface: Surface text of the span.
+        ner: Coarse NER label of the span (PERSON / ... / TIME / MONEY /
+            "O" for plain noun phrases).
+        kind: "np", "pronoun", "time", "money" or "literal".
+        normalized: Normalized value for time expressions.
+        gender: For pronoun nodes: "male" / "female" / "" (from the
+            pronoun lexicon); used by constraint (4).
+    """
+
+    node_id: str
+    node_type: str
+    sentence_index: int
+    start: int
+    end: int
+    surface: str
+    ner: str = "O"
+    kind: str = "np"
+    normalized: str = ""
+    gender: str = ""
+    is_subject: bool = False  # used as clause subject (coref preference)
+
+
+@dataclass
+class EntityNode:
+    """An entity candidate node (shared per entity id)."""
+
+    node_id: str          # "e:<entity_id>"
+    entity_id: str
+    name: str
+    types: Tuple[str, ...] = ()
+    gender: str = ""
+
+
+@dataclass
+class ClauseNode:
+    """A clause node: container for one detected clause."""
+
+    node_id: str          # "c<sentence>:<verb index>"
+    sentence_index: int
+    clause_type: str
+    pattern: str
+    negated: bool = False
+
+
+@dataclass
+class RelationEdge:
+    """A relation edge between two phrase nodes."""
+
+    source: str           # subject phrase node id
+    target: str           # argument phrase node id
+    pattern: str          # lemmatized pattern, e.g. "donate to"
+    clause_id: str = ""
+
+
+class SemanticGraph:
+    """Mutable semantic graph with candidate-set bookkeeping."""
+
+    def __init__(self) -> None:
+        self.phrases: Dict[str, PhraseNode] = {}
+        self.entities: Dict[str, EntityNode] = {}
+        self.clauses: Dict[str, ClauseNode] = {}
+        self.relation_edges: List[RelationEdge] = []
+        # phrase node id -> set of entity ids (means edges).
+        self.means: Dict[str, Set[str]] = {}
+        # undirected sameAs adjacency among phrase node ids.
+        self.same_as: Dict[str, Set[str]] = {}
+        # clause id -> phrase node ids it depends-links (fact boundary).
+        self.depends: Dict[str, List[str]] = {}
+        # clause id -> parent clause id (inter-clause depends edges).
+        self.clause_parents: Dict[str, str] = {}
+
+    # ---- construction ------------------------------------------------------
+
+    def add_phrase(self, node: PhraseNode) -> PhraseNode:
+        """Add (or return the existing) phrase node."""
+        existing = self.phrases.get(node.node_id)
+        if existing is not None:
+            return existing
+        self.phrases[node.node_id] = node
+        self.means.setdefault(node.node_id, set())
+        self.same_as.setdefault(node.node_id, set())
+        return node
+
+    def add_entity(self, node: EntityNode) -> EntityNode:
+        """Add (or return the existing) entity node."""
+        existing = self.entities.get(node.node_id)
+        if existing is not None:
+            return existing
+        self.entities[node.node_id] = node
+        return node
+
+    def add_clause(self, node: ClauseNode) -> ClauseNode:
+        """Add a clause node."""
+        self.clauses[node.node_id] = node
+        self.depends.setdefault(node.node_id, [])
+        return node
+
+    def add_means(self, phrase_id: str, entity_id: str) -> None:
+        """Link a phrase to an entity candidate."""
+        self.means[phrase_id].add(entity_id)
+
+    def add_same_as(self, a: str, b: str) -> None:
+        """Link two phrase nodes as co-reference candidates."""
+        if a == b:
+            return
+        self.same_as[a].add(b)
+        self.same_as[b].add(a)
+
+    def add_relation(self, edge: RelationEdge) -> None:
+        """Add a relation edge."""
+        self.relation_edges.append(edge)
+
+    def add_depends(self, clause_id: str, phrase_id: str) -> None:
+        """Record that a phrase belongs to a clause (fact boundary)."""
+        self.depends[clause_id].append(phrase_id)
+
+    # ---- removal (densification operations) ----------------------------------
+
+    def remove_means(self, phrase_id: str, entity_id: str) -> None:
+        """Remove one means edge."""
+        self.means[phrase_id].discard(entity_id)
+
+    def remove_same_as(self, a: str, b: str) -> None:
+        """Remove one sameAs edge."""
+        self.same_as[a].discard(b)
+        self.same_as[b].discard(a)
+
+    # ---- queries --------------------------------------------------------------
+
+    def candidates(self, phrase_id: str) -> Set[str]:
+        """ent(n): entity candidate ids of a noun-phrase node."""
+        return self.means.get(phrase_id, set())
+
+    def pronoun_candidates(self, pronoun_id: str) -> Set[str]:
+        """ent(p): union of candidates over sameAs-linked noun phrases."""
+        out: Set[str] = set()
+        for neighbor in self.same_as.get(pronoun_id, ()):
+            out.update(self.means.get(neighbor, ()))
+        return out
+
+    def pronouns(self) -> List[str]:
+        """Ids of all pronoun nodes."""
+        return [
+            pid for pid, node in self.phrases.items()
+            if node.node_type == NodeType.PRONOUN
+        ]
+
+    def noun_phrases(self) -> List[str]:
+        """Ids of all noun-phrase nodes."""
+        return [
+            pid for pid, node in self.phrases.items()
+            if node.node_type == NodeType.NOUN_PHRASE
+        ]
+
+    def np_same_as_group(self, phrase_id: str) -> Set[str]:
+        """Connected component of ``phrase_id`` over NP-NP sameAs edges."""
+        group: Set[str] = set()
+        stack = [phrase_id]
+        while stack:
+            node = stack.pop()
+            if node in group:
+                continue
+            if self.phrases[node].node_type != NodeType.NOUN_PHRASE:
+                continue
+            group.add(node)
+            stack.extend(self.same_as.get(node, ()))
+        return group
+
+    def relation_edges_of(self, phrase_id: str) -> List[RelationEdge]:
+        """All relation edges incident to a phrase node."""
+        return [
+            e for e in self.relation_edges
+            if e.source == phrase_id or e.target == phrase_id
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary for logging and tests."""
+        return {
+            "phrases": len(self.phrases),
+            "entities": len(self.entities),
+            "clauses": len(self.clauses),
+            "relation_edges": len(self.relation_edges),
+            "means_edges": sum(len(s) for s in self.means.values()),
+            "same_as_edges": sum(len(s) for s in self.same_as.values()) // 2,
+        }
+
+    def copy_assignments(self) -> Dict[str, Set[str]]:
+        """Deep copy of the means map (used by confidence scoring)."""
+        return {k: set(v) for k, v in self.means.items()}
+
+
+def phrase_node_id(sentence_index: int, start: int, end: int) -> str:
+    """Canonical phrase node id for a sentence span."""
+    return f"n{sentence_index}:{start}-{end}"
+
+
+def entity_node_id(entity_id: str) -> str:
+    """Canonical entity node id."""
+    return f"e:{entity_id}"
+
+
+def clause_node_id(sentence_index: int, verb_index: int) -> str:
+    """Canonical clause node id."""
+    return f"c{sentence_index}:{verb_index}"
+
+
+__all__ = [
+    "ClauseNode",
+    "EdgeType",
+    "EntityNode",
+    "NodeType",
+    "PhraseNode",
+    "RelationEdge",
+    "SemanticGraph",
+    "clause_node_id",
+    "entity_node_id",
+    "phrase_node_id",
+]

@@ -1,0 +1,196 @@
+"""Hyper-parameter learning for the alpha weights (Section 4).
+
+The paper annotates 162 sentences (203 facts, each a pair of Yago
+entities plus a relation pattern), builds an independent two-node graph
+per fact, defines
+
+    prob(n_i, e_ij, n_t, e_tk, G) = W(S) / W(G)
+
+where S keeps only the ground-truth candidate pair, and learns
+alpha_1..4 by maximizing the probability of the ground truth with
+L-BFGS. We reproduce this with training instances sampled from the
+background corpus's emitted facts, and scipy's L-BFGS-B optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.corpus.background import BackgroundCorpus, build_background_corpus
+from repro.corpus.statistics import content_tokens
+from repro.corpus.world import World
+from repro.graph.weights import WeightParameters
+from repro.utils.rng import DeterministicRng
+from repro.utils.vectors import weighted_overlap
+
+
+@dataclass
+class TrainingInstance:
+    """One annotated fact: feature sums for truth pair vs. all pairs.
+
+    For the probability W(S)/W(G) with linear weights, only the per-alpha
+    feature aggregates matter:
+
+    - ``truth``: feature vector (prior, sim, coh, ts) of the ground-truth
+      candidate pair,
+    - ``total``: the same features summed over all candidate pairs of the
+      two mentions.
+    """
+
+    truth: np.ndarray
+    total: np.ndarray
+
+
+def build_training_instances(
+    world: World,
+    corpus: Optional[BackgroundCorpus] = None,
+    limit: int = 203,
+    seed: int = 162,
+) -> List[TrainingInstance]:
+    """Sample annotated facts with two linkable entity arguments."""
+    corpus = corpus or build_background_corpus(world)
+    statistics = corpus.statistics
+    repository = world.entity_repository
+    rng = DeterministicRng(seed, namespace="tuning")
+
+    candidates_facts = []
+    for doc in corpus.documents:
+        sentences = doc.sentences
+        for emitted in doc.emitted:
+            entity_args = emitted.entity_args()
+            if not entity_args:
+                continue
+            subject = world.entities.get(emitted.subject_id)
+            obj = world.entities.get(entity_args[0])
+            if subject is None or obj is None:
+                continue
+            if not subject.in_repository or not obj.in_repository:
+                continue
+            sentence_text = (
+                sentences[emitted.sentence_index]
+                if emitted.sentence_index < len(sentences)
+                else ""
+            )
+            candidates_facts.append((emitted, subject, obj, sentence_text))
+    rng.shuffle(candidates_facts)
+
+    instances: List[TrainingInstance] = []
+    for emitted, subject, obj, sentence_text in candidates_facts[: limit * 3]:
+        instance = _instance_for(
+            world, statistics, emitted, subject, obj, sentence_text
+        )
+        if instance is not None:
+            instances.append(instance)
+        if len(instances) >= limit:
+            break
+    return instances
+
+
+def _instance_for(world, statistics, emitted, subject, obj, sentence_text):
+    repository = world.entity_repository
+    subject_cands = [e.entity_id for e in repository.candidates(subject.name)]
+    object_cands = [e.entity_id for e in repository.candidates(obj.name)]
+    # Ambiguity via the short aliases as well.
+    for alias in subject.aliases[1:]:
+        for cand in repository.candidates(alias):
+            if cand.entity_id not in subject_cands:
+                subject_cands.append(cand.entity_id)
+    for alias in obj.aliases[1:]:
+        for cand in repository.candidates(alias):
+            if cand.entity_id not in object_cands:
+                object_cands.append(cand.entity_id)
+    if subject.entity_id not in subject_cands or obj.entity_id not in object_cands:
+        return None
+    if len(subject_cands) * len(object_cands) < 2:
+        return None  # unambiguous instances carry no training signal
+
+    sentence_vector = statistics.tfidf_vector(content_tokens(sentence_text))
+
+    def features(s_id: str, o_id: str) -> np.ndarray:
+        prior = statistics.prior(subject.name, s_id) + statistics.prior(
+            obj.name, o_id
+        )
+        sim = weighted_overlap(
+            sentence_vector, statistics.context_of(s_id)
+        ) + weighted_overlap(sentence_vector, statistics.context_of(o_id))
+        coh = weighted_overlap(
+            statistics.context_of(s_id), statistics.context_of(o_id)
+        )
+        ts = 0.0
+        s_entity = world.entities.get(s_id)
+        o_entity = world.entities.get(o_id)
+        if s_entity is not None and o_entity is not None:
+            for s_type in world.type_system.with_ancestors(s_entity.types[0]):
+                for o_type in world.type_system.with_ancestors(o_entity.types[0]):
+                    ts += statistics.type_signature(
+                        s_type, o_type, emitted.pattern
+                    )
+        return np.array([prior, sim, coh, ts])
+
+    truth = features(subject.entity_id, obj.entity_id)
+    total = np.zeros(4)
+    for s_id in subject_cands:
+        for o_id in object_cands:
+            total += features(s_id, o_id)
+    if not np.any(total > 0):
+        return None
+    return TrainingInstance(truth=truth, total=total)
+
+
+def learn_parameters(
+    instances: Sequence[TrainingInstance],
+    initial: Optional[WeightParameters] = None,
+) -> WeightParameters:
+    """Maximize sum log(W(S)/W(G)) over the instances with L-BFGS-B."""
+    if not instances:
+        raise ValueError("no training instances")
+    x0 = np.array(
+        (initial or WeightParameters()).as_tuple(), dtype=float
+    )
+
+    truths = np.stack([i.truth for i in instances])
+    totals = np.stack([i.total for i in instances])
+
+    def negative_log_likelihood(alphas: np.ndarray) -> float:
+        numerators = truths @ alphas
+        denominators = totals @ alphas
+        eps = 1e-9
+        return float(
+            -np.sum(np.log((numerators + eps) / (denominators + eps)))
+        )
+
+    result = minimize(
+        negative_log_likelihood,
+        x0,
+        method="L-BFGS-B",
+        bounds=[(1e-4, 10.0)] * 4,
+    )
+    alphas = result.x
+    # The probability is a ratio of linear forms, hence scale-invariant:
+    # normalize so alpha1 = 1 to make learned parameters comparable.
+    if alphas[0] > 0:
+        alphas = alphas / alphas[0]
+    return WeightParameters(
+        alpha1=float(alphas[0]),
+        alpha2=float(alphas[1]),
+        alpha3=float(alphas[2]),
+        alpha4=float(alphas[3]),
+    )
+
+
+def tune_world(world: World) -> WeightParameters:
+    """End-to-end: sample instances from the world and learn the alphas."""
+    instances = build_training_instances(world)
+    return learn_parameters(instances)
+
+
+__all__ = [
+    "TrainingInstance",
+    "build_training_instances",
+    "learn_parameters",
+    "tune_world",
+]

@@ -1,0 +1,164 @@
+"""Entity repository: the Yago stand-in.
+
+The paper uses Yago only for (a) alias names of entities, (b) gender
+attributes for pronoun resolution, and (c) semantic types — none of the
+actual KB facts. This module provides exactly that interface: an alias
+dictionary with ambiguous names (several entities can share an alias),
+gender lookup, and type lookup against :class:`repro.kb.typesystem.TypeSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kb.typesystem import TypeSystem
+
+
+@dataclass
+class Entity:
+    """A registered entity.
+
+    Attributes:
+        entity_id: Stable unique id (e.g. ``"E000042"``).
+        canonical_name: Preferred display name.
+        aliases: All surface names, including the canonical one.
+        types: Semantic types (most specific first by convention).
+        gender: ``"male"``, ``"female"`` or ``""`` when unknown /
+            not applicable.
+        prominence: Relative popularity weight (drives the link prior in
+            the background corpus; more prominent entities are linked
+            more often).
+    """
+
+    entity_id: str
+    canonical_name: str
+    aliases: List[str] = field(default_factory=list)
+    types: List[str] = field(default_factory=list)
+    gender: str = ""
+    prominence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.canonical_name and self.canonical_name not in self.aliases:
+            self.aliases.insert(0, self.canonical_name)
+
+
+class EntityRepository:
+    """Alias-indexed store of entities.
+
+    Ambiguity is first-class: ``candidates("liverpool")`` may return both
+    the city and the football club; disambiguation is the job of the
+    graph algorithm, not the repository.
+    """
+
+    def __init__(self, type_system: Optional[TypeSystem] = None) -> None:
+        self.type_system = type_system or TypeSystem()
+        self._entities: Dict[str, Entity] = {}
+        self._alias_index: Dict[str, List[str]] = {}
+
+    # ---- population ------------------------------------------------------
+
+    def add(self, entity: Entity) -> None:
+        """Register an entity and index all of its aliases."""
+        if entity.entity_id in self._entities:
+            raise ValueError(f"duplicate entity id {entity.entity_id!r}")
+        for type_name in entity.types:
+            if type_name not in self.type_system:
+                raise ValueError(
+                    f"entity {entity.entity_id}: unknown type {type_name!r}"
+                )
+        self._entities[entity.entity_id] = entity
+        for alias in entity.aliases:
+            key = alias.lower()
+            bucket = self._alias_index.setdefault(key, [])
+            if entity.entity_id not in bucket:
+                bucket.append(entity.entity_id)
+
+    def add_alias(self, entity_id: str, alias: str) -> None:
+        """Attach an extra alias to an existing entity."""
+        entity = self._entities[entity_id]
+        if alias not in entity.aliases:
+            entity.aliases.append(alias)
+        bucket = self._alias_index.setdefault(alias.lower(), [])
+        if entity_id not in bucket:
+            bucket.append(entity_id)
+
+    # ---- lookup ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def get(self, entity_id: str) -> Entity:
+        """Return the entity for ``entity_id`` (KeyError when missing)."""
+        return self._entities[entity_id]
+
+    def entities(self) -> Iterable[Entity]:
+        """Iterate over all registered entities."""
+        return self._entities.values()
+
+    def candidates(self, mention: str) -> List[Entity]:
+        """All entities whose alias matches ``mention`` (case-insensitive).
+
+        This is the candidate-generation step of NED: the semantic graph
+        creates one ``means`` edge per returned candidate.
+        """
+        ids = self._alias_index.get(mention.lower().strip(), [])
+        return [self._entities[eid] for eid in ids]
+
+    def is_known_alias(self, mention: str) -> bool:
+        """True when some entity carries this alias."""
+        return mention.lower().strip() in self._alias_index
+
+    def gender(self, entity_id: str) -> str:
+        """Gender attribute used by constraint (4) of the graph algorithm."""
+        return self._entities[entity_id].gender
+
+    def types_of(self, entity_id: str, with_ancestors: bool = False) -> List[str]:
+        """Semantic types of an entity, optionally with all supertypes."""
+        entity = self._entities[entity_id]
+        if not with_ancestors:
+            return list(entity.types)
+        out: List[str] = []
+        for type_name in entity.types:
+            for expanded in self.type_system.with_ancestors(type_name):
+                if expanded not in out:
+                    out.append(expanded)
+        return out
+
+    def coarse_type(self, entity_id: str) -> str:
+        """Coarse NER type of an entity (PERSON / ORGANIZATION / ...)."""
+        entity = self._entities[entity_id]
+        if not entity.types:
+            return "MISC"
+        return self.type_system.coarse(entity.types[0])
+
+    def gazetteer(self) -> Dict[str, str]:
+        """alias -> coarse NER type map for :class:`repro.nlp.ner.NerTagger`.
+
+        When an alias is ambiguous across coarse types the most prominent
+        entity wins, matching how gazetteer-based NER taggers behave.
+        """
+        out: Dict[str, str] = {}
+        best: Dict[str, float] = {}
+        for entity in self._entities.values():
+            coarse = self.coarse_type(entity.entity_id)
+            for alias in entity.aliases:
+                key = alias.lower()
+                if entity.prominence >= best.get(key, float("-inf")):
+                    best[key] = entity.prominence
+                    out[key] = coarse
+        return out
+
+    def ambiguous_aliases(self) -> List[Tuple[str, List[str]]]:
+        """Aliases shared by several entities, for diagnostics and tests."""
+        return sorted(
+            (alias, list(ids))
+            for alias, ids in self._alias_index.items()
+            if len(ids) > 1
+        )
+
+
+__all__ = ["Entity", "EntityRepository"]

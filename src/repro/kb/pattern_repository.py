@@ -1,0 +1,120 @@
+"""Pattern repository: the PATTY stand-in.
+
+PATTY is a dictionary of relational paraphrases organized in synsets with
+semantic type signatures (e.g. "play in" / "act in" / "star in" all
+express ``plays_role_in(ACTOR, FILM)``). QKBfly's canonicalization stage
+(Section 5) merges relation edges whose lemmatized patterns belong to the
+same synset; patterns outside the repository become new relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Relation:
+    """A canonical relation with its paraphrase synset.
+
+    Attributes:
+        relation_id: Stable identifier, e.g. ``"married_to"``.
+        display_name: Canonical predicate label shown in facts.
+        patterns: Lemmatized surface patterns in the synset (e.g.
+            ``"marry"``, ``"be married to"``, ``"wed"``).
+        signature: Semantic types of (subject, object) arguments.
+        symmetric: True for relations like ``married_to`` where
+            <a, r, b> entails <b, r, a>.
+        arity_hint: Minimum argument count (2 for binary; 3 when the
+            relation naturally takes an extra argument, like
+            ``plays_role_in(actor, character, film)``).
+    """
+
+    relation_id: str
+    display_name: str
+    patterns: List[str] = field(default_factory=list)
+    signature: Tuple[str, str] = ("MISC", "MISC")
+    symmetric: bool = False
+    arity_hint: int = 2
+
+
+class PatternRepository:
+    """Lemmatized-pattern index over relation synsets."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._pattern_index: Dict[str, str] = {}
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation and index every pattern of its synset."""
+        if relation.relation_id in self._relations:
+            raise ValueError(f"duplicate relation {relation.relation_id!r}")
+        self._relations[relation.relation_id] = relation
+        for pattern in relation.patterns:
+            key = self._normalize(pattern)
+            # First registration wins: PATTY synsets are disjoint.
+            self._pattern_index.setdefault(key, relation.relation_id)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, relation_id: str) -> bool:
+        return relation_id in self._relations
+
+    def relations(self) -> Iterable[Relation]:
+        """Iterate over all registered relations."""
+        return self._relations.values()
+
+    def get(self, relation_id: str) -> Relation:
+        """Return a relation by id (KeyError when missing)."""
+        return self._relations[relation_id]
+
+    def num_patterns(self) -> int:
+        """Total number of indexed paraphrases."""
+        return len(self._pattern_index)
+
+    def canonicalize(self, pattern: str) -> Optional[str]:
+        """Map a lemmatized surface pattern to its relation id.
+
+        Tries the exact pattern first, then backs off by dropping a
+        trailing preposition ("donate to" -> "donate") and finally the
+        bare head verb, mirroring how paraphrase dictionaries are matched
+        in practice. Returns None for out-of-repository patterns (these
+        become *new relations* in the on-the-fly KB).
+        """
+        key = self._normalize(pattern)
+        found = self._pattern_index.get(key)
+        if found is not None:
+            return found
+        words = key.split()
+        if len(words) > 1:
+            found = self._pattern_index.get(" ".join(words[:-1]))
+            if found is not None:
+                return found
+            found = self._pattern_index.get(words[0])
+            if found is not None:
+                return found
+        return None
+
+    def synonyms(self, pattern: str) -> List[str]:
+        """All paraphrases in the same synset as ``pattern`` (incl. itself)."""
+        relation_id = self.canonicalize(pattern)
+        if relation_id is None:
+            return [self._normalize(pattern)]
+        return list(self._relations[relation_id].patterns)
+
+    def same_synset(self, pattern_a: str, pattern_b: str) -> bool:
+        """True when both patterns canonicalize to the same relation."""
+        a = self.canonicalize(pattern_a)
+        return a is not None and a == self.canonicalize(pattern_b)
+
+    def signature_of(self, relation_id: str) -> Tuple[str, str]:
+        """(subject type, object type) signature of a relation."""
+        return self._relations[relation_id].signature
+
+    @staticmethod
+    def _normalize(pattern: str) -> str:
+        return " ".join(pattern.lower().split())
+
+
+__all__ = ["PatternRepository", "Relation"]

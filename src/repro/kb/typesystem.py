@@ -1,0 +1,169 @@
+"""Semantic type system with a subsumption hierarchy.
+
+The paper extends the five coarse NER types (PERSON, ORGANIZATION,
+LOCATION, MISC, TIME) with 167 prominent Wikipedia infobox types arranged
+in a manually built subsumption hierarchy (e.g. FOOTBALLER ⊆ ATHLETE ⊆
+PERSON). We embed an equivalent hierarchy covering the domains the
+synthetic world generates; the exact inventory is configurable, the
+mechanics (subsumption checks, coarse projection, type signatures) are
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+# type -> direct parent (None for roots). Kept flat and explicit so tests
+# can assert the full transitive closure.
+_DEFAULT_HIERARCHY: Dict[str, Optional[str]] = {
+    "PERSON": None,
+    "ORGANIZATION": None,
+    "LOCATION": None,
+    "MISC": None,
+    "TIME": None,
+    "MONEY": None,
+    # People.
+    "ARTIST": "PERSON",
+    "ACTOR": "ARTIST",
+    "MUSICAL_ARTIST": "ARTIST",
+    "SINGER": "MUSICAL_ARTIST",
+    "PIANIST": "MUSICAL_ARTIST",
+    "DIRECTOR": "ARTIST",
+    "WRITER": "ARTIST",
+    "MODEL": "PERSON",
+    "ATHLETE": "PERSON",
+    "FOOTBALLER": "ATHLETE",
+    "GOALKEEPER": "FOOTBALLER",
+    "TENNIS_PLAYER": "ATHLETE",
+    "POLITICIAN": "PERSON",
+    "PRESIDENT": "POLITICIAN",
+    "MINISTER": "POLITICIAN",
+    "MAYOR": "POLITICIAN",
+    "SCIENTIST": "PERSON",
+    "PHYSICIST": "SCIENTIST",
+    "COMPUTER_SCIENTIST": "SCIENTIST",
+    "HISTORIAN": "SCIENTIST",
+    "BUSINESSPERSON": "PERSON",
+    "CEO": "BUSINESSPERSON",
+    "INVESTOR": "BUSINESSPERSON",
+    "JOURNALIST": "PERSON",
+    "COACH": "PERSON",
+    "CHARACTER": "PERSON",
+    # Organizations.
+    "COMPANY": "ORGANIZATION",
+    "STARTUP": "COMPANY",
+    "RECORD_LABEL": "COMPANY",
+    "FILM_STUDIO": "COMPANY",
+    "SPORTS_TEAM": "ORGANIZATION",
+    "FOOTBALL_CLUB": "SPORTS_TEAM",
+    "UNIVERSITY": "ORGANIZATION",
+    "FOUNDATION": "ORGANIZATION",
+    "BAND": "ORGANIZATION",
+    "NEWSPAPER": "ORGANIZATION",
+    "POLITICAL_PARTY": "ORGANIZATION",
+    "LEAGUE": "ORGANIZATION",
+    # Locations.
+    "SETTLEMENT": "LOCATION",
+    "CITY": "SETTLEMENT",
+    "TOWN": "SETTLEMENT",
+    "VILLAGE": "SETTLEMENT",
+    "COUNTRY": "LOCATION",
+    "REGION": "LOCATION",
+    "STADIUM": "LOCATION",
+    "VENUE": "LOCATION",
+    # Works and other MISC.
+    "WORK": "MISC",
+    "FILM": "WORK",
+    "TELEVISION_SERIES": "WORK",
+    "ALBUM": "WORK",
+    "SONG": "WORK",
+    "BOOK": "WORK",
+    "AWARD": "MISC",
+    "EVENT": "MISC",
+    "FESTIVAL": "EVENT",
+    "TOURNAMENT": "EVENT",
+    "ELECTION": "EVENT",
+}
+
+COARSE_TYPES: FrozenSet[str] = frozenset(
+    {"PERSON", "ORGANIZATION", "LOCATION", "MISC", "TIME", "MONEY"}
+)
+
+
+class TypeSystem:
+    """Subsumption hierarchy over semantic types.
+
+    Args:
+        hierarchy: ``type -> direct parent`` mapping; ``None`` marks a
+            root. Defaults to the embedded inventory mirroring the
+            paper's infobox-derived type system.
+    """
+
+    def __init__(self, hierarchy: Optional[Dict[str, Optional[str]]] = None) -> None:
+        self._parent: Dict[str, Optional[str]] = dict(
+            hierarchy if hierarchy is not None else _DEFAULT_HIERARCHY
+        )
+        for child, parent in self._parent.items():
+            if parent is not None and parent not in self._parent:
+                raise ValueError(f"type {child!r} has unknown parent {parent!r}")
+        self._ancestors_cache: Dict[str, Tuple[str, ...]] = {}
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._parent
+
+    def types(self) -> List[str]:
+        """All known type names, sorted."""
+        return sorted(self._parent)
+
+    def parent(self, type_name: str) -> Optional[str]:
+        """Direct parent of ``type_name`` (None for a root)."""
+        return self._parent[type_name]
+
+    def ancestors(self, type_name: str) -> Tuple[str, ...]:
+        """All strict supertypes from nearest to the root."""
+        cached = self._ancestors_cache.get(type_name)
+        if cached is not None:
+            return cached
+        chain: List[str] = []
+        node = self._parent.get(type_name)
+        while node is not None:
+            chain.append(node)
+            node = self._parent.get(node)
+        result = tuple(chain)
+        self._ancestors_cache[type_name] = result
+        return result
+
+    def with_ancestors(self, type_name: str) -> Tuple[str, ...]:
+        """``type_name`` followed by all its supertypes."""
+        return (type_name,) + self.ancestors(type_name)
+
+    def is_subtype(self, child: str, ancestor: str) -> bool:
+        """True when ``child`` equals or specializes ``ancestor``."""
+        if child == ancestor:
+            return True
+        return ancestor in self.ancestors(child)
+
+    def coarse(self, type_name: str) -> str:
+        """Project a type to its coarse NER root (PERSON, LOCATION, ...)."""
+        if type_name in COARSE_TYPES:
+            return type_name
+        for ancestor in self.ancestors(type_name):
+            if ancestor in COARSE_TYPES:
+                return ancestor
+        return "MISC"
+
+    def children(self, type_name: str) -> List[str]:
+        """Direct subtypes of ``type_name``."""
+        return sorted(t for t, p in self._parent.items() if p == type_name)
+
+    def compatible(self, types_a: Iterable[str], types_b: Iterable[str]) -> bool:
+        """True when some type in ``types_a`` subsumes or is subsumed by one in ``types_b``."""
+        set_b: Set[str] = set(types_b)
+        for a in types_a:
+            for b in set_b:
+                if self.is_subtype(a, b) or self.is_subtype(b, a):
+                    return True
+        return False
+
+
+__all__ = ["COARSE_TYPES", "TypeSystem"]

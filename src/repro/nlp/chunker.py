@@ -1,0 +1,66 @@
+"""Noun-phrase chunker over POS tag sequences.
+
+Finds base NPs of the form ``(DT)? (JJ|CD|VBG|VBN)* (NN.*)+`` plus bare
+proper-name runs, and merges title + name ("President Barack Obama") and
+possessive constructions into a single chunk boundary scheme that the
+semantic-graph builder relies on. The "'s <noun>" relation heuristic of
+Section 3 needs the possessor and possessee to remain separate chunks, so
+possessives split chunks rather than merging them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nlp.tokens import Sentence, Span
+
+_PRE_MODIFIER = {"JJ", "CD", "VBG", "VBN"}
+_NOUN = {"NN", "NNS", "NNP", "NNPS"}
+
+
+def chunk_sentence(sentence: Sentence) -> None:
+    """Fill ``sentence.noun_phrases`` with base NP spans."""
+    tokens = sentence.tokens
+    spans: List[Span] = []
+    i = 0
+    while i < len(tokens):
+        tag = tokens[i].pos
+        if tag == "DT" or tag == "PRP$" or tag in _PRE_MODIFIER or tag in _NOUN:
+            start = i
+            # Optional determiner / possessive pronoun.
+            if tag in {"DT", "PRP$"}:
+                i += 1
+            # Pre-modifiers.
+            while i < len(tokens) and tokens[i].pos in _PRE_MODIFIER:
+                i += 1
+            # Head nouns.
+            head_start = i
+            while i < len(tokens) and tokens[i].pos in _NOUN:
+                # A possessive clitic terminates the chunk before it.
+                if i + 1 < len(tokens) and tokens[i + 1].pos == "POS":
+                    i += 1
+                    break
+                i += 1
+            if i > head_start:
+                spans.append(Span(start, i, label="NP"))
+            elif i == start:
+                i += 1
+        else:
+            i += 1
+    sentence.noun_phrases = _absorb_currency(sentence, spans)
+
+
+def _absorb_currency(sentence: Sentence, spans: List[Span]) -> List[Span]:
+    """Promote standalone CD tokens (amounts, years) to their own chunks."""
+    covered = set()
+    for span in spans:
+        covered.update(range(span.start, span.end))
+    out = list(spans)
+    for i, token in enumerate(sentence.tokens):
+        if token.pos == "CD" and i not in covered:
+            out.append(Span(i, i + 1, label="NP"))
+    out.sort(key=lambda s: s.start)
+    return out
+
+
+__all__ = ["chunk_sentence"]

@@ -1,0 +1,87 @@
+"""Rule-based English lemmatizer.
+
+The relation edges of the semantic graph carry *lemmatized* verb patterns
+(Section 3 of the paper: "the lemmatized verb (V) constituent of the
+clause with an optional preposition"), so lemmatization quality directly
+affects pattern canonicalization.
+"""
+
+from __future__ import annotations
+
+from repro.nlp import lexicon
+from repro.nlp.tokens import Sentence
+
+
+def lemmatize_token(text: str, pos: str) -> str:
+    """Return the lemma of a single token given its POS tag."""
+    lower = text.lower()
+    if pos.startswith("V") or pos == "MD":
+        known = lexicon.VERB_FORMS.get(lower)
+        if known is not None:
+            return known[0]
+        return _verb_rules(lower)
+    if pos in {"NNS", "NNPS"}:
+        irregular = lexicon.IRREGULAR_NOUN_PLURALS.get(lower)
+        if irregular is not None:
+            return irregular
+        return _noun_rules(lower)
+    if pos == "NN":
+        return lower
+    if pos == "NNP":
+        return text
+    if pos in {"JJ", "RB", "PRP", "PRP$", "DT", "IN", "CC", "TO", "CD", "WP", "WDT"}:
+        return lower
+    return lower
+
+
+def _verb_rules(lower: str) -> str:
+    """Strip regular verbal inflection from an unknown verb form."""
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ied") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ing") and len(lower) > 4:
+        stem = lower[:-3]
+        return _undouble(stem)
+    if lower.endswith("ed") and len(lower) > 3:
+        stem = lower[:-2]
+        return _undouble(stem)
+    if lower.endswith("es") and len(lower) > 3 and lower[-3] in "sxzoh":
+        return lower[:-2]
+    if lower.endswith("s") and len(lower) > 2:
+        return lower[:-1]
+    return lower
+
+
+def _undouble(stem: str) -> str:
+    """Reverse consonant doubling and restore a dropped final 'e'."""
+    if len(stem) >= 2 and stem[-1] == stem[-2] and stem[-1] not in "aeiouls":
+        return stem[:-1]
+    candidate = stem + "e"
+    if candidate in lexicon.REGULAR_VERBS or candidate in lexicon.IRREGULAR_VERBS:
+        return candidate
+    return stem
+
+
+def _noun_rules(lower: str) -> str:
+    """Strip regular plural morphology from an unknown noun."""
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith("ves") and len(lower) > 4:
+        return lower[:-3] + "fe"
+    if lower.endswith("es") and len(lower) > 3 and lower[-4:-2] in {"ch", "sh"}:
+        return lower[:-2]
+    if lower.endswith("es") and len(lower) > 3 and lower[-3] in "sxz":
+        return lower[:-2]
+    if lower.endswith("s") and not lower.endswith("ss"):
+        return lower[:-1]
+    return lower
+
+
+def lemmatize_sentence(sentence: Sentence) -> None:
+    """Fill ``lemma`` in place for every token of ``sentence``."""
+    for token in sentence.tokens:
+        token.lemma = lemmatize_token(token.text, token.pos)
+
+
+__all__ = ["lemmatize_sentence", "lemmatize_token"]

@@ -1,0 +1,387 @@
+"""Embedded English lexicon used by the POS tagger, lemmatizer and parsers.
+
+The paper relies on Stanford CoreNLP models trained on the Penn Treebank;
+offline we instead embed a closed-class lexicon (complete by nature) plus
+an open-class lexicon covering the vocabulary that occurs in the
+synthetic corpus and the paper's own examples. Unknown open-class words
+are handled by suffix/shape rules in :mod:`repro.nlp.pos`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# Closed classes
+# --------------------------------------------------------------------------
+
+DETERMINERS: FrozenSet[str] = frozenset(
+    {"the", "a", "an", "this", "that", "these", "those", "each", "every",
+     "some", "any", "no", "another", "both", "either", "neither"}
+)
+
+PREPOSITIONS: FrozenSet[str] = frozenset(
+    {"in", "on", "at", "by", "for", "with", "from", "to", "of", "about",
+     "against", "between", "during", "into", "through", "after", "before",
+     "over", "under", "near", "since", "until", "as", "via", "alongside",
+     "among", "within", "without", "despite", "toward", "towards", "upon"}
+)
+
+CONJUNCTIONS: FrozenSet[str] = frozenset({"and", "or", "but", "nor", "yet"})
+
+SUBORDINATORS: FrozenSet[str] = frozenset(
+    {"because", "although", "while", "when", "where", "if", "that",
+     "though", "whereas", "unless", "whether"}
+)
+
+WH_PRONOUNS: FrozenSet[str] = frozenset({"who", "whom", "what", "which", "whose"})
+
+MODALS: FrozenSet[str] = frozenset(
+    {"will", "would", "can", "could", "may", "might", "shall", "should", "must"}
+)
+
+# Personal pronouns with (gender, number, case) features. Gender is one of
+# "male", "female", "neuter", "plural" or "any"; the graph algorithm's
+# constraint (4) consumes these features.
+PRONOUNS: Dict[str, Tuple[str, str, str]] = {
+    "he": ("male", "singular", "nominative"),
+    "him": ("male", "singular", "accusative"),
+    "his": ("male", "singular", "possessive"),
+    "she": ("female", "singular", "nominative"),
+    "her": ("female", "singular", "accusative"),
+    "hers": ("female", "singular", "possessive"),
+    "it": ("neuter", "singular", "nominative"),
+    "its": ("neuter", "singular", "possessive"),
+    "they": ("any", "plural", "nominative"),
+    "them": ("any", "plural", "accusative"),
+    "their": ("any", "plural", "possessive"),
+    "we": ("any", "plural", "nominative"),
+    "us": ("any", "plural", "accusative"),
+    "i": ("any", "singular", "nominative"),
+    "me": ("any", "singular", "accusative"),
+    "you": ("any", "any", "nominative"),
+}
+
+POSSESSIVE_PRONOUNS: FrozenSet[str] = frozenset({"his", "her", "its", "their", "my", "our", "your"})
+
+# --------------------------------------------------------------------------
+# Verbs
+# --------------------------------------------------------------------------
+
+# base -> (past, past participle, 3rd person singular, gerund)
+IRREGULAR_VERBS: Dict[str, Tuple[str, str, str, str]] = {
+    "be": ("was", "been", "is", "being"),
+    "have": ("had", "had", "has", "having"),
+    "do": ("did", "done", "does", "doing"),
+    "go": ("went", "gone", "goes", "going"),
+    "say": ("said", "said", "says", "saying"),
+    "make": ("made", "made", "makes", "making"),
+    "take": ("took", "taken", "takes", "taking"),
+    "win": ("won", "won", "wins", "winning"),
+    "lose": ("lost", "lost", "loses", "losing"),
+    "give": ("gave", "given", "gives", "giving"),
+    "get": ("got", "gotten", "gets", "getting"),
+    "lead": ("led", "led", "leads", "leading"),
+    "leave": ("left", "left", "leaves", "leaving"),
+    "meet": ("met", "met", "meets", "meeting"),
+    "hold": ("held", "held", "holds", "holding"),
+    "become": ("became", "become", "becomes", "becoming"),
+    "begin": ("began", "begun", "begins", "beginning"),
+    "write": ("wrote", "written", "writes", "writing"),
+    "sing": ("sang", "sung", "sings", "singing"),
+    "shoot": ("shot", "shot", "shoots", "shooting"),
+    "fight": ("fought", "fought", "fights", "fighting"),
+    "buy": ("bought", "bought", "buys", "buying"),
+    "sell": ("sold", "sold", "sells", "selling"),
+    "find": ("found", "found", "finds", "finding"),
+    "found": ("founded", "founded", "founds", "founding"),
+    "grow": ("grew", "grown", "grows", "growing"),
+    "know": ("knew", "known", "knows", "knowing"),
+    "speak": ("spoke", "spoken", "speaks", "speaking"),
+    "teach": ("taught", "taught", "teaches", "teaching"),
+    "bear": ("bore", "born", "bears", "bearing"),
+    "wed": ("wed", "wed", "weds", "wedding"),
+    "split": ("split", "split", "splits", "splitting"),
+    "forget": ("forgot", "forgotten", "forgets", "forgetting"),
+    "see": ("saw", "seen", "sees", "seeing"),
+    "run": ("ran", "run", "runs", "running"),
+    "rise": ("rose", "risen", "rises", "rising"),
+    "fall": ("fell", "fallen", "falls", "falling"),
+    "feel": ("felt", "felt", "feels", "feeling"),
+    "keep": ("kept", "kept", "keeps", "keeping"),
+    "pay": ("paid", "paid", "pays", "paying"),
+    "send": ("sent", "sent", "sends", "sending"),
+    "spend": ("spent", "spent", "spends", "spending"),
+    "stand": ("stood", "stood", "stands", "standing"),
+    "tell": ("told", "told", "tells", "telling"),
+    "think": ("thought", "thought", "thinks", "thinking"),
+    "draw": ("drew", "drawn", "draws", "drawing"),
+    "quit": ("quit", "quit", "quits", "quitting"),
+}
+
+# Regular verbs appearing in relation paraphrases and narrative filler.
+REGULAR_VERBS: FrozenSet[str] = frozenset(
+    {
+        "act", "accuse", "adopt", "announce", "appear", "attend", "award",
+        "back", "base", "capture", "celebrate", "chair", "coach", "confirm",
+        "create", "defeat", "describe", "design", "direct", "divorce",
+        "donate", "earn", "endorse", "enroll", "establish", "face", "file",
+        "finish", "follow", "graduate", "hail", "headline", "headquarter",
+        "help", "honor", "injure", "join", "launch", "live", "locate",
+        "manage", "marry", "mention", "move", "name", "nominate", "open",
+        "organize", "perform", "play", "portray", "praise", "present",
+        "produce", "publish", "raise", "receive", "record", "release",
+        "remain", "report", "represent", "reside", "retire", "return",
+        "reveal", "score", "serve", "sign", "star", "start", "study",
+        "support", "train", "transfer", "travel", "visit", "vote", "work",
+        "premiere", "co-found", "captain", "debut", "feature", "host",
+        "acquire", "collaborate", "compose", "dedicate", "focus",
+    }
+)
+
+AUXILIARIES: FrozenSet[str] = frozenset(
+    {"be", "is", "are", "was", "were", "been", "being", "am",
+     "have", "has", "had", "having", "do", "does", "did"}
+)
+
+# --------------------------------------------------------------------------
+# Open-class nouns / adjectives / adverbs
+# --------------------------------------------------------------------------
+
+COMMON_NOUNS: FrozenSet[str] = frozenset(
+    {
+        "actor", "actress", "album", "airplane", "answer", "april", "army",
+        "arena", "artist", "attack", "attacker", "award", "band", "battle",
+        "billionaire", "birth", "birthplace", "book", "brother", "business",
+        "businessman", "campaign", "capital", "captain", "career", "ceo",
+        "ceremony", "chairman", "champion", "championship", "character",
+        "charity", "chart", "child", "children", "citizen", "city", "club",
+        "coach", "company", "concert", "conference", "country", "couple",
+        "court", "cup", "daughter", "day", "deal", "debut", "defender",
+        "degree", "director", "divorce", "documentary", "drama", "economy",
+        "episode", "event", "executive", "fame", "family", "fan", "father",
+        "festival", "film", "final", "firm", "footballer", "forward",
+        "foundation", "founder", "game", "goal", "government", "group",
+        "headquarters", "hero", "historian", "home", "hometown", "hospital",
+        "husband", "industry", "injury", "institute", "investor", "journal",
+        "journalist", "kingdom", "league", "lecture", "legend", "lyric",
+        "lyrics", "magazine", "man", "manager", "market", "marriage",
+        "match", "mayor", "medal", "member", "midfielder", "minister",
+        "model", "mother", "mountaineer", "movie", "museum", "music",
+        "musician", "native", "newspaper", "night", "novel", "officer",
+        "organization", "parent", "park", "party", "people", "performance",
+        "philanthropist", "physicist", "pianist", "player", "police",
+        "politician", "population", "president", "prize", "producer",
+        "professor", "record", "reporter", "researcher", "resident", "role",
+        "scene", "scholar", "school", "scientist", "season", "series",
+        "show", "singer", "sister", "son", "song", "spokesman", "spouse",
+        "stadium", "star", "startup", "statement", "striker", "student",
+        "studio", "team", "tour", "tournament", "town", "trophy",
+        "university", "victory", "village", "voice", "wedding", "wife",
+        "winner", "woman", "work", "writer", "year", "goalkeeper",
+        "entrepreneur", "ex-wife", "ex-husband", "co-founder", "spokesperson",
+        "anniversary", "audience", "venue", "single", "label", "critic",
+        "fraud", "plagiarism", "negligence", "corruption", "transfer",
+        "premiere", "supporter", "crowd", "season", "victory", "defeat",
+    }
+)
+
+IRREGULAR_NOUN_PLURALS: Dict[str, str] = {
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "people": "person",
+    "wives": "wife",
+    "lives": "life",
+    "wolves": "wolf",
+    "media": "medium",
+    "feet": "foot",
+    "teeth": "tooth",
+    "series": "series",
+    "species": "species",
+    "headquarters": "headquarters",
+    "lyrics": "lyric",
+}
+
+ADJECTIVES: FrozenSet[str] = frozenset(
+    {
+        "american", "annual", "best", "big", "biggest", "black", "blue",
+        "brave", "bright", "british", "broad", "busy", "capital", "central",
+        "chief", "classic", "close", "coastal", "critical", "cultural",
+        "early", "eastern", "emerging", "english", "european", "famous",
+        "final", "financial", "first", "former", "french", "fresh",
+        "german", "global", "golden", "grand", "great", "greatest", "green",
+        "happy", "high", "historic", "huge", "important", "industrial",
+        "influential", "international", "large", "largest", "last", "late",
+        "latest", "leading", "legendary", "little", "local", "long",
+        "longtime", "main", "major", "many", "modern", "national", "new",
+        "next", "northern", "notable", "old", "oldest", "only", "original",
+        "own", "popular", "previous", "prestigious", "private",
+        "professional", "prominent", "public", "recent", "red", "regional",
+        "renowned", "royal", "second", "senior", "several", "small",
+        "southern", "spanish", "strong", "successful", "talented", "third",
+        "top", "veteran", "western", "young", "youngest", "italian",
+        "controversial", "upcoming", "sold-out", "debut", "solo",
+    }
+)
+
+ADVERBS: FrozenSet[str] = frozenset(
+    {
+        "abroad", "again", "ago", "already", "also", "always", "back",
+        "briefly", "currently", "early", "eventually", "famously",
+        "finally", "first", "formerly", "here", "immediately", "initially",
+        "internationally", "later", "locally", "meanwhile", "more", "most",
+        "never", "newly", "now", "officially", "often", "once", "only",
+        "previously", "publicly", "quickly", "recently", "reportedly",
+        "shortly", "soon", "still", "subsequently", "then", "there",
+        "today", "together", "widely", "yesterday",
+    }
+)
+
+MONTHS: FrozenSet[str] = frozenset(
+    {"january", "february", "march", "april", "may", "june", "july",
+     "august", "september", "october", "november", "december"}
+)
+
+WEEKDAYS: FrozenSet[str] = frozenset(
+    {"monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday"}
+)
+
+TITLES: FrozenSet[str] = frozenset(
+    {"mr.", "mrs.", "ms.", "dr.", "prof.", "president", "sir", "king",
+     "queen", "pope", "coach", "captain", "minister"}
+)
+
+
+def pronoun_features(token: str) -> Optional[Tuple[str, str, str]]:
+    """Return (gender, number, case) for a pronoun, or None."""
+    return PRONOUNS.get(token.lower())
+
+
+def is_pronoun(token: str) -> bool:
+    """True when ``token`` is a personal or possessive pronoun."""
+    return token.lower() in PRONOUNS
+
+
+# Verb form index: any inflected form -> (base, tag). Built once at import.
+def _build_verb_forms() -> Dict[str, Tuple[str, str]]:
+    forms: Dict[str, Tuple[str, str]] = {}
+    for base, (past, part, third, gerund) in IRREGULAR_VERBS.items():
+        forms.setdefault(base, (base, "VB"))
+        forms.setdefault(past, (base, "VBD"))
+        forms.setdefault(part, (base, "VBN"))
+        forms.setdefault(third, (base, "VBZ"))
+        forms.setdefault(gerund, (base, "VBG"))
+    # "be" has extra forms.
+    forms["am"] = ("be", "VBP")
+    forms["are"] = ("be", "VBP")
+    forms["were"] = ("be", "VBD")
+    forms["is"] = ("be", "VBZ")
+    forms["was"] = ("be", "VBD")
+    for base in REGULAR_VERBS:
+        forms.setdefault(base, (base, "VB"))
+        forms.setdefault(_regular_past(base), (base, "VBD"))
+        forms.setdefault(_regular_third(base), (base, "VBZ"))
+        forms.setdefault(_regular_gerund(base), (base, "VBG"))
+    return forms
+
+
+def _regular_past(base: str) -> str:
+    """Regular past tense: play->played, file->filed, marry->married."""
+    if base.endswith("e"):
+        return base + "d"
+    if base.endswith("y") and len(base) > 1 and base[-2] not in "aeiou":
+        return base[:-1] + "ied"
+    if _doubles_final(base):
+        return base + base[-1] + "ed"
+    return base + "ed"
+
+
+def _regular_third(base: str) -> str:
+    """Regular 3rd person singular: play->plays, marry->marries."""
+    if base.endswith(("s", "x", "z", "ch", "sh", "o")):
+        return base + "es"
+    if base.endswith("y") and len(base) > 1 and base[-2] not in "aeiou":
+        return base[:-1] + "ies"
+    return base + "s"
+
+
+def _regular_gerund(base: str) -> str:
+    """Regular gerund: play->playing, file->filing, star->starring."""
+    if base.endswith("e") and not base.endswith(("ee", "oe", "ye")):
+        return base[:-1] + "ing"
+    if _doubles_final(base):
+        return base + base[-1] + "ing"
+    return base + "ing"
+
+
+def _doubles_final(base: str) -> bool:
+    """CVC verbs double the final consonant (star -> starring)."""
+    if len(base) < 3:
+        return False
+    last, mid, prev = base[-1], base[-2], base[-3]
+    return (
+        last not in "aeiouwxy"
+        and mid in "aeiou"
+        and prev not in "aeiou"
+    )
+
+
+VERB_FORMS: Dict[str, Tuple[str, str]] = _build_verb_forms()
+
+
+def past_tense(base: str) -> str:
+    """Past-tense form of a verb (irregulars first, then regular rules)."""
+    irregular = IRREGULAR_VERBS.get(base)
+    if irregular is not None:
+        return irregular[0]
+    return _regular_past(base)
+
+
+def past_participle(base: str) -> str:
+    """Past-participle form of a verb."""
+    irregular = IRREGULAR_VERBS.get(base)
+    if irregular is not None:
+        return irregular[1]
+    return _regular_past(base)
+
+
+def third_person(base: str) -> str:
+    """Third-person singular present form of a verb."""
+    irregular = IRREGULAR_VERBS.get(base)
+    if irregular is not None:
+        return irregular[2]
+    return _regular_third(base)
+
+
+def gerund(base: str) -> str:
+    """Gerund (-ing) form of a verb."""
+    irregular = IRREGULAR_VERBS.get(base)
+    if irregular is not None:
+        return irregular[3]
+    return _regular_gerund(base)
+
+
+__all__ = [
+    "ADJECTIVES",
+    "ADVERBS",
+    "AUXILIARIES",
+    "COMMON_NOUNS",
+    "CONJUNCTIONS",
+    "DETERMINERS",
+    "IRREGULAR_NOUN_PLURALS",
+    "IRREGULAR_VERBS",
+    "MODALS",
+    "MONTHS",
+    "POSSESSIVE_PRONOUNS",
+    "PREPOSITIONS",
+    "PRONOUNS",
+    "REGULAR_VERBS",
+    "SUBORDINATORS",
+    "TITLES",
+    "VERB_FORMS",
+    "WEEKDAYS",
+    "WH_PRONOUNS",
+    "is_pronoun",
+    "pronoun_features",
+]

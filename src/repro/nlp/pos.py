@@ -1,0 +1,169 @@
+"""Part-of-speech tagger: lexicon lookup + contextual disambiguation.
+
+Tagging proceeds in two passes. The first pass assigns tags from the
+closed-class and open-class lexica plus orthographic rules (capitalized
+unknown words become proper nouns, digit strings become numbers, suffix
+heuristics for unknown open-class words). The second pass fixes the
+classic noun/verb ambiguities with local context rules, e.g. "record" is
+a verb after "to" or a modal and a noun after a determiner.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nlp import lexicon
+from repro.nlp.tokens import Sentence, Token
+
+_PUNCT = {".", ",", "!", "?", ";", ":", "(", ")", '"', "'", "-", "--", "“", "”"}
+
+_NOUN_SUFFIXES = ("tion", "ment", "ness", "ship", "ance", "ence", "ity", "ist", "ism", "er", "or")
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "al", "ic", "ish", "less")
+_ADV_SUFFIX = "ly"
+
+
+def tag_sentence(sentence: Sentence) -> None:
+    """Assign ``pos`` in place to every token of ``sentence``."""
+    tokens = sentence.tokens
+    for i, token in enumerate(tokens):
+        token.pos = _initial_tag(token.text, first=(i == 0))
+    _contextual_fixups(tokens)
+
+
+def _initial_tag(text: str, first: bool) -> str:
+    lower = text.lower()
+    if text in _PUNCT or (text and not any(ch.isalnum() for ch in text)):
+        if text == "'s":
+            return "POS"
+        return "PUNCT"
+    if text == "'s":
+        return "POS"
+    if lower == "n't" or lower == "not":
+        return "RB"
+    if text.startswith("$"):
+        return "CD"
+    if text[0].isdigit():
+        return "CD"
+    if lower == "to":
+        return "TO"
+    if lower in lexicon.MODALS:
+        return "MD"
+    if lower in lexicon.DETERMINERS:
+        return "DT"
+    if lower in lexicon.POSSESSIVE_PRONOUNS:
+        return "PRP$"
+    if lower in lexicon.PRONOUNS:
+        return "PRP"
+    if lower in lexicon.WH_PRONOUNS:
+        return "WP"
+    if lower in lexicon.CONJUNCTIONS:
+        return "CC"
+    if lower in lexicon.PREPOSITIONS:
+        return "IN"
+    if lower in lexicon.SUBORDINATORS:
+        return "IN"
+    if lower in lexicon.MONTHS or lower in lexicon.WEEKDAYS:
+        return "NNP"
+    verb = lexicon.VERB_FORMS.get(lower)
+    # Capitalized mid-sentence words are proper nouns even when they also
+    # have a verb/noun reading ("Stone", "Park", "May" as surnames).
+    if text[0].isupper() and not first:
+        return "NNP"
+    if verb is not None:
+        return verb[1]
+    if lower in lexicon.IRREGULAR_NOUN_PLURALS:
+        return "NNS"
+    if lower in lexicon.COMMON_NOUNS:
+        return "NN"
+    if lower.endswith("s") and lower[:-1] in lexicon.COMMON_NOUNS:
+        return "NNS"
+    if lower.endswith("es") and lower[:-2] in lexicon.COMMON_NOUNS:
+        return "NNS"
+    if lower in lexicon.ADJECTIVES:
+        return "JJ"
+    if lower in lexicon.ADVERBS:
+        return "RB"
+    if text[0].isupper():
+        return "NNP"
+    return _suffix_guess(lower)
+
+
+def _suffix_guess(lower: str) -> str:
+    """Guess an open-class tag for an unknown lower-case word."""
+    if lower.endswith(_ADV_SUFFIX) and len(lower) > 4:
+        return "RB"
+    for suffix in _ADJ_SUFFIXES:
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+            return "JJ"
+    if lower.endswith("ing"):
+        return "VBG"
+    if lower.endswith("ed"):
+        return "VBD"
+    for suffix in _NOUN_SUFFIXES:
+        if lower.endswith(suffix) and len(lower) > len(suffix) + 2:
+            return "NN"
+    if lower.endswith("s") and len(lower) > 3:
+        return "NNS"
+    return "NN"
+
+
+def _contextual_fixups(tokens: List[Token]) -> None:
+    """Second pass: repair tags using local context."""
+    for i, token in enumerate(tokens):
+        lower = token.lower()
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+
+        # Verb after "to" or a modal is the base form.
+        if prev is not None and prev.pos in {"TO", "MD"}:
+            if lower in lexicon.VERB_FORMS:
+                token.pos = "VB"
+            continue
+
+        # Noun/verb ambiguity: a determiner or adjective forces a noun.
+        if (
+            token.pos in {"VB", "VBP", "VBZ", "VBD"}
+            and prev is not None
+            and prev.pos in {"DT", "JJ", "PRP$", "POS", "CD"}
+        ):
+            token.pos = "NNS" if lower.endswith("s") and lower in lexicon.VERB_FORMS and lexicon.VERB_FORMS[lower][1] == "VBZ" else "NN"
+            continue
+
+        # Past participle after "be"/"have" auxiliaries: VBD -> VBN when
+        # the form doubles as a participle ("was married", "has starred").
+        if token.pos == "VBD" and prev is not None and prev.lower() in lexicon.AUXILIARIES:
+            token.pos = "VBN"
+            continue
+
+        # Sentence-initial capitalized known words should not be NNP if
+        # they have a closed/open-class reading ("The", "He" handled by
+        # lexicon; here fix verbs like "Born in ...").
+        if i == 0 and token.pos == "NNP":
+            verb = lexicon.VERB_FORMS.get(lower)
+            if verb is not None and nxt is not None and nxt.pos == "IN":
+                token.pos = verb[1]
+                if token.pos == "VBD":
+                    token.pos = "VBN"
+
+        # "May" the month, not the modal, when a day/year number follows.
+        if lower == "may" and token.pos == "MD" and nxt is not None and nxt.pos == "CD":
+            token.pos = "NNP"
+            continue
+
+        # "her" is PRP (object pronoun) unless a nominal follows.
+        if lower == "her" and token.pos == "PRP$":
+            if nxt is None or nxt.pos not in {"NN", "NNS", "NNP", "NNPS", "JJ", "CD", "VBG"}:
+                token.pos = "PRP"
+
+        # "that" as WDT when introducing a relative clause after a noun.
+        if lower == "that" and prev is not None and prev.pos.startswith("NN"):
+            token.pos = "WDT"
+
+        # "who"/"which" after a comma or a noun head a relative clause.
+        if lower in {"who", "which"} and prev is not None and (
+            prev.pos.startswith("NN") or prev.text == ","
+        ):
+            token.pos = "WDT" if lower == "which" else "WP"
+
+
+__all__ = ["tag_sentence"]

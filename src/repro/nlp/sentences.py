@@ -1,0 +1,44 @@
+"""Sentence splitting over the token stream."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nlp.tokenizer import ABBREVIATIONS, tokenize
+
+_TERMINATORS = {".", "!", "?"}
+_CLOSERS = {'"', "”", ")", "'"}
+
+
+def split_sentences(tokens: List[str]) -> List[List[str]]:
+    """Group a flat token list into sentences.
+
+    A sentence ends at ``.``, ``!`` or ``?`` unless the period belongs to
+    a known abbreviation (those were merged by the tokenizer and never
+    appear as a bare ``.``). Closing quotes/parens directly after a
+    terminator stay with the finished sentence.
+    """
+    sentences: List[List[str]] = []
+    current: List[str] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        current.append(token)
+        if token in _TERMINATORS:
+            while i + 1 < len(tokens) and tokens[i + 1] in _CLOSERS:
+                i += 1
+                current.append(tokens[i])
+            sentences.append(current)
+            current = []
+        i += 1
+    if current:
+        sentences.append(current)
+    return sentences
+
+
+def sentences_from_text(text: str) -> List[List[str]]:
+    """Tokenize raw text and split it into sentences in one call."""
+    return split_sentences(tokenize(text))
+
+
+__all__ = ["sentences_from_text", "split_sentences"]

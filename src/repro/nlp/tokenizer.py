@@ -1,0 +1,99 @@
+"""Rule-based tokenizer.
+
+Handles the phenomena our document realizer and the paper's examples
+produce: possessive clitics ("Pitt's"), contractions ("didn't"),
+currency amounts ("$100,000"), dates ("September 19, 2016"), quoted
+strings, parentheses and sentence-final punctuation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# Ordered token patterns; first match wins.
+_TOKEN_RE = re.compile(
+    r"""
+    \$\d+(?:,\d{3})*(?:\.\d+)?  # currency amounts: $100,000 / $9.99
+  | \d{1,2}:\d{2}               # clock times: 19:30
+  | \d+(?:,\d{3})+(?:\.\d+)?%?  # comma-grouped numbers: 1,000,000
+  | \d+(?:\.\d+)?%?             # plain numbers: 2009  3.5  17%
+  | [A-Za-z]+(?:\.[A-Za-z]+)+\.?  # abbreviations/initials: U.S.  F.C.
+  | [A-Za-z]+(?:['’][a-z]+)?  # words incl. trailing clitic handled below
+  | ['’]s\b                # bare possessive clitic
+  | n['’]t\b               # negation clitic
+  | --+                        # long dashes
+  | [.,!?;:()\[\]"“”'‘’-]  # single punctuation
+  | \S                          # any other symbol
+    """,
+    re.VERBOSE,
+)
+
+# Clitics split off from a preceding word.
+_CLITIC_RE = re.compile(r"^([A-Za-z]+)(['’](?:s|ll|re|ve|d|m))$")
+_NT_RE = re.compile(r"^([A-Za-z]+)(n['’]t)$", re.IGNORECASE)
+
+# Abbreviations that keep a trailing period attached.
+ABBREVIATIONS = frozenset(
+    {
+        "mr.", "mrs.", "ms.", "dr.", "prof.", "st.", "jr.", "sr.",
+        "inc.", "ltd.", "co.", "corp.", "vs.", "etc.", "e.g.", "i.e.",
+        "u.s.", "u.k.", "f.c.", "a.m.", "p.m.", "no.",
+    }
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split raw text into a flat token list.
+
+    >>> tokenize("Pitt's ex-wife didn't donate $100,000.")
+    ['Pitt', "'s", 'ex-wife', 'did', "n't", 'donate', '$100,000', '.']
+    """
+    raw = _TOKEN_RE.findall(text)
+    tokens: List[str] = []
+    i = 0
+    while i < len(raw):
+        piece = raw[i]
+        # Re-join hyphenated compounds: word - word with no spaces in the
+        # original is common for "ex-wife", "co-founder", "Jolie-Pitt".
+        if (
+            tokens
+            and piece == "-"
+            and i + 1 < len(raw)
+            and raw[i + 1][:1].isalnum()
+            and f"{tokens[-1]}-{raw[i + 1]}" in text
+        ):
+            tokens[-1] = f"{tokens[-1]}-{raw[i + 1]}"
+            i += 2
+            continue
+        nt = _NT_RE.match(piece)
+        clitic = _CLITIC_RE.match(piece)
+        if nt:
+            tokens.append(nt.group(1))
+            tokens.append(nt.group(2).replace("’", "'"))
+        elif clitic:
+            tokens.append(clitic.group(1))
+            tokens.append(clitic.group(2).replace("’", "'"))
+        else:
+            tokens.append(piece.replace("’", "'"))
+        i += 1
+    return _merge_abbreviations(tokens)
+
+
+def _merge_abbreviations(tokens: List[str]) -> List[str]:
+    """Attach sentence-internal periods back onto known abbreviations."""
+    out: List[str] = []
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else ""
+        if nxt == "." and f"{token.lower()}." in ABBREVIATIONS:
+            out.append(token + ".")
+            i += 2
+        else:
+            out.append(token)
+            i += 1
+    return out
+
+
+__all__ = ["ABBREVIATIONS", "tokenize"]

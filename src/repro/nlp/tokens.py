@@ -1,0 +1,150 @@
+"""Token / sentence / document containers shared by all pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Token:
+    """A single token with its (incrementally filled) annotations.
+
+    Attributes:
+        text: Surface form as it appeared in the input.
+        index: 0-based position within the sentence.
+        pos: Penn-style part-of-speech tag, filled by the POS tagger.
+        lemma: Lemmatized form, filled by the lemmatizer.
+        ner: BIO-free entity label (e.g. ``PERSON``) or ``O``.
+        head: Dependency head index (-1 for root), filled by the parser.
+        deprel: Dependency relation label to the head.
+    """
+
+    text: str
+    index: int
+    pos: str = ""
+    lemma: str = ""
+    ner: str = "O"
+    head: int = -1
+    deprel: str = ""
+
+    def is_punct(self) -> bool:
+        """True when the token is pure punctuation."""
+        return bool(self.text) and all(not ch.isalnum() for ch in self.text)
+
+    def lower(self) -> str:
+        """Lower-cased surface form."""
+        return self.text.lower()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.text
+
+
+@dataclass
+class Span:
+    """A contiguous token span ``[start, end)`` within one sentence."""
+
+    start: int
+    end: int
+    label: str = ""
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def contains(self, index: int) -> bool:
+        """True when ``index`` falls inside the span."""
+        return self.start <= index < self.end
+
+    def overlaps(self, other: "Span") -> bool:
+        """True when the two spans share at least one token."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Sentence:
+    """A sentence: tokens plus chunk / entity-mention spans.
+
+    Attributes:
+        tokens: The tokens in order.
+        index: 0-based sentence position within the document.
+        noun_phrases: NP chunk spans, filled by the chunker.
+        entity_mentions: NER mention spans (label = entity type).
+        time_mentions: Time-expression spans with normalized values keyed
+            by span start in :attr:`time_values`.
+    """
+
+    tokens: List[Token]
+    index: int = 0
+    noun_phrases: List[Span] = field(default_factory=list)
+    entity_mentions: List[Span] = field(default_factory=list)
+    time_mentions: List[Span] = field(default_factory=list)
+    time_values: Dict[int, str] = field(default_factory=dict)
+
+    def text(self, start: int = 0, end: Optional[int] = None) -> str:
+        """Return the detokenized surface text of ``[start, end)``."""
+        if end is None:
+            end = len(self.tokens)
+        words = [t.text for t in self.tokens[start:end]]
+        out = ""
+        for word in words:
+            if not out:
+                out = word
+            elif word in {",", ".", "!", "?", ";", ":", "'s", "n't", "%", ")"}:
+                out += word
+            elif out.endswith("("):
+                out += word
+            else:
+                out += " " + word
+        return out
+
+    def span_text(self, span: Span) -> str:
+        """Surface text of a :class:`Span`."""
+        return self.text(span.start, span.end)
+
+    def pos_tags(self) -> List[str]:
+        """The POS tag sequence."""
+        return [t.pos for t in self.tokens]
+
+    def lemmas(self) -> List[str]:
+        """The lemma sequence."""
+        return [t.lemma for t in self.tokens]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self):
+        return iter(self.tokens)
+
+
+@dataclass
+class Document:
+    """A document: the input unit of KB construction.
+
+    Attributes:
+        doc_id: Stable identifier (used by retrieval and provenance).
+        title: Document title (for Wikipedia-style docs, the entity name).
+        sentences: Parsed sentences, filled by the pipeline.
+        raw_text: The original text.
+        anchors: Ground-truth entity links ``(sentence, start, end) ->
+            entity id`` available only for background-corpus documents
+            (the analogue of Wikipedia href anchors). On-the-fly input
+            documents have no anchors.
+        metadata: Free-form source information (e.g. ``source=news``).
+    """
+
+    doc_id: str
+    title: str = ""
+    sentences: List[Sentence] = field(default_factory=list)
+    raw_text: str = ""
+    anchors: Dict[Tuple[int, int, int], str] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def num_tokens(self) -> int:
+        """Total token count across sentences."""
+        return sum(len(s) for s in self.sentences)
+
+    def __iter__(self):
+        return iter(self.sentences)
+
+
+__all__ = ["Document", "Sentence", "Span", "Token"]

@@ -1,0 +1,14 @@
+"""Open information extraction: the ClausIE substrate.
+
+QKBfly builds its semantic graph from clauses detected by ClausIE
+(Del Corro & Gemulla, 2013), which decomposes a dependency parse into
+the seven clause types of Quirk et al.: SV, SVA, SVC, SVO, SVOO, SVOA,
+SVOC. :mod:`repro.openie.clausie` reimplements that decomposition over
+our parsers; :mod:`repro.openie.clauses` holds the clause/constituent
+data model and proposition generation.
+"""
+
+from repro.openie.clauses import Clause, Constituent, Proposition
+from repro.openie.clausie import ClausIE
+
+__all__ = ["ClausIE", "Clause", "Constituent", "Proposition"]

@@ -1,0 +1,144 @@
+"""Clause and proposition data model.
+
+Following Quirk et al. (1985) as operationalized by ClausIE: a clause has
+one subject (S), one verb (V), optionally a direct/indirect object (O),
+a complement (C) and any number of adverbials (A). Only seven
+constituent combinations occur in English: SV, SVA, SVC, SVO, SVOO,
+SVOA, SVOC. One clause corresponds to exactly one n-ary fact whose
+arguments are the constituents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.nlp.tokens import Sentence, Span
+
+CONSTITUENT_SUBJECT = "S"
+CONSTITUENT_VERB = "V"
+CONSTITUENT_OBJECT = "O"
+CONSTITUENT_INDIRECT_OBJECT = "IO"
+CONSTITUENT_COMPLEMENT = "C"
+CONSTITUENT_ADVERBIAL = "A"
+
+CLAUSE_TYPES = ("SV", "SVA", "SVC", "SVO", "SVOO", "SVOA", "SVOC")
+
+
+@dataclass
+class Constituent:
+    """One clause constituent.
+
+    Attributes:
+        role: S / V / O / IO / C / A.
+        span: Token span in the sentence.
+        head: Index of the constituent's head token.
+        preposition: For adverbials, the introducing preposition lemma
+            ("in", "to", ...); empty otherwise.
+        kind: "np" for nominal constituents, "time" for time
+            expressions, "money" for amounts, "pronoun", "literal" for
+            anything else.
+    """
+
+    role: str
+    span: Span
+    head: int
+    preposition: str = ""
+    kind: str = "np"
+    normalized: str = ""  # normalized value for time expressions
+
+    def text(self, sentence: Sentence) -> str:
+        """Surface text of the constituent."""
+        return sentence.text(self.span.start, self.span.end)
+
+
+@dataclass
+class Clause:
+    """A detected clause: verb group plus constituents."""
+
+    sentence: Sentence
+    clause_type: str
+    verb_span: Span
+    verb_lemma: str
+    subject: Optional[Constituent] = None
+    objects: List[Constituent] = field(default_factory=list)
+    complement: Optional[Constituent] = None
+    adverbials: List[Constituent] = field(default_factory=list)
+    negated: bool = False
+    passive: bool = False
+    # Index of the clause this one depends on (relative clause,
+    # coordination, complement clause); -1 for a main clause.
+    parent: int = -1
+
+    def verb_text(self) -> str:
+        """Surface text of the verb group."""
+        return self.sentence.text(self.verb_span.start, self.verb_span.end)
+
+    def pattern(self, preposition: str = "") -> str:
+        """Lemmatized relation pattern of this clause's verb.
+
+        Passive clauses keep the participle with an explicit "be"
+        ("be born"), matching how paraphrase dictionaries list passive
+        patterns; active clauses use the bare verb lemma. An optional
+        adverbial preposition is appended ("donate to", "star in").
+        """
+        if self.passive:
+            participle = self.sentence.tokens[self.verb_span.end - 1]
+            core = f"be {participle.text.lower()}"
+        else:
+            core = self.verb_lemma
+        if preposition:
+            return f"{core} {preposition}"
+        return core
+
+    def arguments(self) -> List[Constituent]:
+        """All non-verb constituents in clause order."""
+        out: List[Constituent] = []
+        if self.subject is not None:
+            out.append(self.subject)
+        out.extend(self.objects)
+        if self.complement is not None:
+            out.append(self.complement)
+        out.extend(self.adverbials)
+        return out
+
+
+@dataclass
+class Proposition:
+    """A flat n-ary extraction derived from one clause.
+
+    ``arguments`` holds (text, kind) pairs in clause order; the first
+    argument is the subject. This is the Open-IE-style output used by
+    the Table 5 comparison; QKBfly's own pipeline works on the richer
+    :class:`Clause` objects.
+    """
+
+    subject: str
+    pattern: str
+    arguments: List[Tuple[str, str]]
+    clause_type: str
+    sentence_index: int = -1
+    confidence: float = 1.0
+
+    @property
+    def arity(self) -> int:
+        """Subject + objects count."""
+        return 1 + len(self.arguments)
+
+    def as_triple(self) -> Optional[Tuple[str, str, str]]:
+        """(subject, pattern, object) when at least one argument exists."""
+        if not self.arguments:
+            return None
+        return (self.subject, self.pattern, self.arguments[0][0])
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        args = "; ".join(text for text, _ in self.arguments)
+        return f"({self.subject} | {self.pattern} | {args})"
+
+
+__all__ = [
+    "CLAUSE_TYPES",
+    "Clause",
+    "Constituent",
+    "Proposition",
+]

@@ -1,0 +1,411 @@
+"""ClausIE-style clause detection over labeled dependency trees.
+
+For every verb in the sentence (main verb, verbal conjuncts, relative-
+clause verbs) the detector assembles the verb group (auxiliaries +
+content verb), finds the constituents from dependency labels, inherits
+subjects across coordination and relative clauses, classifies the clause
+into one of the seven Quirk types, and emits :class:`Clause` objects.
+``propositions()`` flattens clauses into Open-IE-style n-ary extractions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.dependency import ROOT, coarse
+from repro.nlp.tokens import Sentence, Span, Token
+from repro.openie.clauses import Clause, Constituent, Proposition
+
+_COPULAS = {"be"}
+_NOMINAL = {"NN", "NNS", "NNP", "NNPS", "CD", "PRP"}
+# Labels whose subtrees are *not* part of an argument span: they carry
+# their own clauses or separate assertions.
+_EXCLUDED_FROM_ARGS = {"acl:relcl", "appos", "conj", "cc", "punct", "ccomp"}
+
+
+class ClausIE:
+    """Clause detector. Stateless; safe to share across threads."""
+
+    def extract(self, sentence: Sentence) -> List[Clause]:
+        """Detect all clauses of an annotated sentence."""
+        tokens = sentence.tokens
+        children = _children_index(tokens)
+        verbs = self._clause_verbs(tokens, children)
+        clauses: List[Clause] = []
+        index_of: Dict[int, int] = {}
+        for verb in verbs:
+            clause = self._build_clause(sentence, children, verb)
+            if clause is not None:
+                index_of[verb] = len(clauses)
+                clauses.append(clause)
+        # Wire parent links: conj / relcl / ccomp clauses depend on the
+        # clause of their governing verb.
+        for verb, position in index_of.items():
+            token = tokens[verb]
+            if token.deprel in ("conj", "ccomp") and token.head in index_of:
+                clauses[position].parent = index_of[token.head]
+            elif token.deprel == "acl:relcl":
+                governor = self._governing_verb(tokens, token.head)
+                if governor is not None and governor in index_of:
+                    clauses[position].parent = index_of[governor]
+        return clauses
+
+    def propositions(self, sentence: Sentence) -> List[Proposition]:
+        """Open-IE-style n-ary extractions for one sentence."""
+        out: List[Proposition] = []
+        for clause in self.extract(sentence):
+            proposition = self._flatten(clause)
+            if proposition is not None:
+                proposition.sentence_index = sentence.index
+                out.append(proposition)
+        return out
+
+    # ------------------------------------------------------------------
+    # Verb discovery
+    # ------------------------------------------------------------------
+
+    def _clause_verbs(
+        self, tokens: Sequence[Token], children: Dict[int, List[int]]
+    ) -> List[int]:
+        """Indices of content verbs that head a clause."""
+        from repro.nlp.lexicon import AUXILIARIES
+
+        verbs: List[int] = []
+        for i, token in enumerate(tokens):
+            if coarse(token.pos) != "V":
+                continue
+            if token.deprel in ("aux", "auxpass"):
+                # Only genuine auxiliaries are part of a verb group; a
+                # content verb mislabeled as aux still heads a clause.
+                if token.lower() in AUXILIARIES or token.pos == "MD":
+                    continue
+            if token.deprel in (
+                "root", "conj", "acl:relcl", "ccomp", "pcomp", "dep",
+                "aux", "auxpass",
+            ):
+                verbs.append(i)
+        return verbs
+
+    def _governing_verb(
+        self, tokens: Sequence[Token], index: int
+    ) -> Optional[int]:
+        """Nearest verb ancestor of ``index``."""
+        node = index
+        seen = set()
+        while node != ROOT and node not in seen:
+            seen.add(node)
+            node = tokens[node].head
+            if node != ROOT and coarse(tokens[node].pos) == "V":
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    # Clause assembly
+    # ------------------------------------------------------------------
+
+    def _build_clause(
+        self,
+        sentence: Sentence,
+        children: Dict[int, List[int]],
+        verb: int,
+    ) -> Optional[Clause]:
+        tokens = sentence.tokens
+        kids = children.get(verb, [])
+
+        aux = [i for i in kids if tokens[i].deprel == "aux" and i < verb]
+        verb_start = min(aux) if aux else verb
+        passive = (
+            tokens[verb].pos == "VBN"
+            and any(tokens[i].lemma == "be" for i in aux)
+        )
+        negation_scope = list(kids)
+        for i in aux:
+            negation_scope.extend(children.get(i, []))
+        negated = any(
+            tokens[i].lower() in ("not", "n't") for i in negation_scope
+        )
+
+        subject = self._find_subject(sentence, children, verb)
+        objects: List[Constituent] = []
+        complement: Optional[Constituent] = None
+        adverbials: List[Constituent] = []
+
+        for child in kids:
+            rel = tokens[child].deprel
+            if rel in ("dobj", "iobj"):
+                role = "IO" if rel == "iobj" else "O"
+                objects.append(
+                    self._nominal_constituent(sentence, children, child, role)
+                )
+            elif rel in ("attr", "acomp", "xcomp"):
+                complement = self._nominal_constituent(
+                    sentence, children, child, "C"
+                )
+            elif rel == "prep":
+                adverbial = self._prep_constituent(sentence, children, child)
+                if adverbial is not None:
+                    adverbials.append(adverbial)
+            elif rel == "advmod" and tokens[child].lower() not in ("not", "n't"):
+                adverbials.append(
+                    Constituent(
+                        role="A",
+                        span=Span(child, child + 1),
+                        head=child,
+                        kind="literal",
+                    )
+                )
+
+        # Order objects: indirect before direct per SVOO convention.
+        objects.sort(key=lambda c: (c.role != "IO", c.span.start))
+        # Time adverbials last, matching the argument order of the
+        # paper's higher-arity fact examples.
+        adverbials.sort(key=lambda c: (c.kind == "time", c.span.start))
+
+        clause_type = self._classify(subject, objects, complement, adverbials)
+        if clause_type is None:
+            return None
+        return Clause(
+            sentence=sentence,
+            clause_type=clause_type,
+            verb_span=Span(verb_start, verb + 1),
+            verb_lemma=tokens[verb].lemma,
+            subject=subject,
+            objects=objects,
+            complement=complement,
+            adverbials=adverbials,
+            negated=negated,
+            passive=passive,
+        )
+
+    def _find_subject(
+        self,
+        sentence: Sentence,
+        children: Dict[int, List[int]],
+        verb: int,
+    ) -> Optional[Constituent]:
+        tokens = sentence.tokens
+        for child in children.get(verb, []):
+            if tokens[child].deprel != "nsubj":
+                continue
+            # Time expressions and amounts cannot be clause subjects; a
+            # misparsed fronted adverbial falls through to inheritance.
+            if tokens[child].ner in ("TIME", "MONEY"):
+                continue
+            if coarse(tokens[child].pos) == "W":
+                # Relativizer subject: the true subject is the antecedent
+                # noun the relative clause attaches to; when the parser
+                # attached the clause elsewhere, fall back to the nearest
+                # preceding noun, then to subject inheritance.
+                antecedent = self._relcl_antecedent(tokens, verb)
+                if antecedent is None:
+                    antecedent = self._nearest_preceding_noun(tokens, child)
+                if antecedent is not None:
+                    return self._nominal_constituent(
+                        sentence, children, antecedent, "S"
+                    )
+                break
+            return self._nominal_constituent(sentence, children, child, "S")
+        # Subject misattached to an auxiliary of this verb group.
+        for child in children.get(verb, []):
+            if tokens[child].deprel in ("aux", "auxpass"):
+                for grandchild in children.get(child, []):
+                    if tokens[grandchild].deprel == "nsubj":
+                        return self._nominal_constituent(
+                            sentence, children, grandchild, "S"
+                        )
+        # Inherited subject: coordination and relative clauses.
+        token = tokens[verb]
+        if token.deprel in ("conj", "ccomp") and token.head != ROOT:
+            return self._find_subject(sentence, children, token.head)
+        if token.deprel == "acl:relcl" and token.head != ROOT:
+            return self._nominal_constituent(sentence, children, token.head, "S")
+        return None
+
+    def _relcl_antecedent(
+        self, tokens: Sequence[Token], verb: int
+    ) -> Optional[int]:
+        head = tokens[verb].head
+        if head != ROOT and coarse(tokens[head].pos) == "N":
+            return head
+        return None
+
+    @staticmethod
+    def _nearest_preceding_noun(
+        tokens: Sequence[Token], index: int
+    ) -> Optional[int]:
+        for j in range(index - 1, -1, -1):
+            if coarse(tokens[j].pos) == "N" and tokens[j].pos != "PRP":
+                return j
+        return None
+
+    def _nominal_constituent(
+        self,
+        sentence: Sentence,
+        children: Dict[int, List[int]],
+        head: int,
+        role: str,
+    ) -> Constituent:
+        tokens = sentence.tokens
+        kind = "np"
+        normalized = ""
+        if tokens[head].ner == "TIME":
+            kind = "time"
+            # Use the full time-mention span and its normalized value.
+            span = None
+            for time_span in sentence.time_mentions:
+                if time_span.contains(head):
+                    span = Span(time_span.start, time_span.end)
+                    normalized = sentence.time_values.get(time_span.start, "")
+                    break
+            if span is None:
+                span = _argument_span(tokens, children, head)
+        else:
+            span = _argument_span(tokens, children, head)
+            if tokens[head].ner == "MONEY":
+                kind = "money"
+            elif tokens[head].pos == "PRP":
+                kind = "pronoun"
+            elif tokens[head].pos not in _NOMINAL:
+                kind = "literal"
+        return Constituent(
+            role=role, span=span, head=head, kind=kind, normalized=normalized
+        )
+
+    def _prep_constituent(
+        self,
+        sentence: Sentence,
+        children: Dict[int, List[int]],
+        prep: int,
+    ) -> Optional[Constituent]:
+        tokens = sentence.tokens
+        pobj = None
+        for child in children.get(prep, []):
+            if tokens[child].deprel in ("pobj", "pcomp"):
+                pobj = child
+                break
+        if pobj is None:
+            return None
+        constituent = self._nominal_constituent(sentence, children, pobj, "A")
+        constituent.preposition = tokens[prep].lemma
+        return constituent
+
+    @staticmethod
+    def _classify(
+        subject: Optional[Constituent],
+        objects: List[Constituent],
+        complement: Optional[Constituent],
+        adverbials: List[Constituent],
+    ) -> Optional[str]:
+        if subject is None:
+            return None
+        has_object = any(c.role == "O" for c in objects)
+        has_indirect = any(c.role == "IO" for c in objects)
+        if complement is not None:
+            return "SVOC" if has_object else "SVC"
+        if has_object and has_indirect:
+            return "SVOO"
+        if has_object and adverbials:
+            return "SVOA"
+        if has_object:
+            return "SVO"
+        if adverbials:
+            return "SVA"
+        return "SV"
+
+    # ------------------------------------------------------------------
+    # Proposition flattening
+    # ------------------------------------------------------------------
+
+    def _flatten(self, clause: Clause) -> Optional[Proposition]:
+        sentence = clause.sentence
+        if clause.subject is None:
+            return None
+        subject_text = clause.subject.text(sentence)
+        arguments: List[Tuple[str, str]] = []
+        primary_prep = ""
+        for adverbial in clause.adverbials:
+            if not primary_prep and adverbial.preposition and adverbial.kind in (
+                "np", "pronoun",
+            ):
+                primary_prep = adverbial.preposition
+        # Copula + nominal complement + PP folds into the pattern:
+        # "is the mayor of Marwick" -> ("be mayor of", Marwick).
+        folded_complement = (
+            clause.verb_lemma in _COPULAS
+            and clause.complement is not None
+            and clause.complement.kind in ("np", "literal")
+            and bool(primary_prep)
+        )
+        for constituent in clause.objects:
+            arguments.append((constituent.text(sentence), constituent.kind))
+        if clause.complement is not None and not folded_complement:
+            arguments.append(
+                (clause.complement.text(sentence), clause.complement.kind)
+            )
+        for adverbial in clause.adverbials:
+            arguments.append((adverbial.text(sentence), adverbial.kind))
+        if not arguments:
+            return None
+        # Pattern: verb lemma, optionally with the preposition of the
+        # first nominal (non-time) adverbial ("donate to", "star in").
+        # With only time adverbials the bare verb pattern is kept.
+        if folded_complement:
+            complement_head = sentence.tokens[clause.complement.head]
+            pattern = f"be {complement_head.lemma} {primary_prep}"
+        else:
+            pattern = clause.pattern(primary_prep)
+        if clause.negated:
+            pattern = f"not {pattern}"
+        return Proposition(
+            subject=subject_text,
+            pattern=pattern,
+            arguments=arguments,
+            clause_type=clause.clause_type,
+        )
+
+
+def _children_index(tokens: Sequence[Token]) -> Dict[int, List[int]]:
+    children: Dict[int, List[int]] = {}
+    for i, token in enumerate(tokens):
+        children.setdefault(token.head, []).append(i)
+    return children
+
+
+def _argument_span(
+    tokens: Sequence[Token],
+    children: Dict[int, List[int]],
+    head: int,
+) -> Span:
+    """Contiguous span of the argument subtree rooted at ``head``.
+
+    Excludes clausal/appositive/coordinated dependents (they become their
+    own clauses) and trailing prepositional modifiers of non-head nouns
+    are kept only if they fall inside the contiguous core.
+    """
+    keep = {head}
+    stack = [head]
+    while stack:
+        node = stack.pop()
+        for child in children.get(node, []):
+            rel = tokens[child].deprel
+            if rel in _EXCLUDED_FROM_ARGS:
+                continue
+            # Prepositional modifiers stay inside object spans ("the
+            # University of Marwick") but a verb inside would be clausal.
+            if coarse(tokens[child].pos) == "V":
+                continue
+            keep.add(child)
+            stack.append(child)
+    start = min(keep)
+    end = max(keep) + 1
+    # Clip to the contiguous region around the head (projectivity holds,
+    # but excluded children can punch holes; keep the simple hull minus
+    # leading/trailing punctuation).
+    while start < head and tokens[start].pos == "PUNCT":
+        start += 1
+    while end - 1 > head and tokens[end - 1].pos == "PUNCT":
+        end -= 1
+    return Span(start, end)
+
+
+__all__ = ["ClausIE"]

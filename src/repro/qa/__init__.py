@@ -1,0 +1,7 @@
+"""Ad-hoc question answering over on-the-fly KBs (Section 7.4 / App. B)."""
+
+from repro.qa.answering import QaSystem
+from repro.qa.baselines import QaFreebase, SentenceAnswers, AqquStyle
+from repro.qa.classifier import LinearSvm
+
+__all__ = ["AqquStyle", "LinearSvm", "QaFreebase", "QaSystem", "SentenceAnswers"]

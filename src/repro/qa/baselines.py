@@ -1,0 +1,279 @@
+"""QA baselines of Table 9: Sentence-Answers, QA-Freebase, AQQU-style.
+
+- :class:`SentenceAnswers` — passage-retrieval QA: same on-the-fly
+  corpus, no fact extraction; candidates are entities co-occurring with
+  a question entity in a sentence, features are sentence tokens.
+- :class:`QaFreebase` — the same QA method over a huge but *static* KB
+  (the Freebase stand-in: all non-recent world facts), which lacks the
+  trend events entirely.
+- :class:`AqquStyle` — a template/relation-matching KB-QA system over
+  the static KB, mirroring AQQU's design point (strong on static facts,
+  blind to anything on-the-fly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.corpus.retrieval import SearchEngine
+from repro.corpus.statistics import content_tokens
+from repro.corpus.world import World
+from repro.datasets.trends_questions import QaQuestion
+from repro.kb.facts import ARG_ENTITY, Argument, Fact, KnowledgeBase
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+from repro.qa.classifier import LinearSvm
+from repro.qa.features import FEATURE_DIMENSION, pair_features, question_tokens
+
+
+class SentenceAnswers:
+    """Passage-retrieval QA without fact extraction."""
+
+    def __init__(
+        self, world: World, search_engine: SearchEngine, num_news: int = 10
+    ) -> None:
+        self.world = world
+        self.search = search_engine
+        self.num_news = num_news
+        self.nlp = NlpPipeline(
+            PipelineConfig(
+                parser="greedy", gazetteer=world.entity_repository.gazetteer()
+            )
+        )
+        self.classifier = LinearSvm(FEATURE_DIMENSION)
+        self._trained = False
+
+    def _candidate_sentences(
+        self, question: QaQuestion
+    ) -> List[Tuple[str, List[str]]]:
+        """(entity surface, sentence tokens) for co-occurring entities."""
+        documents = self.search.search(
+            question.query, source="wikipedia", k=1
+        ) + self.search.search(question.question, source="news", k=self.num_news)
+        question_lower = question.question.lower()
+        out: List[Tuple[str, List[str]]] = []
+        for realized in documents:
+            annotated = self.nlp.annotate_text(realized.text, doc_id=realized.doc_id)
+            for sentence in annotated.sentences:
+                surfaces = [
+                    sentence.text(m.start, m.end)
+                    for m in sentence.entity_mentions
+                ]
+                has_question_entity = any(
+                    s.lower() in question_lower for s in surfaces
+                )
+                if not has_question_entity:
+                    continue
+                tokens = content_tokens(sentence.text())
+                for surface in surfaces:
+                    if surface.lower() in question_lower:
+                        continue
+                    out.append((surface, tokens))
+        return out
+
+    def train(self, training_questions: Sequence[QaQuestion]) -> None:
+        """Train the same SVM architecture on sentence-level features."""
+        examples = []
+        for question in training_questions:
+            q_tokens = question_tokens(question.question)
+            for surface, tokens in self._candidate_sentences(question):
+                features = pair_features(q_tokens, tokens)
+                examples.append(
+                    (features, int(surface.lower() in question.gold))
+                )
+        if examples:
+            self.classifier.fit(examples)
+            self._trained = True
+
+    def answer(self, question: QaQuestion) -> Set[str]:
+        """Predict answers from co-occurring sentence entities."""
+        if not self._trained:
+            raise RuntimeError("call train() first")
+        q_tokens = question_tokens(question.question)
+        scored: Dict[str, float] = {}
+        for surface, tokens in self._candidate_sentences(question):
+            features = pair_features(q_tokens, tokens)
+            score = self.classifier.decision(features)
+            key = surface.lower()
+            scored[key] = max(scored.get(key, float("-inf")), score)
+        positives = {s for s, v in scored.items() if v > 0.0}
+        if positives:
+            return positives
+        if scored:
+            return {max(scored, key=scored.get)}
+        return set()
+
+
+class StaticKb:
+    """The Freebase stand-in: all non-recent world facts, as a flat KB."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.facts: List[Fact] = []
+        for fact in world.facts:
+            if fact.recent:
+                continue  # static KBs lack facts about recent events
+            subject = world.entities[fact.subject_id]
+            objects: List[Argument] = []
+            if fact.object_id:
+                obj = world.entities[fact.object_id]
+                objects.append(Argument(ARG_ENTITY, obj.entity_id, obj.name))
+            if fact.object2_id:
+                obj2 = world.entities[fact.object2_id]
+                objects.append(Argument(ARG_ENTITY, obj2.entity_id, obj2.name))
+            if not objects:
+                continue
+            self.facts.append(
+                Fact(
+                    subject=Argument(ARG_ENTITY, subject.entity_id, subject.name),
+                    predicate=fact.relation_id,
+                    objects=objects,
+                    pattern=fact.relation_id,
+                    canonical_predicate=True,
+                )
+            )
+
+    def facts_about(self, surfaces: Sequence[str]) -> List[Fact]:
+        """Facts whose subject or object matches one of the surfaces."""
+        wanted = {s.lower() for s in surfaces}
+        out = []
+        for fact in self.facts:
+            names = [fact.subject.display.lower()] + [
+                o.display.lower() for o in fact.objects
+            ]
+            if any(name in wanted for name in names):
+                out.append(fact)
+        return out
+
+
+class QaFreebase:
+    """The Appendix-B QA method over the static KB."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.kb = StaticKb(world)
+        self.classifier = LinearSvm(FEATURE_DIMENSION)
+        self._trained = False
+
+    def _candidates(self, question: QaQuestion) -> Dict[str, List[Fact]]:
+        surfaces = self._question_entities(question)
+        question_lower = question.question.lower()
+        out: Dict[str, List[Fact]] = {}
+        for fact in self.kb.facts_about(surfaces):
+            for argument in fact.arguments():
+                display = argument.display.lower()
+                if display in question_lower:
+                    continue
+                out.setdefault(display, []).append(fact)
+        return out
+
+    def _question_entities(self, question: QaQuestion) -> List[str]:
+        found = []
+        lower = question.question.lower()
+        for entity in self.world.entity_repository.entities():
+            for alias in entity.aliases:
+                if alias.lower() in lower:
+                    found.append(alias)
+        return found or [question.query]
+
+    def train(self, training_questions: Sequence[QaQuestion]) -> None:
+        """Fit the SVM on static-KB candidates."""
+        from repro.qa.features import candidate_tokens
+
+        examples = []
+        for question in training_questions:
+            q_tokens = question_tokens(question.question)
+            for display, facts in self._candidates(question).items():
+                features = pair_features(
+                    q_tokens, candidate_tokens(display, facts)
+                )
+                examples.append((features, int(display in question.gold)))
+        if examples:
+            self.classifier.fit(examples)
+            self._trained = True
+
+    def answer(self, question: QaQuestion) -> Set[str]:
+        """Predict answers from the static KB (empty for unseen events)."""
+        if not self._trained:
+            raise RuntimeError("call train() first")
+        from repro.qa.features import candidate_tokens
+
+        q_tokens = question_tokens(question.question)
+        positives: Set[str] = set()
+        best: Optional[Tuple[str, float]] = None
+        for display, facts in self._candidates(question).items():
+            features = pair_features(q_tokens, candidate_tokens(display, facts))
+            score = self.classifier.decision(features)
+            if score > 0.0:
+                positives.add(display)
+            if best is None or score > best[1]:
+                best = (display, score)
+        if positives:
+            return positives
+        return {best[0]} if best else set()
+
+
+_AQQU_RELATION_KEYWORDS = {
+    "marry": "married_to",
+    "divorce": "divorced_from",
+    "born": "born_in",
+    "live": "lives_in",
+    "play for": "plays_for",
+    "join": "joins",
+    "study": "studied_at",
+    "found": "founded",
+    "launch": "founded",
+    "lead": "ceo_of",
+    "win": "wins_award",
+    "receive": "receives_from",
+    "perform": "performs_at",
+    "defeat": "defeats",
+    "accuse": "accuses_of",
+    "release": "records",
+    "appear": "acts_in",
+    "plays": "plays_role_in",
+}
+
+
+class AqquStyle:
+    """Template-based KB-QA over the static KB (the AQQU stand-in)."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.kb = StaticKb(world)
+
+    def answer(self, question: QaQuestion) -> Set[str]:
+        """Match a relation template and query the static KB."""
+        lower = question.question.lower()
+        relation = None
+        for keyword, relation_id in _AQQU_RELATION_KEYWORDS.items():
+            if keyword in lower:
+                relation = relation_id
+                break
+        if relation is None:
+            return set()
+        entities = self._question_entities(lower)
+        if not entities:
+            return set()
+        answers: Set[str] = set()
+        for fact in self.kb.facts:
+            if fact.predicate != relation:
+                continue
+            names = {fact.subject.display.lower()} | {
+                o.display.lower() for o in fact.objects
+            }
+            if names & entities:
+                for name in names - entities:
+                    answers.add(name)
+        return answers
+
+    def _question_entities(self, lower_question: str) -> Set[str]:
+        found = set()
+        for entity in self.world.entity_repository.entities():
+            for alias in entity.aliases:
+                if alias.lower() in lower_question:
+                    found.add(entity.canonical_name.lower())
+        return found
+
+
+__all__ = ["AqquStyle", "QaFreebase", "SentenceAnswers", "StaticKb"]

@@ -1,0 +1,107 @@
+"""Question/candidate features for the answer classifier (Appendix B).
+
+"The feature set for a pair of a question and its candidate answer then
+are all token pairs (x, y) where x is a token occurring with the
+question and y is a token occurring with the candidate" — lemmatized
+unigrams plus entity names, treated as binary features via stable
+hashing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Sequence, Set
+
+from repro.corpus.statistics import content_tokens
+from repro.kb.facts import Fact
+
+FEATURE_DIMENSION = 1 << 16
+
+
+def question_tokens(question: str) -> List[str]:
+    """Lemma-ish unigrams of a question (stopwords removed, lowered)."""
+    from repro.nlp.lemma import lemmatize_token
+
+    tokens = content_tokens(question)
+    # Question words are informative here, unlike in retrieval.
+    lead = question.strip().split()
+    out = list(tokens)
+    if lead:
+        out.append(lead[0].lower().strip("?,"))
+    return [lemmatize_token(t, "NN") for t in out]
+
+
+def candidate_tokens(candidate_display: str, supporting_facts: Iterable[Fact]) -> List[str]:
+    """Tokens co-occurring with a candidate in its supporting facts."""
+    out: Set[str] = set(content_tokens(candidate_display))
+    for fact in supporting_facts:
+        out.update(content_tokens(fact.predicate.replace("_", " ")))
+        out.update(content_tokens(fact.subject.display))
+        for obj in fact.objects:
+            out.update(content_tokens(obj.display))
+    return sorted(out)
+
+
+def pair_features(
+    q_tokens: Sequence[str], c_tokens: Sequence[str]
+) -> List[int]:
+    """Hashed binary token-pair features."""
+    features: Set[int] = set()
+    for x in q_tokens:
+        for y in c_tokens:
+            key = f"{x}|{y}".encode("utf-8")
+            features.add(zlib.crc32(key) % FEATURE_DIMENSION)
+    return sorted(features)
+
+
+def indicator_feature(name: str) -> int:
+    """Stable index for a named indicator feature."""
+    return zlib.crc32(f"IND|{name}".encode("utf-8")) % FEATURE_DIMENSION
+
+
+def evidence_features(
+    question: str, candidate_facts: Iterable[Fact]
+) -> List[int]:
+    """Question-evidence indicators for one candidate.
+
+    Two binary features in the Appendix-B spirit: whether the candidate
+    co-occurs in a KB fact with one of the question's entities, and
+    whether one of those facts' predicates shares a content word with
+    the question. With few training questions these carry most of the
+    learnable signal.
+    """
+    from repro.nlp.lemma import lemmatize_token
+
+    question_lower = question.lower()
+    q_verbs = {
+        lemmatize_token(token, "VB")
+        for token in content_tokens(question)
+    }
+    features: Set[int] = set()
+    for fact in candidate_facts:
+        fact_names = [fact.subject.display.lower()] + [
+            o.display.lower() for o in fact.objects
+        ]
+        with_question_entity = any(
+            len(name) > 3 and name in question_lower for name in fact_names
+        )
+        predicate_tokens = {
+            lemmatize_token(t, "VB")
+            for t in fact.predicate.replace("_", " ").split()
+        }
+        relation_match = bool(q_verbs & predicate_tokens)
+        if with_question_entity:
+            features.add(indicator_feature("fact_with_question_entity"))
+        if relation_match:
+            features.add(indicator_feature("predicate_matches_question"))
+        if with_question_entity and relation_match:
+            features.add(indicator_feature("entity_and_relation"))
+    return sorted(features)
+
+
+__all__ = [
+    "FEATURE_DIMENSION",
+    "candidate_tokens",
+    "pair_features",
+    "question_tokens",
+]

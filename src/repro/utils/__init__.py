@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG, timing, text and vector helpers."""
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.text import normalize_whitespace, title_case
+from repro.utils.timing import Stopwatch
+from repro.utils.vectors import SparseVector, weighted_overlap
+
+__all__ = [
+    "DeterministicRng",
+    "SparseVector",
+    "Stopwatch",
+    "normalize_whitespace",
+    "title_case",
+    "weighted_overlap",
+]

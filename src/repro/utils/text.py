@@ -1,0 +1,102 @@
+"""Small text helpers shared across the pipeline."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse all whitespace runs to single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def title_case(text: str) -> str:
+    """Capitalize the first letter of every word, leaving the rest intact.
+
+    Unlike :meth:`str.title` this does not lowercase interior letters, so
+    acronyms like "ONE Campaign" survive.
+    """
+    words = text.split(" ")
+    out = []
+    for word in words:
+        if word:
+            out.append(word[0].upper() + word[1:])
+        else:
+            out.append(word)
+    return " ".join(out)
+
+
+def is_capitalized(token: str) -> bool:
+    """Return True when the token starts with an uppercase letter."""
+    return bool(token) and token[0].isupper()
+
+
+def is_all_caps(token: str) -> bool:
+    """Return True for all-uppercase alphabetic tokens such as acronyms."""
+    return len(token) > 1 and token.isalpha() and token.isupper()
+
+
+def token_shape(token: str) -> str:
+    """Return a coarse orthographic shape, e.g. ``Xxx``, ``dd``, ``$d``.
+
+    Runs of the same character class are collapsed, which is the standard
+    shape feature used by NER taggers.
+    """
+    out: List[str] = []
+    for ch in token:
+        if ch.isupper():
+            code = "X"
+        elif ch.islower():
+            code = "x"
+        elif ch.isdigit():
+            code = "d"
+        else:
+            code = ch
+        if not out or out[-1] != code:
+            out.append(code)
+    return "".join(out)
+
+
+def ngrams(tokens: Iterable[str], n: int) -> List[tuple]:
+    """Return the list of ``n``-grams over ``tokens``."""
+    toks = list(tokens)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [tuple(toks[i : i + n]) for i in range(len(toks) - n + 1)]
+
+
+def longest_common_suffix_words(a: str, b: str) -> int:
+    """Number of trailing words shared by two phrases (case-insensitive).
+
+    Used by the string-match co-reference heuristic: "Brad Pitt" and
+    "Pitt" share one trailing word.
+    """
+    aw = a.lower().split()
+    bw = b.lower().split()
+    count = 0
+    while count < len(aw) and count < len(bw) and aw[-1 - count] == bw[-1 - count]:
+        count += 1
+    return count
+
+
+def strip_determiners(phrase: str) -> str:
+    """Drop a leading determiner ("the", "a", "an") from a phrase."""
+    words = phrase.split()
+    if words and words[0].lower() in {"the", "a", "an"}:
+        return " ".join(words[1:])
+    return phrase
+
+
+__all__ = [
+    "is_all_caps",
+    "is_capitalized",
+    "longest_common_suffix_words",
+    "ngrams",
+    "normalize_whitespace",
+    "strip_determiners",
+    "title_case",
+    "token_shape",
+]

@@ -1,0 +1,74 @@
+"""Wall-clock measurement used by the runtime columns of the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Stopwatch:
+    """Accumulates named timing intervals.
+
+    The paper reports average runtime per document / per sentence with
+    confidence intervals; :class:`Stopwatch` collects the raw samples so
+    the benchmark harness can compute both.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+        self._open: Dict[str, float] = {}
+
+    def start(self, name: str) -> None:
+        """Begin timing the interval ``name``."""
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        """End timing ``name`` and return the elapsed seconds."""
+        if name not in self._open:
+            raise KeyError(f"stopwatch interval {name!r} was never started")
+        elapsed = time.perf_counter() - self._open.pop(name)
+        self._samples.setdefault(name, []).append(elapsed)
+        return elapsed
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured sample."""
+        self._samples.setdefault(name, []).append(seconds)
+
+    def samples(self, name: str) -> List[float]:
+        """Return all samples recorded under ``name``."""
+        return list(self._samples.get(name, []))
+
+    def mean(self, name: str) -> float:
+        """Return the mean of the samples recorded under ``name``."""
+        samples = self._samples.get(name)
+        if not samples:
+            raise KeyError(f"no samples for {name!r}")
+        return sum(samples) / len(samples)
+
+    def total(self, name: str) -> float:
+        """Return the summed time recorded under ``name``."""
+        return sum(self._samples.get(name, []))
+
+    def names(self) -> List[str]:
+        """Return all interval names with at least one sample."""
+        return sorted(self._samples)
+
+
+class timed:
+    """Context manager recording one sample into a :class:`Stopwatch`."""
+
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self._watch.record(self._name, time.perf_counter() - self._start)
+
+
+__all__ = ["Stopwatch", "timed"]

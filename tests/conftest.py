@@ -1,0 +1,64 @@
+"""Shared fixtures: one tiny world (and derived artifacts) per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.background import build_background_corpus
+from repro.corpus.realizer import Realizer
+from repro.corpus.world import World, WorldConfig
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> World:
+    """A miniature deterministic world shared by the whole session."""
+    return World(WorldConfig.tiny(), seed=3)
+
+
+@pytest.fixture(scope="session")
+def background(tiny_world):
+    """Background corpus + statistics for the tiny world."""
+    return build_background_corpus(tiny_world)
+
+
+@pytest.fixture(scope="session")
+def realizer(tiny_world) -> Realizer:
+    """A seeded realizer over the tiny world."""
+    return Realizer(tiny_world, seed=11)
+
+
+@pytest.fixture(scope="session")
+def nlp(tiny_world) -> NlpPipeline:
+    """Greedy-parser pipeline with the tiny world's gazetteer."""
+    return NlpPipeline(
+        PipelineConfig(
+            parser="greedy",
+            gazetteer=tiny_world.entity_repository.gazetteer(),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def plain_nlp() -> NlpPipeline:
+    """Pipeline without a gazetteer (pure shape-based NER)."""
+    return NlpPipeline(PipelineConfig(parser="greedy"))
+
+
+@pytest.fixture(scope="session")
+def chart_nlp(tiny_world) -> NlpPipeline:
+    """Chart-parser pipeline (the Stanford-parser stand-in)."""
+    return NlpPipeline(
+        PipelineConfig(
+            parser="chart",
+            gazetteer=tiny_world.entity_repository.gazetteer(),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def qkbfly_system(tiny_world):
+    """Default QKBfly over the tiny world (no search engine)."""
+    from repro.core.qkbfly import QKBfly
+
+    return QKBfly.from_world(tiny_world, with_search=False)

@@ -1,0 +1,92 @@
+"""Tests for background statistics and retrieval."""
+
+import pytest
+
+from repro.corpus.retrieval import Bm25Index, SearchEngine
+from repro.corpus.statistics import content_tokens
+
+
+class TestStatistics:
+    def test_priors_are_distributions(self, tiny_world, background):
+        stats = background.statistics
+        for alias, bucket in stats.anchor_counts.items():
+            total = sum(
+                stats.prior(alias, entity_id) for entity_id in bucket
+            )
+            assert abs(total - 1.0) < 1e-9
+
+    def test_prior_unknown_mention(self, background):
+        assert background.statistics.prior("zzz unknown", "E00001") == 0.0
+
+    def test_idf_monotone(self, background):
+        stats = background.statistics
+        rare = stats.idf("zz-never-seen")
+        common = min(
+            stats.idf(t) for t in list(stats.doc_freq)[:50]
+        )
+        assert rare >= common
+
+    def test_entity_context_nonempty(self, tiny_world, background):
+        stats = background.statistics
+        some = [
+            e.entity_id for e in tiny_world.entities.values()
+            if e.in_repository
+        ][:10]
+        assert any(len(stats.context_of(eid)) > 0 for eid in some)
+
+    def test_type_signature_discriminates(self, tiny_world, background):
+        stats = background.statistics
+        good = stats.type_signature("PERSON", "CITY", "be born in")
+        bad = stats.type_signature("FILM", "CITY", "be born in")
+        assert good > bad
+
+    def test_content_tokens_drop_stopwords(self):
+        tokens = content_tokens("The actor was born in the city.")
+        assert "the" not in tokens
+        assert "actor" in tokens
+
+
+class TestBm25:
+    def test_ranks_exact_match_first(self):
+        index = Bm25Index()
+        index.add("a", ["alpha", "beta"])
+        index.add("b", ["alpha", "alpha", "alpha"])
+        index.add("c", ["gamma"])
+        ranked = index.search(["alpha"], k=3)
+        assert ranked[0][0] == "b"
+        assert {doc for doc, _ in ranked} == {"a", "b"}
+
+    def test_duplicate_doc_rejected(self):
+        index = Bm25Index()
+        index.add("a", ["x"])
+        with pytest.raises(ValueError):
+            index.add("a", ["y"])
+
+    def test_empty_query(self):
+        index = Bm25Index()
+        index.add("a", ["x"])
+        assert index.search([], k=5) == []
+
+
+class TestSearchEngine:
+    @pytest.fixture(scope="class")
+    def engine(self, tiny_world, background):
+        return SearchEngine.from_world(tiny_world, background.documents)
+
+    def test_wikipedia_channel_finds_entity_page(self, tiny_world, background, engine):
+        entity = next(
+            e for e in tiny_world.entities.values()
+            if e.in_repository and background.article_of(e.entity_id)
+        )
+        results = engine.search(entity.name, source="wikipedia", k=3)
+        assert any(entity.entity_id in d.about for d in results)
+
+    def test_news_channel(self, tiny_world, engine):
+        event = tiny_world.events[0]
+        name = tiny_world.entities[event.main_entities[0]].name
+        results = engine.search(name, source="news", k=5)
+        assert results
+
+    def test_unknown_source(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("x", source="intranet")

@@ -1,0 +1,129 @@
+"""Tests for the synthetic world and the realizer."""
+
+import pytest
+
+from repro.corpus.schema import SPECS_BY_ID
+from repro.corpus.world import World, WorldConfig
+
+
+class TestWorldGeneration:
+    def test_deterministic(self, tiny_world):
+        again = World(WorldConfig.tiny(), seed=3)
+        assert [f.fact_id for f in again.facts] == [
+            f.fact_id for f in tiny_world.facts
+        ]
+        assert {e.name for e in again.entities.values()} == {
+            e.name for e in tiny_world.entities.values()
+        }
+
+    def test_different_seed_differs(self, tiny_world):
+        other = World(WorldConfig.tiny(), seed=4)
+        assert {e.name for e in other.entities.values()} != {
+            e.name for e in tiny_world.entities.values()
+        }
+
+    def test_facts_respect_signatures(self, tiny_world):
+        ts = tiny_world.type_system
+        for fact in tiny_world.facts:
+            spec = SPECS_BY_ID[fact.relation_id]
+            subject = tiny_world.entities[fact.subject_id]
+            assert ts.compatible([subject.types[0]], [spec.subject_type]), (
+                fact.relation_id, subject.types,
+            )
+            if fact.object_id and not spec.symmetric:
+                obj = tiny_world.entities[fact.object_id]
+                assert ts.compatible([obj.types[0]], [spec.object_type])
+
+    def test_ambiguous_aliases_exist(self, tiny_world):
+        assert tiny_world.entity_repository.ambiguous_aliases()
+
+    def test_club_shares_city_alias(self, tiny_world):
+        clubs = [tiny_world.entities[c] for c in tiny_world.club_ids]
+        assert clubs
+        for club in clubs:
+            city = tiny_world.entities[club.home_city]
+            assert city.name in club.aliases
+
+    def test_emerging_entities_exist(self, tiny_world):
+        emerging = [
+            e for e in tiny_world.entities.values() if not e.in_repository
+        ]
+        assert emerging
+        assert len(tiny_world.entity_repository) + len(emerging) == len(
+            tiny_world.entities
+        )
+
+    def test_symmetric_facts_mirrored(self, tiny_world):
+        married = [
+            (f.subject_id, f.object_id)
+            for f in tiny_world.facts
+            if f.relation_id == "married_to"
+        ]
+        pairs = set(married)
+        for a, b in married:
+            assert (b, a) in pairs
+
+    def test_events_have_recent_facts(self, tiny_world):
+        assert tiny_world.events
+        by_id = {f.fact_id: f for f in tiny_world.facts}
+        for event in tiny_world.events:
+            for fact_id in event.fact_ids:
+                assert by_id[fact_id].recent
+
+    def test_of_type_subsumption(self, tiny_world):
+        people = tiny_world.of_type("PERSON")
+        actors = tiny_world.of_type("ACTOR")
+        assert set(actors) <= set(people)
+
+    def test_display(self, tiny_world):
+        text = tiny_world.display(tiny_world.facts[0])
+        assert text.startswith("<") and text.endswith(">")
+
+
+class TestRealizer:
+    def test_article_emits_ground_truth(self, tiny_world, realizer):
+        actor = tiny_world.person_ids_by_profession["ACTOR"][0]
+        doc = realizer.wikipedia_article(actor)
+        assert doc.sentences
+        assert doc.emitted
+        for emitted in doc.emitted:
+            assert 0 <= emitted.sentence_index < len(doc.sentences)
+
+    def test_mentions_reference_real_entities(self, tiny_world, realizer):
+        actor = tiny_world.person_ids_by_profession["ACTOR"][1]
+        doc = realizer.wikipedia_article(actor)
+        for mention in doc.mentions:
+            assert mention.entity_id in tiny_world.entities
+
+    def test_anchors_exclude_pronouns(self, tiny_world, realizer):
+        actor = tiny_world.person_ids_by_profession["ACTOR"][0]
+        doc = realizer.wikipedia_article(actor)
+        assert all(not m.is_pronoun for m in doc.anchors())
+
+    def test_deterministic_realization(self, tiny_world):
+        from repro.corpus.realizer import Realizer
+
+        actor = tiny_world.person_ids_by_profession["ACTOR"][0]
+        a = Realizer(tiny_world, seed=5).wikipedia_article(actor)
+        b = Realizer(tiny_world, seed=5).wikipedia_article(actor)
+        assert a.sentences == b.sentences
+
+    def test_news_article_lead_has_date(self, tiny_world, realizer):
+        event = tiny_world.events[0]
+        doc = realizer.news_article(event)
+        assert doc.sentences[0].startswith("On ")
+
+    def test_single_sentence(self, tiny_world, realizer):
+        fact = next(
+            f for f in tiny_world.facts if f.relation_id == "born_in"
+        )
+        doc = realizer.single_sentence(fact, "s0")
+        assert len(doc.sentences) == 1
+        assert doc.emitted[0].relation_id == "born_in"
+
+    def test_article_from_facts(self, tiny_world, realizer):
+        facts = tiny_world.facts_of(
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        )[:3]
+        doc = realizer.article_from_facts("x", "X", facts)
+        assert len(doc.sentences) >= 1

@@ -1,0 +1,88 @@
+"""Tests for dataset builders and hyper-parameter tuning."""
+
+import pytest
+
+from repro.datasets import (
+    build_defie_wikipedia,
+    build_news_dataset,
+    build_reverb500,
+    build_wikia_dataset,
+)
+from repro.graph.tuning import build_training_instances, learn_parameters
+
+
+class TestDatasets:
+    def test_defie_wikipedia_size(self, tiny_world):
+        docs = build_defie_wikipedia(tiny_world, num_documents=10)
+        assert 0 < len(docs) <= 10
+        assert all(d.source == "wikipedia" for d in docs)
+
+    def test_defie_wikipedia_deterministic(self, tiny_world):
+        a = build_defie_wikipedia(tiny_world, num_documents=8)
+        b = build_defie_wikipedia(tiny_world, num_documents=8)
+        assert [d.doc_id for d in a] == [d.doc_id for d in b]
+
+    def test_reverb500_single_sentences(self, tiny_world):
+        docs = build_reverb500(tiny_world, num_sentences=40)
+        assert len(docs) == 40
+        assert all(len(d.sentences) == 1 for d in docs)
+
+    def test_news_dataset(self, tiny_world):
+        docs = build_news_dataset(tiny_world, num_documents=5)
+        assert docs
+        assert all(d.source == "news" for d in docs)
+
+    def test_wikia_mostly_emerging(self, tiny_world):
+        docs = build_wikia_dataset(tiny_world, num_documents=3,
+                                   sentences_per_document=15)
+        assert docs
+        emitted_entities = set()
+        for doc in docs:
+            for emitted in doc.emitted:
+                emitted_entities.add(emitted.subject_id)
+        out_of_repo = sum(
+            1 for e in emitted_entities
+            if not tiny_world.entities[e].in_repository
+        )
+        # The Wikia dataset is dominated by out-of-repository characters.
+        assert out_of_repo / max(len(emitted_entities), 1) > 0.5
+
+
+class TestTuning:
+    def test_instances_built(self, tiny_world, background):
+        instances = build_training_instances(
+            tiny_world, corpus=background, limit=50
+        )
+        assert instances
+        for instance in instances:
+            assert instance.truth.shape == (4,)
+            assert (instance.total >= instance.truth - 1e-9).all()
+
+    def test_learning_improves_likelihood(self, tiny_world, background):
+        import numpy as np
+
+        instances = build_training_instances(
+            tiny_world, corpus=background, limit=50
+        )
+        params = learn_parameters(instances)
+        alphas = np.array(params.as_tuple())
+        uniform = np.ones(4)
+
+        def nll(a):
+            truths = np.stack([i.truth for i in instances])
+            totals = np.stack([i.total for i in instances])
+            eps = 1e-9
+            return -np.sum(np.log((truths @ a + eps) / (totals @ a + eps)))
+
+        assert nll(alphas) <= nll(uniform) + 1e-6
+
+    def test_normalized_alpha1(self, tiny_world, background):
+        instances = build_training_instances(
+            tiny_world, corpus=background, limit=50
+        )
+        params = learn_parameters(instances)
+        assert params.alpha1 == pytest.approx(1.0)
+
+    def test_no_instances_raises(self):
+        with pytest.raises(ValueError):
+            learn_parameters([])

@@ -1,0 +1,143 @@
+"""Tests for metrics, the fact matcher and the simulated assessors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.assess import FactMatcher, SimulatedAssessors
+from repro.eval.metrics import (
+    cohen_kappa,
+    macro_prf,
+    precision_at,
+    precision_recall_curve,
+    precision_recall_f1,
+    wald_interval,
+)
+
+
+class TestMetrics:
+    def test_wald_interval_formula(self):
+        # p=0.5, n=100 -> 1.96 * sqrt(0.25/100) = 0.098.
+        assert wald_interval(0.5, 100) == pytest.approx(0.098)
+
+    def test_wald_zero_n(self):
+        assert wald_interval(0.5, 0) == 0.0
+
+    def test_kappa_perfect(self):
+        assert cohen_kappa([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_kappa_chance(self):
+        # Independent coin flips hover near zero.
+        a = [1, 0] * 50
+        b = [1, 1, 0, 0] * 25
+        assert abs(cohen_kappa(a, b)) < 0.2
+
+    def test_kappa_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cohen_kappa([1], [1, 0])
+
+    def test_prf_basics(self):
+        p, r, f = precision_recall_f1({"a", "b"}, {"b", "c"})
+        assert p == 0.5 and r == 0.5 and f == 0.5
+
+    def test_prf_empty_prediction(self):
+        assert precision_recall_f1(set(), {"a"}) == (0.0, 0.0, 0.0)
+
+    def test_macro_prf_averages(self):
+        p, r, f = macro_prf([{"a"}, {"b"}], [{"a"}, {"c"}])
+        assert p == 0.5 and r == 0.5 and f == 0.5
+
+    def test_precision_at(self):
+        ranked = [True, True, False, True]
+        assert precision_at(ranked, 2) == 1.0
+        assert precision_at(ranked, 4) == 0.75
+
+    def test_precision_recall_curve(self):
+        points = precision_recall_curve([True, False])
+        assert points == [(1, 1.0), (2, 0.5)]
+
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_kappa_bounded(pairs):
+    """Kappa never exceeds 1."""
+    a = [int(x) for x, _ in pairs]
+    b = [int(y) for _, y in pairs]
+    assert cohen_kappa(a, b) <= 1.0 + 1e-9
+
+
+class TestFactMatcher:
+    @pytest.fixture(scope="class")
+    def matched(self, tiny_world, qkbfly_system, realizer):
+        actor = tiny_world.person_ids_by_profession["ACTOR"][0]
+        doc = realizer.wikipedia_article(actor)
+        kb, _ = qkbfly_system.process_text(doc.text, doc_id=doc.doc_id)
+        matcher = FactMatcher(tiny_world)
+        return doc, kb, matcher
+
+    def test_some_extractions_correct(self, matched):
+        doc, kb, matcher = matched
+        verdicts = [matcher.is_correct(f, doc, kb) for f in kb.facts]
+        assert any(verdicts)
+
+    def test_fabricated_fact_incorrect(self, tiny_world, matched):
+        from repro.kb.facts import ARG_ENTITY, Argument, Fact
+
+        doc, kb, matcher = matched
+        bogus = Fact(
+            subject=Argument(ARG_ENTITY, tiny_world.city_ids[0], "Somewhere"),
+            predicate="married_to",
+            objects=[Argument(ARG_ENTITY, tiny_world.city_ids[1], "Elsewhere")],
+            canonical_predicate=True,
+        )
+        assert not matcher.is_correct(bogus, doc, kb)
+
+    def test_symmetric_swap_matches(self, tiny_world, realizer, qkbfly_system):
+        fact = next(
+            f for f in tiny_world.facts
+            if f.relation_id == "married_to" and not f.recent
+        )
+        doc = realizer.single_sentence(fact, "sym-test")
+        from repro.kb.facts import ARG_ENTITY, Argument, Fact
+
+        matcher = FactMatcher(tiny_world)
+        swapped = Fact(
+            subject=Argument(
+                ARG_ENTITY, fact.object_id,
+                tiny_world.entities[fact.object_id].name,
+            ),
+            predicate="married_to",
+            objects=[Argument(
+                ARG_ENTITY, fact.subject_id,
+                tiny_world.entities[fact.subject_id].name,
+            )],
+            canonical_predicate=True,
+        )
+        assert matcher.is_correct(swapped, doc)
+
+
+class TestSimulatedAssessors:
+    def test_kappa_near_paper_value(self):
+        # A balanced sample at realistic precision lands near kappa 0.7.
+        verdicts = [True] * 120 + [False] * 80
+        assessment = SimulatedAssessors(seed=1).assess(verdicts, sample_size=200)
+        assert 0.5 < assessment.kappa < 0.9
+
+    def test_precision_tracks_oracle(self):
+        verdicts = [True] * 150 + [False] * 50
+        assessment = SimulatedAssessors(seed=2).assess(verdicts)
+        assert abs(assessment.precision - assessment.oracle_precision) < 0.1
+
+    def test_empty(self):
+        assessment = SimulatedAssessors().assess([])
+        assert assessment.sample_size == 0
+
+    def test_sampling_caps_size(self):
+        assessment = SimulatedAssessors(seed=3).assess([True] * 500, sample_size=200)
+        assert assessment.sample_size == 200
+
+    def test_deterministic(self):
+        verdicts = [True, False] * 100
+        a = SimulatedAssessors(seed=9).assess(verdicts)
+        b = SimulatedAssessors(seed=9).assess(verdicts)
+        assert a.precision == b.precision and a.kappa == b.kappa

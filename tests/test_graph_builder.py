@@ -1,0 +1,149 @@
+"""Tests for semantic-graph construction and initial co-reference."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.coref import PRONOUN_WINDOW_SENTENCES
+from repro.graph.semantic_graph import NodeType, SemanticGraph, PhraseNode
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+
+GAZ = {
+    "brad pitt": "PERSON", "pitt": "PERSON", "angelina jolie": "PERSON",
+    "jolie": "PERSON", "troy": "MISC", "marwick": "LOCATION",
+    "liverpool": "LOCATION", "liverpool f.c.": "ORGANIZATION",
+}
+
+
+@pytest.fixture(scope="module")
+def repo():
+    from repro.kb.entity_repository import Entity, EntityRepository
+
+    r = EntityRepository()
+    r.add(Entity("P1", "Brad Pitt", aliases=["Brad Pitt", "Pitt"],
+                 types=["ACTOR"], gender="male", prominence=5.0))
+    r.add(Entity("P2", "Angelina Jolie", aliases=["Angelina Jolie", "Jolie"],
+                 types=["ACTOR"], gender="female", prominence=4.0))
+    r.add(Entity("L1", "Liverpool", types=["CITY"], prominence=3.0))
+    r.add(Entity("C1", "Liverpool F.C.",
+                 aliases=["Liverpool F.C.", "Liverpool"],
+                 types=["FOOTBALL_CLUB"], prominence=2.0))
+    r.add(Entity("M1", "Troy", types=["FILM"], prominence=1.0))
+    return r
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return NlpPipeline(PipelineConfig(parser="greedy", gazetteer=GAZ))
+
+
+def build(pipe, repo, text, **kwargs):
+    builder = GraphBuilder(repo, **kwargs)
+    return builder.build(pipe.annotate_text(text))
+
+
+class TestNodes:
+    def test_phrase_and_entity_nodes(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt married Angelina Jolie.")
+        surfaces = {n.surface for n in g.phrases.values()}
+        assert {"Brad Pitt", "Angelina Jolie"} <= surfaces
+        assert "e:P1" in g.entities
+        assert "e:P2" in g.entities
+
+    def test_pronoun_node_with_gender(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt smiled. He married Angelina Jolie.")
+        pronouns = [g.phrases[p] for p in g.pronouns()]
+        assert pronouns
+        assert pronouns[0].gender == "male"
+
+    def test_means_edges_ambiguous(self, pipe, repo):
+        g = build(pipe, repo, "Pitt lives in Liverpool.")
+        liverpool = next(
+            p for p, n in g.phrases.items() if n.surface == "Liverpool"
+        )
+        assert g.candidates(liverpool) == {"L1", "C1"}
+
+    def test_relation_edge_pattern(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt starred in Troy.")
+        patterns = {e.pattern for e in g.relation_edges}
+        assert "star in" in patterns
+
+    def test_depends_edges_fact_boundary(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt married Angelina Jolie in Marwick.")
+        assert g.clauses
+        clause_id = next(iter(g.clauses))
+        assert len(g.depends[clause_id]) >= 3  # subject + object + adverbial
+
+
+class TestHeuristics:
+    def test_possessive_relation(self, pipe, repo):
+        g = build(pipe, repo, "Pitt's ex-wife Angelina Jolie arrived.")
+        patterns = {e.pattern for e in g.relation_edges}
+        assert "ex-wife" in patterns
+
+    def test_possessive_disabled(self, pipe, repo):
+        g = build(
+            pipe, repo, "Pitt's ex-wife Angelina Jolie arrived.",
+            possessive_heuristic=False,
+        )
+        patterns = {e.pattern for e in g.relation_edges}
+        assert "ex-wife" not in patterns
+
+    def test_copula_same_as(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt is an actor.")
+        pitt = next(p for p, n in g.phrases.items() if n.surface == "Brad Pitt")
+        actor = next(p for p, n in g.phrases.items() if "actor" in n.surface)
+        assert actor in g.same_as[pitt]
+
+
+class TestCoref:
+    def test_np_suffix_match_same_label(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt arrived. Pitt smiled.")
+        full = next(p for p, n in g.phrases.items() if n.surface == "Brad Pitt")
+        short = next(p for p, n in g.phrases.items() if n.surface == "Pitt")
+        assert short in g.same_as[full]
+
+    def test_pronoun_window(self, pipe, repo):
+        filler = "The crowd cheered. " * (PRONOUN_WINDOW_SENTENCES + 1)
+        text = "Brad Pitt arrived. " + filler + "He smiled."
+        g = build(pipe, repo, text)
+        pronouns = g.pronouns()
+        assert pronouns
+        pitt = next(p for p, n in g.phrases.items() if n.surface == "Brad Pitt")
+        for pronoun in pronouns:
+            assert pitt not in g.same_as[pronoun]
+
+    def test_pronoun_links_to_recent_person(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt arrived. He smiled.")
+        pronoun = g.pronouns()[0]
+        linked = {g.phrases[x].surface for x in g.same_as[pronoun]}
+        assert "Brad Pitt" in linked
+
+
+class TestGraphModel:
+    def test_group_connectivity(self):
+        g = SemanticGraph()
+        for i in range(3):
+            g.add_phrase(PhraseNode(
+                node_id=f"n{i}", node_type=NodeType.NOUN_PHRASE,
+                sentence_index=0, start=i, end=i + 1, surface=f"x{i}",
+            ))
+        g.add_same_as("n0", "n1")
+        g.add_same_as("n1", "n2")
+        assert g.np_same_as_group("n0") == {"n0", "n1", "n2"}
+
+    def test_remove_same_as(self):
+        g = SemanticGraph()
+        for i in range(2):
+            g.add_phrase(PhraseNode(
+                node_id=f"n{i}", node_type=NodeType.NOUN_PHRASE,
+                sentence_index=0, start=i, end=i + 1, surface=f"x{i}",
+            ))
+        g.add_same_as("n0", "n1")
+        g.remove_same_as("n0", "n1")
+        assert g.same_as["n0"] == set()
+
+    def test_stats(self, pipe, repo):
+        g = build(pipe, repo, "Brad Pitt starred in Troy.")
+        stats = g.stats()
+        assert stats["phrases"] >= 2
+        assert stats["relation_edges"] >= 1

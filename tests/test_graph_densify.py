@@ -1,0 +1,148 @@
+"""Tests for the greedy densest-subgraph algorithm and edge weights."""
+
+import pytest
+
+from repro.corpus.background import build_background_corpus
+from repro.graph.builder import GraphBuilder
+from repro.graph.densify import DensestSubgraph
+from repro.graph.weights import EdgeWeights, WeightParameters
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_world, background, nlp):
+    def run(text, params=None, mode=None):
+        annotated = nlp.annotate_text(text)
+        graph = GraphBuilder(tiny_world.entity_repository).build(annotated)
+        weights = EdgeWeights(
+            graph, annotated, background.statistics, params
+        )
+        result = DensestSubgraph().run(graph, weights)
+        return graph, result
+
+    return run
+
+
+class TestConstraints:
+    def test_one_entity_per_phrase(self, setup, tiny_world):
+        club = tiny_world.entities[tiny_world.club_ids[0]]
+        city = tiny_world.entities[club.home_city]
+        text = f"{city.name} is a city. The club {club.name} won."
+        graph, result = setup(text)
+        for phrase_id in graph.noun_phrases():
+            assert len(graph.candidates(phrase_id)) <= 1
+
+    def test_one_antecedent_per_pronoun(self, setup, tiny_world):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        ]
+        text = f"{person.name} arrived. He smiled. He left."
+        graph, result = setup(text)
+        for pronoun_id in graph.pronouns():
+            assert len(graph.same_as.get(pronoun_id, ())) <= 1
+
+    def test_same_as_groups_share_entity(self, setup, tiny_world):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["MUSICAL_ARTIST"][0]
+        ]
+        surname = person.aliases[1]
+        text = f"{person.name} sang. {surname} smiled."
+        graph, result = setup(text)
+        seen = set()
+        for phrase_id in graph.noun_phrases():
+            if phrase_id in seen:
+                continue
+            group = graph.np_same_as_group(phrase_id)
+            seen.update(group)
+            assignments = {result.assignment.get(m) for m in group}
+            assert len(assignments) == 1
+
+    def test_gender_constraint(self, setup, tiny_world):
+        # A male pronoun must not resolve to a female-only entity.
+        female = next(
+            tiny_world.entities[p]
+            for p in tiny_world.person_ids
+            if tiny_world.entities[p].gender == "female"
+            and tiny_world.entities[p].in_repository
+        )
+        text = f"{female.name} arrived. He smiled."
+        graph, result = setup(text)
+        for pronoun_id in graph.pronouns():
+            entity_id = result.entity_of(pronoun_id)
+            if entity_id is not None:
+                assert tiny_world.entities[entity_id].gender != "female"
+
+
+class TestDisambiguation:
+    def test_type_signature_resolves_city_club(self, setup, tiny_world):
+        """The paper's Liverpool example: 'born in <X>' selects the city."""
+        club = tiny_world.entities[tiny_world.club_ids[0]]
+        city = tiny_world.entities[club.home_city]
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        ]
+        text = f"{person.name} was born in {city.name}."
+        graph, result = setup(text)
+        mention = next(
+            p for p, n in graph.phrases.items() if n.surface == city.name
+        )
+        assert result.assignment[mention] == city.entity_id
+
+    def test_confidence_in_unit_interval(self, setup, tiny_world):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        ]
+        text = f"{person.name} lives in {tiny_world.entities[tiny_world.city_ids[0]].name}."
+        graph, result = setup(text)
+        for value in result.confidence.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_unambiguous_mention_full_confidence(self, setup, tiny_world):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["MUSICAL_ARTIST"][0]
+        ]
+        graph, result = setup(f"{person.name} sang.")
+        mention = next(
+            (p for p, n in graph.phrases.items() if n.surface == person.name),
+            None,
+        )
+        if mention is not None and result.assignment.get(mention):
+            assert result.confidence[mention] == pytest.approx(1.0)
+
+    def test_determinism(self, setup, tiny_world):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][1]
+        ]
+        text = f"{person.name} arrived. He smiled."
+        _, a = setup(text)
+        _, b = setup(text)
+        assert a.assignment == b.assignment
+        assert a.antecedent == b.antecedent
+
+
+class TestWeights:
+    def test_means_weight_nonnegative(self, tiny_world, background, nlp):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        ]
+        annotated = nlp.annotate_text(f"{person.name} arrived.")
+        graph = GraphBuilder(tiny_world.entity_repository).build(annotated)
+        weights = EdgeWeights(graph, annotated, background.statistics)
+        for phrase_id in graph.noun_phrases():
+            for entity_id in graph.candidates(phrase_id):
+                assert weights.means_weight(phrase_id, entity_id) >= 0.0
+
+    def test_alpha_scaling(self, tiny_world, background, nlp):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        ]
+        annotated = nlp.annotate_text(f"{person.name} arrived.")
+        graph = GraphBuilder(tiny_world.entity_repository).build(annotated)
+        base = EdgeWeights(graph, annotated, background.statistics,
+                           WeightParameters(1.0, 1.0, 1.0, 1.0))
+        double = EdgeWeights(graph, annotated, background.statistics,
+                             WeightParameters(2.0, 2.0, 2.0, 2.0))
+        for phrase_id in graph.noun_phrases():
+            for entity_id in graph.candidates(phrase_id):
+                assert double.means_weight(phrase_id, entity_id) == pytest.approx(
+                    2.0 * base.means_weight(phrase_id, entity_id)
+                )

@@ -1,0 +1,115 @@
+"""Tests for the 0-1 ILP solver and the Appendix-A formulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.densify import DensestSubgraph
+from repro.graph.ilp import IlpStage2
+from repro.graph.solver import BranchAndBoundSolver, IlpProblem
+from repro.graph.weights import EdgeWeights
+
+
+class TestSolver:
+    def test_unconstrained_takes_positives(self):
+        problem = IlpProblem(objective=np.array([3.0, -2.0, 1.0]))
+        solution = BranchAndBoundSolver().solve(problem)
+        assert list(solution.values) == [1.0, 0.0, 1.0]
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_equality_pick_one(self):
+        problem = IlpProblem(
+            objective=np.array([1.0, 5.0, 3.0]),
+            eq_matrix=np.array([[1.0, 1.0, 1.0]]),
+            eq_rhs=np.array([1.0]),
+        )
+        solution = BranchAndBoundSolver().solve(problem)
+        assert solution.objective == pytest.approx(5.0)
+        assert solution.values[1] == 1.0
+
+    def test_knapsack_needs_branching(self):
+        # LP relaxation is fractional here; B&B must still be exact.
+        problem = IlpProblem(
+            objective=np.array([6.0, 5.0, 5.0]),
+            le_matrix=np.array([[4.0, 3.0, 3.0]]),
+            le_rhs=np.array([5.0]),
+        )
+        solution = BranchAndBoundSolver().solve(problem)
+        assert solution.objective == pytest.approx(6.0)
+
+    def test_warm_start_feasible(self):
+        problem = IlpProblem(
+            objective=np.array([2.0, 1.0]),
+            le_matrix=np.array([[1.0, 1.0]]),
+            le_rhs=np.array([1.0]),
+        )
+        warm = np.array([0.0, 1.0])
+        solution = BranchAndBoundSolver().solve(problem, warm_start=warm)
+        assert solution.objective == pytest.approx(2.0)
+
+    @given(
+        st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=6),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cardinality_constraint_exact(self, costs, k):
+        """B&B matches brute force under a <= k cardinality constraint."""
+        n = len(costs)
+        objective = np.array(costs)
+        problem = IlpProblem(
+            objective=objective,
+            le_matrix=np.ones((1, n)),
+            le_rhs=np.array([float(k)]),
+        )
+        solution = BranchAndBoundSolver().solve(problem)
+        # Brute force.
+        best = 0.0
+        for mask in range(2 ** n):
+            bits = [(mask >> i) & 1 for i in range(n)]
+            if sum(bits) <= k:
+                best = max(best, sum(b * c for b, c in zip(bits, costs)))
+        assert solution.objective == pytest.approx(best, abs=1e-6)
+
+
+class TestIlpStage2:
+    @pytest.fixture(scope="class")
+    def run_pair(self, tiny_world, background, nlp):
+        def run(text):
+            annotated_a = nlp.annotate_text(text)
+            graph_a = GraphBuilder(tiny_world.entity_repository).build(annotated_a)
+            weights_a = EdgeWeights(graph_a, annotated_a, background.statistics)
+            greedy = DensestSubgraph().run(graph_a, weights_a)
+
+            annotated_b = nlp.annotate_text(text)
+            graph_b = GraphBuilder(tiny_world.entity_repository).build(annotated_b)
+            weights_b = EdgeWeights(graph_b, annotated_b, background.statistics)
+            ilp = IlpStage2(time_budget=60.0).run(graph_b, weights_b)
+            return greedy, ilp, graph_b
+
+        return run
+
+    def test_agrees_with_greedy_on_easy_case(self, run_pair, tiny_world):
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["ACTOR"][0]
+        ]
+        city = tiny_world.entities[person.home_city]
+        greedy, ilp, _ = run_pair(f"{person.name} was born in {city.name}.")
+        for phrase_id, entity_id in greedy.assignment.items():
+            if entity_id is not None:
+                assert ilp.assignment.get(phrase_id) == entity_id
+
+    def test_ilp_constraints_hold(self, run_pair, tiny_world):
+        club = tiny_world.entities[tiny_world.club_ids[0]]
+        city = tiny_world.entities[club.home_city]
+        person = tiny_world.entities[
+            tiny_world.person_ids_by_profession["FOOTBALLER"][0]
+        ]
+        _, ilp, graph = run_pair(
+            f"{person.name} plays for {club.name}. He visited {city.name}."
+        )
+        for phrase_id in graph.noun_phrases():
+            assert len(graph.candidates(phrase_id)) <= 1
+        for pronoun_id in graph.pronouns():
+            assert len(graph.same_as.get(pronoun_id, ())) <= 1

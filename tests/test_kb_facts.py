@@ -1,0 +1,117 @@
+"""Tests for the fact / KB model."""
+
+import pytest
+
+from repro.kb.facts import (
+    ARG_EMERGING,
+    ARG_ENTITY,
+    ARG_LITERAL,
+    ARG_TIME,
+    Argument,
+    EmergingEntity,
+    Fact,
+    KnowledgeBase,
+)
+
+
+def entity(eid, name):
+    return Argument(ARG_ENTITY, eid, name)
+
+
+def make_fact(pred="married_to", subj=("E1", "Brad Pitt"), obj=("E2", "Angelina Jolie"), **kw):
+    return Fact(
+        subject=entity(*subj),
+        predicate=pred,
+        objects=[entity(*obj)],
+        canonical_predicate=True,
+        **kw,
+    )
+
+
+class TestFact:
+    def test_arity(self):
+        fact = make_fact()
+        assert fact.arity == 2
+        assert fact.is_triple()
+
+    def test_higher_arity(self):
+        fact = Fact(
+            subject=entity("E1", "Pitt"),
+            predicate="plays_role_in",
+            objects=[entity("E3", "Achilles"), entity("E4", "Troy")],
+        )
+        assert fact.arity == 3
+        assert not fact.is_triple()
+
+    def test_key_ignores_confidence(self):
+        assert make_fact(confidence=0.5).key() == make_fact(confidence=0.9).key()
+
+
+class TestKnowledgeBase:
+    def test_dedup_keeps_max_confidence(self):
+        kb = KnowledgeBase()
+        assert kb.add_fact(make_fact(confidence=0.6))
+        assert not kb.add_fact(make_fact(confidence=0.9))
+        assert len(kb) == 1
+        assert kb.facts[0].confidence == 0.9
+
+    def test_triples_vs_higher_arity(self):
+        kb = KnowledgeBase()
+        kb.add_fact(make_fact())
+        kb.add_fact(Fact(
+            subject=entity("E1", "Pitt"), predicate="plays_role_in",
+            objects=[entity("E3", "Achilles"), entity("E4", "Troy")],
+        ))
+        assert len(kb.triples()) == 1
+        assert len(kb.higher_arity_facts()) == 1
+
+    def test_search_substring(self):
+        kb = KnowledgeBase()
+        kb.add_fact(make_fact())
+        assert kb.search(subject="pitt")
+        assert kb.search(predicate="married")
+        assert kb.search(obj="jolie")
+        assert not kb.search(subject="dylan")
+
+    def test_search_min_confidence(self):
+        kb = KnowledgeBase()
+        kb.add_fact(make_fact(confidence=0.4))
+        assert not kb.search(subject="pitt", min_confidence=0.5)
+
+    def test_type_search(self):
+        kb = KnowledgeBase()
+        kb.add_fact(make_fact())
+        kb.set_entity_types("E1", ["ACTOR", "PERSON"])
+        assert kb.search(subject="Type:ACTOR")
+        assert kb.search(subject="Type:actor")  # case-insensitive
+        assert not kb.search(subject="Type:CITY")
+
+    def test_type_search_emerging(self):
+        kb = KnowledgeBase()
+        kb.add_emerging(EmergingEntity("c1", "Jessica Leeds", guessed_type="PERSON"))
+        kb.add_fact(Fact(
+            subject=Argument(ARG_EMERGING, "c1", "Jessica Leeds"),
+            predicate="accuses_of",
+            objects=[entity("E9", "Trump")],
+        ))
+        assert kb.search(subject="Type:PERSON")
+
+    def test_new_relations_counted(self):
+        kb = KnowledgeBase()
+        kb.add_fact(make_fact())
+        kb.add_fact(Fact(
+            subject=entity("E1", "Pitt"), predicate="forget",
+            objects=[Argument(ARG_LITERAL, "lyrics", "the lyrics")],
+            canonical_predicate=False,
+        ))
+        assert kb.num_new_relations() == 1
+
+    def test_merge(self):
+        a, b = KnowledgeBase(), KnowledgeBase()
+        a.add_fact(make_fact())
+        b.add_fact(make_fact())  # duplicate
+        b.add_fact(make_fact(pred="divorced_from"))
+        b.observe_mention("E1", "Pitt")
+        a.merge(b)
+        assert len(a) == 2
+        assert "Pitt" in a.entity_mentions["E1"]

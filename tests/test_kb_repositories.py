@@ -1,0 +1,105 @@
+"""Tests for the entity and pattern repositories."""
+
+import pytest
+
+from repro.kb.entity_repository import Entity, EntityRepository
+from repro.kb.pattern_repository import PatternRepository, Relation
+
+
+@pytest.fixture()
+def repo():
+    r = EntityRepository()
+    r.add(Entity("E1", "Brad Pitt", aliases=["Brad Pitt", "Pitt"],
+                 types=["ACTOR"], gender="male", prominence=5.0))
+    r.add(Entity("E2", "Liverpool", types=["CITY"], prominence=3.0))
+    r.add(Entity("E3", "Liverpool F.C.", aliases=["Liverpool F.C.", "Liverpool"],
+                 types=["FOOTBALL_CLUB"], prominence=2.0))
+    return r
+
+
+class TestEntityRepository:
+    def test_candidates_case_insensitive(self, repo):
+        assert [e.entity_id for e in repo.candidates("brad pitt")] == ["E1"]
+
+    def test_ambiguous_alias(self, repo):
+        ids = {e.entity_id for e in repo.candidates("Liverpool")}
+        assert ids == {"E2", "E3"}
+
+    def test_duplicate_id_rejected(self, repo):
+        with pytest.raises(ValueError):
+            repo.add(Entity("E1", "Clone"))
+
+    def test_unknown_type_rejected(self, repo):
+        with pytest.raises(ValueError):
+            repo.add(Entity("E9", "X", types=["NOT_A_TYPE"]))
+
+    def test_gender_lookup(self, repo):
+        assert repo.gender("E1") == "male"
+
+    def test_types_with_ancestors(self, repo):
+        types = repo.types_of("E1", with_ancestors=True)
+        assert types[0] == "ACTOR"
+        assert "PERSON" in types
+
+    def test_coarse_type(self, repo):
+        assert repo.coarse_type("E3") == "ORGANIZATION"
+
+    def test_gazetteer_prominence_wins(self, repo):
+        gaz = repo.gazetteer()
+        # City (prominence 3.0) beats the club (2.0) for the bare alias.
+        assert gaz["liverpool"] == "LOCATION"
+
+    def test_add_alias(self, repo):
+        repo.add_alias("E1", "Bradley Pitt")
+        assert repo.candidates("bradley pitt")[0].entity_id == "E1"
+
+    def test_ambiguous_aliases_listing(self, repo):
+        aliases = dict(repo.ambiguous_aliases())
+        assert "liverpool" in aliases
+
+
+@pytest.fixture()
+def patterns():
+    p = PatternRepository()
+    p.add(Relation("married_to", "married to",
+                   patterns=["marry", "be married to", "wed", "wife"],
+                   signature=("PERSON", "PERSON"), symmetric=True))
+    p.add(Relation("acts_in", "acts in",
+                   patterns=["star in", "appear in"],
+                   signature=("ACTOR", "FILM")))
+    return p
+
+
+class TestPatternRepository:
+    def test_exact_canonicalize(self, patterns):
+        assert patterns.canonicalize("marry") == "married_to"
+        assert patterns.canonicalize("STAR IN") == "acts_in"
+
+    def test_unknown_pattern(self, patterns):
+        assert patterns.canonicalize("teleport to") is None
+
+    def test_preposition_backoff(self, patterns):
+        # "marry in" backs off to "marry".
+        assert patterns.canonicalize("marry in") == "married_to"
+
+    def test_same_synset(self, patterns):
+        assert patterns.same_synset("star in", "appear in")
+        assert not patterns.same_synset("star in", "marry")
+
+    def test_synonyms(self, patterns):
+        assert set(patterns.synonyms("wed")) == {
+            "marry", "be married to", "wed", "wife",
+        }
+
+    def test_synonyms_unknown(self, patterns):
+        assert patterns.synonyms("fly to") == ["fly to"]
+
+    def test_duplicate_relation_rejected(self, patterns):
+        with pytest.raises(ValueError):
+            patterns.add(Relation("married_to", "again"))
+
+    def test_signature(self, patterns):
+        assert patterns.signature_of("acts_in") == ("ACTOR", "FILM")
+
+    def test_num_patterns(self, patterns):
+        assert patterns.num_patterns() == 6

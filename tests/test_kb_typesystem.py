@@ -1,0 +1,63 @@
+"""Tests for the type system."""
+
+import pytest
+
+from repro.kb.typesystem import COARSE_TYPES, TypeSystem
+
+
+@pytest.fixture(scope="module")
+def ts():
+    return TypeSystem()
+
+
+class TestHierarchy:
+    def test_footballer_chain(self, ts):
+        assert ts.ancestors("FOOTBALLER") == ("ATHLETE", "PERSON")
+
+    def test_subtype_reflexive(self, ts):
+        assert ts.is_subtype("ACTOR", "ACTOR")
+
+    def test_subtype_transitive(self, ts):
+        assert ts.is_subtype("GOALKEEPER", "PERSON")
+
+    def test_not_subtype_across_roots(self, ts):
+        assert not ts.is_subtype("ACTOR", "ORGANIZATION")
+
+    def test_with_ancestors_starts_with_self(self, ts):
+        chain = ts.with_ancestors("CITY")
+        assert chain[0] == "CITY"
+        assert "LOCATION" in chain
+
+    def test_children(self, ts):
+        assert "CITY" in ts.children("SETTLEMENT")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            TypeSystem({"A": "MISSING"})
+
+    def test_contains(self, ts):
+        assert "FILM" in ts
+        assert "NOT_A_TYPE" not in ts
+
+
+class TestCoarse:
+    def test_coarse_of_specific(self, ts):
+        assert ts.coarse("FOOTBALL_CLUB") == "ORGANIZATION"
+        assert ts.coarse("FILM") == "MISC"
+        assert ts.coarse("CITY") == "LOCATION"
+
+    def test_coarse_of_root(self, ts):
+        assert ts.coarse("PERSON") == "PERSON"
+
+    def test_every_type_has_coarse_root(self, ts):
+        for type_name in ts.types():
+            assert ts.coarse(type_name) in COARSE_TYPES
+
+
+class TestCompatibility:
+    def test_compatible_subtype(self, ts):
+        assert ts.compatible(["ACTOR"], ["PERSON"])
+        assert ts.compatible(["PERSON"], ["ACTOR"])
+
+    def test_incompatible(self, ts):
+        assert not ts.compatible(["ACTOR"], ["FILM"])

@@ -1,0 +1,144 @@
+"""Tests for both dependency parsers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.dependency import (
+    ROOT,
+    EisnerChartParser,
+    GreedyTransitionParser,
+    arc_score,
+    coarse,
+    tree_is_valid,
+)
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+from repro.nlp.tokens import Sentence, Token
+
+GAZ = {"brad pitt": "PERSON", "pitt": "PERSON", "troy": "MISC",
+       "marwick": "LOCATION", "angelina jolie": "PERSON"}
+
+SENTENCES = [
+    "Brad Pitt married Angelina Jolie.",
+    "He played Achilles in Troy.",
+    "In 2009, Pitt donated $100,000 to the Mercer Foundation.",
+    "She was born in Marwick on May 4, 1970.",
+    "Pitt, who starred in Troy, lives in Marwick.",
+    "Pitt married Angelina Jolie in August 2014 and divorced her in 2016.",
+    "Brad Pitt is an actor.",
+]
+
+
+def parse(text, parser):
+    pipe = NlpPipeline(PipelineConfig(parser=parser, gazetteer=GAZ))
+    return pipe.annotate_text(text).sentences
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+@pytest.mark.parametrize("text", SENTENCES)
+def test_valid_tree(parser, text):
+    """Every parse is a single-rooted acyclic tree."""
+    for sentence in parse(text, parser):
+        assert tree_is_valid(sentence)
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+def test_subject_object(parser):
+    s = parse("Brad Pitt married Angelina Jolie.", parser)[0]
+    rels = {(t.text, t.deprel) for t in s}
+    assert ("Pitt", "nsubj") in rels
+    assert ("Jolie", "dobj") in rels
+    assert ("married", "root") in rels
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+def test_prepositional_attachment(parser):
+    s = parse("He played Achilles in Troy.", parser)[0]
+    by_text = {t.text: t for t in s}
+    assert by_text["in"].deprel == "prep"
+    assert by_text["in"].head == 1  # attaches to the verb
+    assert by_text["Troy"].deprel == "pobj"
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+def test_passive_verb_group(parser):
+    s = parse("She was born in Marwick.", parser)[0]
+    by_text = {t.text: t for t in s}
+    assert by_text["born"].deprel == "root"
+    assert by_text["was"].deprel == "aux"
+    assert by_text["She"].head == 2  # attaches to the content verb
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+def test_copula_attr(parser):
+    s = parse("Brad Pitt is an actor.", parser)[0]
+    by_text = {t.text: t for t in s}
+    assert by_text["actor"].deprel == "attr"
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+def test_possessive(parser):
+    s = parse("Pitt's ex-wife arrived.", parser)[0]
+    by_text = {t.text: t for t in s}
+    assert by_text["'s"].deprel == "case"
+    assert by_text["Pitt"].deprel == "nmod:poss"
+
+
+@pytest.mark.parametrize("parser", ["greedy", "chart"])
+def test_coordination(parser):
+    s = parse(
+        "Pitt married Angelina Jolie in August 2014 and divorced her in 2016.",
+        parser,
+    )[0]
+    by_text = {t.text: t for t in s}
+    assert by_text["divorced"].deprel == "conj"
+    assert by_text["divorced"].head == 1
+
+
+def test_chart_relative_clause():
+    """The exact parser attaches the relative clause to its antecedent."""
+    s = parse("Pitt, who starred in Troy, lives in Marwick.", "chart")[0]
+    by_text = {t.text: t for t in s}
+    assert by_text["starred"].deprel == "acl:relcl"
+    assert s.tokens[by_text["starred"].head].text == "Pitt"
+
+
+def test_punctuation_never_heads():
+    for parser in ("greedy", "chart"):
+        for sentence in parse("He left, and she stayed.", parser):
+            for token in sentence:
+                if token.head != ROOT:
+                    assert sentence.tokens[token.head].pos != "PUNCT"
+
+
+def test_arc_score_subject_beats_compound_at_distance():
+    pipe = NlpPipeline(PipelineConfig(gazetteer=GAZ))
+    s = pipe.annotate_text("Brad Pitt married Angelina Jolie.").sentences[0]
+    # "Pitt" -> "married" (subject) must beat "Brad" -> "married".
+    assert arc_score(s.tokens, 2, 1) > arc_score(s.tokens, 2, 0)
+
+
+def test_coarse_mapping():
+    assert coarse("NNP") == "N"
+    assert coarse("VBD") == "V"
+    assert coarse("PUNCT") == "."
+    assert coarse("XYZ") == "O"
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            ["Pitt", "married", "the", "actor", "in", "Marwick", "famous", "and"]
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_parsers_always_produce_valid_trees(words):
+    """Both parsers yield valid trees on arbitrary word salad."""
+    text = " ".join(words) + "."
+    for parser in ("greedy", "chart"):
+        pipe = NlpPipeline(PipelineConfig(parser=parser))
+        for sentence in pipe.annotate_text(text).sentences:
+            assert tree_is_valid(sentence)

@@ -1,0 +1,87 @@
+"""Tests for NER and the time tagger."""
+
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+
+
+def annotate(text, gazetteer=None):
+    pipe = NlpPipeline(PipelineConfig(gazetteer=gazetteer or {}))
+    return pipe.annotate_text(text).sentences[0]
+
+
+GAZ = {
+    "brad pitt": "PERSON",
+    "pitt": "PERSON",
+    "marwick": "LOCATION",
+    "marwick f.c.": "ORGANIZATION",
+    "mercer foundation": "ORGANIZATION",
+}
+
+
+class TestNer:
+    def test_gazetteer_longest_match(self):
+        s = annotate("Brad Pitt visited Marwick.", GAZ)
+        mentions = [(s.span_text(m), m.label) for m in s.entity_mentions]
+        assert ("Brad Pitt", "PERSON") in mentions
+        assert ("Marwick", "LOCATION") in mentions
+
+    def test_ambiguous_alias_single_label(self):
+        s = annotate("Marwick F.C. won.", GAZ)
+        mentions = [(s.span_text(m), m.label) for m in s.entity_mentions]
+        assert ("Marwick F.C.", "ORGANIZATION") in mentions
+
+    def test_unknown_two_word_name_is_person(self):
+        s = annotate("Zara Quill arrived.")
+        mentions = [(s.span_text(m), m.label) for m in s.entity_mentions]
+        assert ("Zara Quill", "PERSON") in mentions
+
+    def test_org_suffix_heuristic(self):
+        s = annotate("He founded Quill Foundation.")
+        mentions = [(s.span_text(m), m.label) for m in s.entity_mentions]
+        assert ("Quill Foundation", "ORGANIZATION") in mentions
+
+    def test_money_label(self):
+        s = annotate("He donated $5,000.")
+        assert any(t.ner == "MONEY" for t in s.tokens)
+
+    def test_adjacent_person_mentions_merge(self):
+        # Unknown first name + gazetteer surname = one person mention.
+        s = annotate("Verena Pitt sang.", GAZ)
+        mentions = [(s.span_text(m), m.label) for m in s.entity_mentions]
+        assert ("Verena Pitt", "PERSON") in mentions
+
+    def test_time_not_entity(self):
+        s = annotate("He arrived in August 2014.", GAZ)
+        assert all(
+            s.span_text(m) != "August 2014" for m in s.entity_mentions
+        )
+
+
+class TestTimeTagger:
+    def test_full_date(self):
+        s = annotate("She filed on September 19, 2016.")
+        assert "2016-09-19" in s.time_values.values()
+
+    def test_day_month_year(self):
+        s = annotate("Born on 17 December 1936.")
+        assert "1936-12-17" in s.time_values.values()
+
+    def test_month_year(self):
+        s = annotate("He left in May 2012.")
+        assert "2012-05" in s.time_values.values()
+
+    def test_bare_year(self):
+        s = annotate("It opened in 2008.")
+        assert "2008" in s.time_values.values()
+
+    def test_decade(self):
+        s = annotate("Popular in the 1980s.")
+        assert "1980" in s.time_values.values()
+
+    def test_relative(self):
+        s = annotate("He arrived yesterday.")
+        assert "PAST_REF" in s.time_values.values()
+
+    def test_tokens_marked_time(self):
+        s = annotate("She left on May 4, 1970.")
+        marked = [t.text for t in s.tokens if t.ner == "TIME"]
+        assert "May" in marked and "1970" in marked

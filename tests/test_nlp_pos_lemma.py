@@ -1,0 +1,118 @@
+"""Tests for the POS tagger and the lemmatizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import lexicon
+from repro.nlp.lemma import lemmatize_token
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+from repro.nlp.tokens import Sentence, Token
+
+
+def tag(text):
+    pipe = NlpPipeline(PipelineConfig())
+    doc = pipe.annotate_text(text)
+    return [(t.text, t.pos) for t in doc.sentences[0]]
+
+
+class TestPosTagger:
+    def test_simple_svo(self):
+        tags = dict(tag("Brad married Angelina."))
+        assert tags["married"] == "VBD"
+        assert tags["Brad"] == "NNP"
+
+    def test_determiner_noun(self):
+        tags = dict(tag("the actor smiled"))
+        assert tags["the"] == "DT"
+        assert tags["actor"] == "NN"
+
+    def test_noun_verb_ambiguity_after_det(self):
+        tags = dict(tag("He released the record."))
+        assert tags["record"] == "NN"
+        assert tags["released"] == "VBD"
+
+    def test_passive_participle(self):
+        tags = dict(tag("She was born in Marwick."))
+        assert tags["born"] == "VBN"
+        assert tags["was"] == "VBD"
+
+    def test_modal_then_base(self):
+        tags = dict(tag("She will sing tonight."))
+        assert tags["will"] == "MD"
+        assert tags["sing"] == "VB"
+
+    def test_may_month_vs_modal(self):
+        tags = dict(tag("He arrived on May 4."))
+        assert tags["May"] == "NNP"
+        tags = dict(tag("He may arrive."))
+        assert tags["may"] == "MD"
+
+    def test_her_object_vs_possessive(self):
+        tags = dict(tag("He praised her."))
+        assert tags["her"] == "PRP"
+        tags = dict(tag("He praised her voice."))
+        assert tags["her"] == "PRP$"
+
+    def test_possessive_clitic(self):
+        tags = dict(tag("Pitt's wife arrived."))
+        assert tags["'s"] == "POS"
+
+    def test_who_relativizer(self):
+        tags = dict(tag("the actor, who smiled"))
+        assert tags["who"] == "WP"
+
+    def test_currency_is_cd(self):
+        tags = dict(tag("He donated $100,000."))
+        assert tags["$100,000"] == "CD"
+
+    def test_unknown_ly_is_adverb(self):
+        tags = dict(tag("he moved swiftly"))
+        assert tags["swiftly"] == "RB"
+
+    def test_capitalized_midsentence_is_nnp(self):
+        tags = dict(tag("He visited Zanthor."))
+        assert tags["Zanthor"] == "NNP"
+
+
+class TestLemmatizer:
+    def test_irregular_verbs(self):
+        assert lemmatize_token("won", "VBD") == "win"
+        assert lemmatize_token("was", "VBD") == "be"
+        assert lemmatize_token("born", "VBN") == "bear"
+
+    def test_regular_past(self):
+        assert lemmatize_token("married", "VBD") == "marry"
+        assert lemmatize_token("donated", "VBD") == "donate"
+
+    def test_doubled_consonant(self):
+        assert lemmatize_token("starring", "VBG") == "star"
+
+    def test_third_person(self):
+        assert lemmatize_token("plays", "VBZ") == "play"
+        assert lemmatize_token("coaches", "VBZ") == "coach"
+
+    def test_noun_plurals(self):
+        assert lemmatize_token("cities", "NNS") == "city"
+        assert lemmatize_token("children", "NNS") == "child"
+        assert lemmatize_token("wives", "NNS") == "wife"
+
+    def test_proper_noun_untouched(self):
+        assert lemmatize_token("Pitt", "NNP") == "Pitt"
+
+
+@given(st.sampled_from(sorted(lexicon.REGULAR_VERBS)))
+@settings(max_examples=80, deadline=None)
+def test_inflection_roundtrip(base):
+    """past/third/gerund inflections lemmatize back to the base verb."""
+    assert lemmatize_token(lexicon.past_tense(base), "VBD") == base
+    assert lemmatize_token(lexicon.third_person(base), "VBZ") == base
+    assert lemmatize_token(lexicon.gerund(base), "VBG") == base
+
+
+@given(st.sampled_from(sorted(lexicon.IRREGULAR_VERBS)))
+@settings(max_examples=50, deadline=None)
+def test_irregular_forms_indexed(base):
+    """Every irregular inflection is present in the verb-form index."""
+    past, part, third, ger = lexicon.IRREGULAR_VERBS[base]
+    for form in (base, past, part, third, ger):
+        assert form in lexicon.VERB_FORMS

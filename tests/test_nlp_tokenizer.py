@@ -1,0 +1,71 @@
+"""Tests for tokenization and sentence splitting."""
+
+from repro.nlp.sentences import sentences_from_text, split_sentences
+from repro.nlp.tokenizer import tokenize
+
+
+class TestTokenize:
+    def test_possessive_clitic(self):
+        assert tokenize("Pitt's wife") == ["Pitt", "'s", "wife"]
+
+    def test_negation_clitic(self):
+        assert tokenize("didn't stop") == ["did", "n't", "stop"]
+
+    def test_currency(self):
+        assert tokenize("donated $100,000 today") == [
+            "donated", "$100,000", "today",
+        ]
+
+    def test_number_with_trailing_comma(self):
+        assert tokenize("In 2009, Pitt") == ["In", "2009", ",", "Pitt"]
+
+    def test_comma_grouped_number(self):
+        assert tokenize("1,000,000 fans") == ["1,000,000", "fans"]
+
+    def test_date_tokens(self):
+        assert tokenize("September 19, 2016.") == [
+            "September", "19", ",", "2016", ".",
+        ]
+
+    def test_hyphenated_compound(self):
+        assert tokenize("his ex-wife left") == ["his", "ex-wife", "left"]
+
+    def test_abbreviation_fc(self):
+        tokens = tokenize("Marwick F.C. won.")
+        assert "F.C." in tokens
+
+    def test_sentence_final_period_split(self):
+        tokens = tokenize("He left.")
+        assert tokens == ["He", "left", "."]
+
+    def test_percent(self):
+        assert tokenize("17% growth") == ["17%", "growth"]
+
+    def test_unicode_apostrophe(self):
+        assert tokenize("Pitt’s wife") == ["Pitt", "'s", "wife"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestSentenceSplit:
+    def test_two_sentences(self):
+        sents = sentences_from_text("He left. She stayed.")
+        assert len(sents) == 2
+        assert sents[0] == ["He", "left", "."]
+
+    def test_abbreviation_not_boundary(self):
+        sents = sentences_from_text("Marwick F.C. won the cup. Fans cheered.")
+        assert len(sents) == 2
+
+    def test_question_mark(self):
+        sents = sentences_from_text("Who won? He did.")
+        assert len(sents) == 2
+
+    def test_trailing_fragment(self):
+        sents = sentences_from_text("no terminator here")
+        assert len(sents) == 1
+
+    def test_closing_quote_stays(self):
+        sents = split_sentences(["He", "said", "yes", ".", '"', "Right", "."])
+        assert sents[0][-1] == '"'

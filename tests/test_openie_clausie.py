@@ -1,0 +1,114 @@
+"""Tests for clause detection and proposition generation."""
+
+import pytest
+
+from repro.nlp.pipeline import NlpPipeline, PipelineConfig
+from repro.openie.clausie import ClausIE
+from repro.openie.clauses import CLAUSE_TYPES
+
+GAZ = {
+    "brad pitt": "PERSON", "pitt": "PERSON", "angelina jolie": "PERSON",
+    "troy": "MISC", "achilles": "PERSON", "marwick": "LOCATION",
+    "ardenia": "LOCATION", "mercer foundation": "ORGANIZATION",
+}
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return ClausIE()
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return NlpPipeline(PipelineConfig(parser="greedy", gazetteer=GAZ))
+
+
+def props(pipe, extractor, text):
+    out = []
+    for sentence in pipe.annotate_text(text).sentences:
+        out.extend(extractor.propositions(sentence))
+    return out
+
+
+class TestClauseTypes:
+    def test_svo(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "Pitt praised Angelina Jolie.")
+        assert p.clause_type == "SVO"
+        assert p.pattern == "praise"
+
+    def test_svc_copula(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "Brad Pitt is an actor.")
+        assert p.clause_type == "SVC"
+        assert p.pattern == "be"
+        assert p.arguments[0][0] == "an actor"
+
+    def test_sva(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "Pitt lives in Marwick.")
+        assert p.clause_type == "SVA"
+        assert p.pattern == "live in"
+
+    def test_svoa_ternary(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "He played Achilles in Troy.")
+        assert p.clause_type == "SVOA"
+        assert p.pattern == "play in"
+        assert len(p.arguments) == 2
+
+    def test_svoa_with_money(self, pipe, extractor):
+        (p,) = props(
+            pipe, extractor, "Pitt donated $100,000 to the Mercer Foundation."
+        )
+        assert p.pattern == "donate to"
+        kinds = [k for _, k in p.arguments]
+        assert "money" in kinds
+
+    def test_clause_type_inventory(self, pipe, extractor):
+        for p in props(pipe, extractor, "Pitt praised Angelina Jolie."):
+            assert p.clause_type in CLAUSE_TYPES
+
+
+class TestPatterns:
+    def test_passive_pattern(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "She was born in Marwick.")
+        assert p.pattern == "be born in"
+
+    def test_copula_complement_folding(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "Marwick is a city in Ardenia.")
+        assert p.pattern == "be city in"
+        assert p.arguments[0][0] == "Ardenia"
+
+    def test_time_only_adverbial_keeps_bare_verb(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "Pitt divorced Angelina Jolie in 2016.")
+        assert p.pattern == "divorce"
+
+    def test_negation(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "Pitt did not praise Angelina Jolie.")
+        assert p.pattern.startswith("not ")
+
+
+class TestComplexSentences:
+    def test_coordination_subject_inheritance(self, pipe, extractor):
+        out = props(
+            pipe, extractor,
+            "Pitt married Angelina Jolie in 2014 and divorced her in 2016.",
+        )
+        assert len(out) == 2
+        assert all(p.subject == "Pitt" for p in out)
+
+    def test_relative_clause_two_clauses(self, pipe, extractor):
+        out = props(
+            pipe, extractor, "Pitt, who starred in Troy, lives in Marwick."
+        )
+        patterns = {p.pattern for p in out}
+        assert {"star in", "live in"} <= patterns
+
+    def test_time_subject_rejected(self, pipe, extractor):
+        out = props(
+            pipe, extractor,
+            "He won the cup on May 4, 2010 and lives in Marwick.",
+        )
+        assert all(p.subject != "May 4, 2010" for p in out)
+
+    def test_time_argument_uses_full_span(self, pipe, extractor):
+        (p,) = props(pipe, extractor, "She was born in Marwick on May 4, 1970.")
+        texts = [t for t, k in p.arguments if k == "time"]
+        assert texts and "1970" in texts[0]

@@ -1,0 +1,98 @@
+"""Tests for on-the-fly paraphrase mining (the paper's future work)."""
+
+import pytest
+
+from repro.core.paraphrase_mining import MinedSynset, ParaphraseMiner
+from repro.kb.facts import ARG_ENTITY, ARG_LITERAL, Argument, Fact, KnowledgeBase
+
+
+def new_fact(pattern, subj, obj):
+    return Fact(
+        subject=Argument(ARG_ENTITY, subj, subj),
+        predicate=pattern,
+        objects=[Argument(ARG_ENTITY, obj, obj)],
+        pattern=pattern,
+        canonical_predicate=False,
+    )
+
+
+@pytest.fixture()
+def kb():
+    kb = KnowledgeBase()
+    # "back" and "endorse" connect the same argument pairs.
+    for pattern in ("back", "endorse"):
+        kb.add_fact(new_fact(pattern, "E1", "F1"))
+        kb.add_fact(new_fact(pattern, "E2", "F2"))
+        kb.add_fact(new_fact(pattern, "E3", "F1"))
+    # "praise" shares only one pair with them.
+    kb.add_fact(new_fact("praise", "E1", "F1"))
+    kb.add_fact(new_fact("praise", "E9", "F9"))
+    return kb
+
+
+class TestMining:
+    def test_merges_matching_patterns(self, kb):
+        synsets = ParaphraseMiner().mine(kb)
+        clusters = {tuple(s.patterns) for s in synsets}
+        assert ("back", "endorse") in clusters
+
+    def test_does_not_over_merge(self, kb):
+        synsets = ParaphraseMiner().mine(kb)
+        for synset in synsets:
+            assert not ("praise" in synset.patterns and "back" in synset.patterns)
+
+    def test_support_counts_pairs(self, kb):
+        synsets = ParaphraseMiner().mine(kb)
+        merged = next(s for s in synsets if "back" in s.patterns)
+        assert merged.support == 3
+
+    def test_canonical_predicates_ignored(self):
+        kb = KnowledgeBase()
+        fact = new_fact("marry", "E1", "E2")
+        fact.canonical_predicate = True
+        kb.add_fact(fact)
+        assert ParaphraseMiner().mine(kb) == []
+
+    def test_literal_only_facts_ignored(self):
+        kb = KnowledgeBase()
+        kb.add_fact(Fact(
+            subject=Argument(ARG_LITERAL, "x", "x"),
+            predicate="foo",
+            objects=[Argument(ARG_LITERAL, "y", "y")],
+        ))
+        assert ParaphraseMiner().mine(kb) == []
+
+    def test_representative_is_shortest(self, kb):
+        merged = next(
+            s for s in ParaphraseMiner().mine(kb) if "endorse" in s.patterns
+        )
+        assert merged.representative == "back"
+
+
+class TestApply:
+    def test_rewrites_merged_patterns(self, kb):
+        rewritten = ParaphraseMiner().apply(kb)
+        assert rewritten > 0
+        predicates = kb.predicates()
+        assert "endorse" not in predicates
+        assert "back" in predicates
+
+    def test_singletons_untouched(self, kb):
+        ParaphraseMiner().apply(kb)
+        assert "praise" in kb.predicates()
+
+    def test_end_to_end_on_real_kb(self, tiny_world, qkbfly_system, realizer):
+        from repro.datasets.wikia import build_wikia_dataset
+
+        docs = build_wikia_dataset(tiny_world, num_documents=2,
+                                   sentences_per_document=20)
+        kb = KnowledgeBase()
+        for doc in docs:
+            fragment, _ = qkbfly_system.process_text(doc.text, doc_id=doc.doc_id)
+            kb.merge(fragment)
+        miner = ParaphraseMiner(min_shared=1, min_jaccard=0.3)
+        synsets = miner.mine(kb)
+        # Mining runs and produces well-formed synsets.
+        for synset in synsets:
+            assert synset.patterns
+            assert synset.support >= 1

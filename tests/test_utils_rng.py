@@ -1,0 +1,140 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import DeterministicRng, derive_seed, spread
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_namespaces_differ(self):
+        a = DeterministicRng(42, namespace="x")
+        b = DeterministicRng(42, namespace="y")
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork("child")
+        b = DeterministicRng(7).fork("child")
+        assert a.next_u64() == b.next_u64()
+
+    def test_fork_independent_of_parent_consumption(self):
+        a = DeterministicRng(7)
+        a.random()
+        # fork derives from current state, so consuming changes children;
+        # but two identically-consumed parents agree.
+        b = DeterministicRng(7)
+        b.random()
+        assert a.fork("c").next_u64() == b.fork("c").next_u64()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_zero_seed_ok(self):
+        rng = DeterministicRng(0)
+        assert rng.next_u64() != 0
+
+
+class TestDistributions:
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(3)
+        for _ in range(1000):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_random_roughly_uniform(self):
+        rng = DeterministicRng(5)
+        mean = sum(rng.random() for _ in range(5000)) / 5000
+        assert abs(mean - 0.5) < 0.03
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(9)
+        values = {rng.randint(2, 5) for _ in range(200)}
+        assert values == {2, 3, 4, 5}
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).randint(5, 2)
+
+    def test_gauss_moments(self):
+        rng = DeterministicRng(11)
+        samples = [rng.gauss(2.0, 3.0) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean - 2.0) < 0.2
+        assert abs(var - 9.0) < 1.0
+
+    def test_zipf_rank_skew(self):
+        rng = DeterministicRng(13)
+        ranks = [rng.zipf_rank(10) for _ in range(2000)]
+        assert ranks.count(0) > ranks.count(9)
+        assert all(0 <= r < 10 for r in ranks)
+
+
+class TestSampling:
+    def test_choice_covers_all(self):
+        rng = DeterministicRng(17)
+        seen = {rng.choice("abc") for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).choice([])
+
+    def test_weighted_choice_prefers_heavy(self):
+        rng = DeterministicRng(19)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[rng.weighted_choice(["a", "b"], [9.0, 1.0])] += 1
+        assert counts["a"] > counts["b"] * 4
+
+    def test_weighted_choice_validates(self):
+        rng = DeterministicRng(1)
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [0.0])
+
+    def test_sample_without_replacement(self):
+        rng = DeterministicRng(23)
+        sample = rng.sample(list(range(10)), 5)
+        assert len(sample) == len(set(sample)) == 5
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(29)
+        items = list(range(30))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be equal
+
+    def test_maybe_probability(self):
+        rng = DeterministicRng(31)
+        hits = sum(rng.maybe(0.25) for _ in range(4000))
+        assert 800 < hits < 1200
+
+    def test_spread_children_distinct(self):
+        children = spread(DeterministicRng(37), 4)
+        streams = [c.next_u64() for c in children]
+        assert len(set(streams)) == 4
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32), k=st.integers(1, 20))
+@settings(max_examples=50, deadline=None)
+def test_sample_property(seed, k):
+    """Samples are always valid subsets without repetition."""
+    rng = DeterministicRng(seed)
+    population = list(range(25))
+    out = rng.sample(population, k)
+    assert len(out) == k
+    assert len(set(out)) == k
+    assert set(out) <= set(population)

@@ -1,0 +1,97 @@
+"""Tests for text helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.text import (
+    is_all_caps,
+    is_capitalized,
+    longest_common_suffix_words,
+    ngrams,
+    normalize_whitespace,
+    strip_determiners,
+    title_case,
+    token_shape,
+)
+
+
+class TestNormalize:
+    def test_collapses_runs(self):
+        assert normalize_whitespace("a\t b\n\nc ") == "a b c"
+
+    def test_empty(self):
+        assert normalize_whitespace("   ") == ""
+
+
+class TestTitleCase:
+    def test_keeps_acronyms(self):
+        assert title_case("the ONE campaign") == "The ONE Campaign"
+
+    def test_simple(self):
+        assert title_case("brad pitt") == "Brad Pitt"
+
+
+class TestShape:
+    def test_capitalized_word(self):
+        assert token_shape("Brad") == "Xx"
+
+    def test_currency(self):
+        assert token_shape("$100,000") == "$d,d"
+
+    def test_mixed(self):
+        assert token_shape("F.C.") == "X.X."
+
+    def test_is_capitalized(self):
+        assert is_capitalized("Pitt")
+        assert not is_capitalized("pitt")
+        assert not is_capitalized("")
+
+    def test_is_all_caps(self):
+        assert is_all_caps("ONE")
+        assert not is_all_caps("One")
+        assert not is_all_caps("A")
+
+
+class TestSuffixWords:
+    def test_shared_surname(self):
+        assert longest_common_suffix_words("Brad Pitt", "Pitt") == 1
+
+    def test_identical(self):
+        assert longest_common_suffix_words("Angelina Jolie", "angelina jolie") == 2
+
+    def test_disjoint(self):
+        assert longest_common_suffix_words("Brad Pitt", "Jolie") == 0
+
+
+class TestStripDeterminers:
+    def test_the(self):
+        assert strip_determiners("the ONE Campaign") == "ONE Campaign"
+
+    def test_an(self):
+        assert strip_determiners("an actor") == "actor"
+
+    def test_untouched(self):
+        assert strip_determiners("Brad Pitt") == "Brad Pitt"
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_long(self):
+        assert ngrams(["a"], 2) == []
+
+
+@given(st.text())
+@settings(max_examples=100, deadline=None)
+def test_normalize_idempotent(text):
+    """normalize_whitespace is idempotent."""
+    once = normalize_whitespace(text)
+    assert normalize_whitespace(once) == once
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")), min_size=1))
+@settings(max_examples=100, deadline=None)
+def test_shape_length_bounded(token):
+    """A shape never exceeds the token length."""
+    assert 1 <= len(token_shape(token)) <= len(token)

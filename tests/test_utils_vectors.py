@@ -1,0 +1,92 @@
+"""Tests for sparse vectors and the weighted overlap coefficient."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.vectors import SparseVector, cosine, weighted_overlap
+
+weights = st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    st.floats(min_value=0.01, max_value=100.0),
+    max_size=8,
+)
+
+
+class TestSparseVector:
+    def test_from_counts(self):
+        v = SparseVector.from_counts(["a", "b", "a"])
+        assert v.get("a") == 2.0
+        assert v.get("b") == 1.0
+        assert v.get("c") == 0.0
+
+    def test_drops_zeros(self):
+        v = SparseVector({"a": 0.0, "b": 1.0})
+        assert len(v) == 1
+
+    def test_total_and_norm(self):
+        v = SparseVector({"a": 3.0, "b": 4.0})
+        assert v.total() == 7.0
+        assert abs(v.norm() - 5.0) < 1e-9
+
+    def test_reweight_drops_unknown(self):
+        v = SparseVector({"a": 2.0, "b": 1.0})
+        out = v.reweight({"a": 0.5})
+        assert out.get("a") == 1.0
+        assert out.get("b") == 0.0
+
+    def test_scale(self):
+        v = SparseVector({"a": 2.0}).scale(3.0)
+        assert v.get("a") == 6.0
+
+
+class TestWeightedOverlap:
+    def test_identical_vectors(self):
+        v = SparseVector({"a": 1.0, "b": 2.0})
+        assert weighted_overlap(v, v) == 1.0
+
+    def test_containment(self):
+        small = SparseVector({"a": 1.0})
+        large = SparseVector({"a": 5.0, "b": 5.0})
+        # min-sum = 1, min(total) = 1 -> 1.0: containment maxes out.
+        assert weighted_overlap(small, large) == 1.0
+
+    def test_disjoint(self):
+        assert weighted_overlap(SparseVector({"a": 1}), SparseVector({"b": 1})) == 0.0
+
+    def test_empty(self):
+        assert weighted_overlap(SparseVector(), SparseVector({"a": 1})) == 0.0
+
+    def test_paper_formula(self):
+        a = SparseVector({"x": 2.0, "y": 1.0})
+        b = SparseVector({"x": 1.0, "z": 4.0})
+        # sum min = 1; min(total) = min(3, 5) = 3.
+        assert abs(weighted_overlap(a, b) - 1.0 / 3.0) < 1e-12
+
+
+class TestCosine:
+    def test_identical(self):
+        v = SparseVector({"a": 1.0, "b": 1.0})
+        assert abs(cosine(v, v) - 1.0) < 1e-9
+
+    def test_orthogonal(self):
+        assert cosine(SparseVector({"a": 1}), SparseVector({"b": 1})) == 0.0
+
+
+@given(weights, weights)
+@settings(max_examples=100, deadline=None)
+def test_overlap_bounds_and_symmetry(da, db):
+    """Overlap is symmetric and bounded in [0, 1]."""
+    a, b = SparseVector(da), SparseVector(db)
+    ab = weighted_overlap(a, b)
+    ba = weighted_overlap(b, a)
+    assert abs(ab - ba) < 1e-9
+    assert 0.0 <= ab <= 1.0 + 1e-9
+
+
+@given(weights)
+@settings(max_examples=50, deadline=None)
+def test_self_overlap_is_one(d):
+    """Any non-empty vector fully overlaps itself."""
+    v = SparseVector(d)
+    if v:
+        assert abs(weighted_overlap(v, v) - 1.0) < 1e-9
