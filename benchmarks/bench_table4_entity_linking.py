@@ -8,7 +8,6 @@ the pipeline variant loses against it.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.babelfy import BabelfyLinker
 from repro.core.qkbfly import QKBfly, QKBflyConfig

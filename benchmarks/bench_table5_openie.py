@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.baselines.ollie import OllieExtractor
 from repro.baselines.reverb import ReverbExtractor

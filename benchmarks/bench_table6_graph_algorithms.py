@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.core.qkbfly import QKBfly, QKBflyConfig
 from repro.datasets.defie_wikipedia import build_defie_wikipedia

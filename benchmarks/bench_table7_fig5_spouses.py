@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.baselines.deepdive import DeepDiveSpouse
 from repro.core.qkbfly import QKBfly, QKBflyConfig

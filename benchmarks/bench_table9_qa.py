@@ -9,7 +9,6 @@ fail on recent events.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.qkbfly import QKBfly, QKBflyConfig
 from repro.datasets.trends_questions import (

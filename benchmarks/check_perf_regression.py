@@ -1,0 +1,71 @@
+"""CI perf gate: fail on >20% regression vs. the committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BENCH_service.json \
+        benchmarks/BENCH_service_baseline.json [--tolerance 0.20]
+
+Only the ``gate_*`` metrics are compared — machine-independent ratios
+(cache/warm speedup, batched speedup, hit/dedup rates) rather than
+absolute QPS, which varies wildly across CI runners. A gated metric
+regresses when ``current < baseline * (1 - tolerance)``. Absolute
+numbers are printed for context but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+INFORMATIONAL = ("qps_cold", "qps_warm", "qps_batched", "p50_ms", "p95_ms")
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> int:
+    """Print the comparison; return the number of regressed gate metrics."""
+    gated = sorted(k for k in baseline if k.startswith("gate_"))
+    if not gated:
+        print("ERROR: baseline has no gate_* metrics")
+        return 1
+    regressions = 0
+    print(f"{'metric':>28} {'baseline':>12} {'current':>12}  verdict")
+    for key in gated:
+        base = float(baseline[key])
+        if key not in current:
+            print(f"{key:>28} {base:>12} {'MISSING':>12}  FAIL")
+            regressions += 1
+            continue
+        value = float(current[key])
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if value >= floor else f"FAIL (floor {floor:.3f})"
+        if value < floor:
+            regressions += 1
+        print(f"{key:>28} {base:>12} {value:>12}  {verdict}")
+    for key in INFORMATIONAL:
+        if key in baseline and key in current:
+            print(
+                f"{key:>28} {baseline[key]:>12} {current[key]:>12}  (info only)"
+            )
+    return regressions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh BENCH_service.json")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args()
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    regressions = compare(current, baseline, args.tolerance)
+    if regressions:
+        print(f"\nperf gate FAILED: {regressions} metric(s) regressed "
+              f"beyond {args.tolerance:.0%}")
+        sys.exit(1)
+    print(f"\nperf gate passed (tolerance {args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

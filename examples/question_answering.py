@@ -5,24 +5,29 @@ then answers GoogleTrendsQuestions from question-specific on-the-fly
 KBs, printing the supporting facts (Table 8) and comparing against the
 AQQU-style static-KB system (Table 10).
 
+The QA system runs over :class:`repro.service.QKBflyService` — a
+drop-in for ``QKBfly`` — so every question-specific KB goes through the
+query cache, and repeated/overlapping questions skip the pipeline.
+
 Run:  python examples/question_answering.py
 """
 
 from __future__ import annotations
 
-from repro import QKBfly, build_world
+from repro import build_world
 from repro.datasets.trends_questions import (
     build_trends_questions,
     build_training_questions,
 )
 from repro.qa.answering import QaSystem
 from repro.qa.baselines import AqquStyle
+from repro.service import QKBflyService
 
 
 def main() -> None:
     world = build_world(seed=7)
-    system = QKBfly.from_world(world)
-    qa = QaSystem(system, num_news=5)
+    service = QKBflyService.from_world(world)
+    qa = QaSystem(service, num_news=5)
     aqqu = AqquStyle(world)
 
     print("Training the answer classifier on WebQuestions-style pairs...")
@@ -45,6 +50,12 @@ def main() -> None:
         for fact in supporting[:2]:
             print(f"    supporting fact: {fact}")
         print()
+
+    cache = service.stats()["cache"]
+    print(f"Serving stats: {cache['hits']} cache hits / "
+          f"{cache['misses']} misses over {service.pipeline_runs} pipeline runs "
+          f"(hit rate {cache['hit_rate']:.2f})")
+    service.close()
 
 
 if __name__ == "__main__":

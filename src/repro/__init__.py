@@ -32,24 +32,31 @@ __all__ = [
     "KnowledgeBase",
     "QKBfly",
     "QKBflyConfig",
+    "QKBflyService",
+    "ServiceConfig",
+    "SessionState",
     "World",
     "WorldConfig",
     "build_world",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
-    from repro.core.qkbfly import QKBfly, QKBflyConfig
+    from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
     from repro.corpus.world import World, WorldConfig, build_world
     from repro.kb.facts import Fact, KnowledgeBase
+    from repro.service.service import QKBflyService, ServiceConfig
 
 _LAZY = {
     "QKBfly": ("repro.core.qkbfly", "QKBfly"),
     "QKBflyConfig": ("repro.core.qkbfly", "QKBflyConfig"),
+    "SessionState": ("repro.core.qkbfly", "SessionState"),
     "World": ("repro.corpus.world", "World"),
     "WorldConfig": ("repro.corpus.world", "WorldConfig"),
     "build_world": ("repro.corpus.world", "build_world"),
     "Fact": ("repro.kb.facts", "Fact"),
     "KnowledgeBase": ("repro.kb.facts", "KnowledgeBase"),
+    "QKBflyService": ("repro.service.service", "QKBflyService"),
+    "ServiceConfig": ("repro.service.service", "ServiceConfig"),
 }
 
 

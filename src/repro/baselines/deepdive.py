@@ -12,10 +12,9 @@ the precision-oriented operating point.
 from __future__ import annotations
 
 import math
-import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 

@@ -10,8 +10,7 @@ predicates are left un-canonicalized.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.babelfy import BabelfyLinker
 from repro.corpus.statistics import BackgroundStatistics
@@ -25,7 +24,7 @@ from repro.kb.facts import (
     KnowledgeBase,
 )
 from repro.nlp.pipeline import NlpPipeline, PipelineConfig
-from repro.nlp.tokens import Document, Sentence
+from repro.nlp.tokens import Sentence
 from repro.openie.clausie import ClausIE
 from repro.utils.text import strip_determiners
 

@@ -22,7 +22,6 @@ class ReverbExtractor:
 
     def extract(self, sentence: Sentence) -> List[Proposition]:
         """Extract (NP, V(P), NP) triples from a POS-tagged sentence."""
-        tokens = sentence.tokens
         chunks = sentence.noun_phrases
         out: List[Proposition] = []
         for i, left in enumerate(chunks):

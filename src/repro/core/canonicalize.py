@@ -19,7 +19,7 @@ Turns a densified semantic graph into knowledge-base facts:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.graph.densify import DensifyResult
 from repro.graph.semantic_graph import NodeType, RelationEdge, SemanticGraph
@@ -83,12 +83,17 @@ class Canonicalizer:
         result: DensifyResult,
         doc_id: str = "",
     ) -> KnowledgeBase:
-        """Build the on-the-fly KB fragment for one document."""
+        """Build the on-the-fly KB fragment for one document.
+
+        Reentrant: all per-call state lives on the stack, so one
+        canonicalizer instance can serve concurrent queries.
+        """
         kb = KnowledgeBase()
-        self._cluster_displays: Dict[str, str] = {}
         cluster_of = self._emerging_clusters(graph, result, kb, doc_id)
-        for cluster_id, emerging in kb.emerging.items():
-            self._cluster_displays[cluster_id] = emerging.display_name
+        cluster_displays: Dict[str, str] = {
+            cluster_id: emerging.display_name
+            for cluster_id, emerging in kb.emerging.items()
+        }
 
         # Group relation edges into facts by clause (fact boundaries via
         # depends edges); clause-less edges (possessive heuristic) form
@@ -104,7 +109,7 @@ class Canonicalizer:
         for clause_id in sorted(by_clause):
             edges = by_clause[clause_id]
             fact = self._fact_from_edges(
-                graph, result, kb, cluster_of, edges, doc_id,
+                graph, result, kb, cluster_of, cluster_displays, edges, doc_id,
                 negated=graph.clauses[clause_id].negated,
                 sentence_index=graph.clauses[clause_id].sentence_index,
             )
@@ -112,7 +117,7 @@ class Canonicalizer:
                 kb.add_fact(fact)
         for edge in standalone:
             fact = self._fact_from_edges(
-                graph, result, kb, cluster_of, [edge], doc_id,
+                graph, result, kb, cluster_of, cluster_displays, [edge], doc_id,
                 negated=False,
                 sentence_index=graph.phrases[edge.source].sentence_index,
             )
@@ -198,13 +203,16 @@ class Canonicalizer:
         result: DensifyResult,
         kb: KnowledgeBase,
         cluster_of: Dict[str, str],
+        cluster_displays: Dict[str, str],
         edges: List[RelationEdge],
         doc_id: str,
         negated: bool,
         sentence_index: int,
     ) -> Optional[Fact]:
         subject_id = edges[0].source
-        subject = self._argument(graph, result, cluster_of, subject_id)
+        subject = self._argument(
+            graph, result, cluster_of, cluster_displays, subject_id
+        )
         if subject is None:
             return None
 
@@ -228,7 +236,9 @@ class Canonicalizer:
             ),
         )
         for edge in ordered:
-            argument = self._argument(graph, result, cluster_of, edge.target)
+            argument = self._argument(
+                graph, result, cluster_of, cluster_displays, edge.target
+            )
             if argument is None:
                 continue
             # A copular complement co-referent with the subject ("X is an
@@ -283,6 +293,7 @@ class Canonicalizer:
         graph: SemanticGraph,
         result: DensifyResult,
         cluster_of: Dict[str, str],
+        cluster_displays: Dict[str, str],
         phrase_id: str,
     ) -> Optional[Argument]:
         node = graph.phrases[phrase_id]
@@ -311,7 +322,7 @@ class Canonicalizer:
             return Argument(kind=ARG_ENTITY, value=entity_id, display=name)
         cluster_id = cluster_of.get(resolved_id)
         if cluster_id is not None:
-            display = self._cluster_displays.get(
+            display = cluster_displays.get(
                 cluster_id, strip_determiners(node.surface)
             )
             return Argument(

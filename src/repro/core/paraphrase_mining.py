@@ -11,8 +11,8 @@ signal PATTY itself was mined with, applied to the on-the-fly KB.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.kb.facts import Fact, KnowledgeBase
 

@@ -20,13 +20,13 @@ Variants used in the paper's experiments (Section 7):
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.canonicalize import Canonicalizer, CanonicalizerConfig
-from repro.corpus.background import BackgroundCorpus, build_background_corpus
-from repro.corpus.realizer import RealizedDocument
+from repro.corpus.background import build_background_corpus
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.statistics import BackgroundStatistics
 from repro.corpus.world import World
@@ -75,8 +75,22 @@ class DocumentTrace:
         )
 
 
-class QKBfly:
-    """The on-the-fly KB construction system."""
+class SessionState:
+    """The expensive, shareable half of a QKBfly deployment.
+
+    Building background statistics, the search index and the NLP
+    pipeline dominates start-up cost; none of it depends on an
+    individual query. A :class:`SessionState` bundles those pieces so
+    many :class:`QKBfly` instances (and many concurrent queries) can
+    share one copy. Everything here is treated as read-only after
+    construction, which is what makes sharing across threads safe.
+
+    ``corpus_version`` stamps the exact corpus snapshot the session
+    serves; the query cache and the persistent KB store key on it so
+    results from a stale corpus are never returned. It is computed
+    lazily on first access — pipelines that never touch the serving
+    layer don't pay for corpus-wide fingerprinting.
+    """
 
     def __init__(
         self,
@@ -84,34 +98,55 @@ class QKBfly:
         pattern_repository: PatternRepository,
         statistics: BackgroundStatistics,
         search_engine: Optional[SearchEngine] = None,
-        config: Optional[QKBflyConfig] = None,
+        nlp: Optional[NlpPipeline] = None,
+        parser: str = "greedy",
+        corpus_version: str = "",
     ) -> None:
-        self.config = config or QKBflyConfig()
         self.entity_repository = entity_repository
         self.pattern_repository = pattern_repository
         self.statistics = statistics
         self.search_engine = search_engine
-        self.nlp = NlpPipeline(
+        self.parser = parser
+        self._corpus_version = corpus_version
+        self.nlp = nlp or NlpPipeline(
             PipelineConfig(
-                parser=self.config.parser,
+                parser=parser,
                 gazetteer=entity_repository.gazetteer(),
             )
         )
-        self.builder = GraphBuilder(entity_repository)
-        self.canonicalizer = Canonicalizer(
-            pattern_repository,
-            entity_repository,
-            CanonicalizerConfig(tau=self.config.tau),
+
+    @property
+    def corpus_version(self) -> str:
+        """The corpus fingerprint, computed on first access."""
+        if not self._corpus_version:
+            self._corpus_version = self.compute_corpus_version()
+        return self._corpus_version
+
+    @corpus_version.setter
+    def corpus_version(self, value: str) -> None:
+        self._corpus_version = value
+
+    def rebuild_nlp(self) -> None:
+        """Rebuild the NLP pipeline from the current entity repository.
+
+        The NER gazetteer is a snapshot taken at construction; call this
+        after the entity repository changes so new entities are tagged.
+        """
+        self.nlp = NlpPipeline(
+            PipelineConfig(
+                parser=self.parser,
+                gazetteer=self.entity_repository.gazetteer(),
+            )
         )
 
     @classmethod
     def from_world(
         cls,
         world: World,
-        config: Optional[QKBflyConfig] = None,
+        parser: str = "greedy",
         with_search: bool = True,
-    ) -> "QKBfly":
-        """Assemble the system from a synthetic world's repositories."""
+    ) -> "SessionState":
+        """Build the shared session state for a synthetic world."""
         background = build_background_corpus(world)
         engine = None
         if with_search:
@@ -121,8 +156,119 @@ class QKBfly:
             pattern_repository=world.pattern_repository,
             statistics=background.statistics,
             search_engine=engine,
-            config=config,
+            parser=parser,
         )
+
+    def compute_corpus_version(self) -> str:
+        """Deterministic fingerprint of the served corpus snapshot.
+
+        Hashes every input that shapes query results: the entity
+        repository, the pattern repository, the background statistics,
+        and the retrievable documents — ids, titles *and* text, so an
+        in-place edit to any of them yields a new version, which
+        invalidates cached and stored query results.
+        """
+        digest = hashlib.sha1()
+        digest.update(self.entity_repository.fingerprint().encode("utf-8"))
+        digest.update(self.pattern_repository.fingerprint().encode("utf-8"))
+        digest.update(self.statistics.fingerprint().encode("utf-8"))
+        if self.search_engine is not None:
+            for prefix, docs in (
+                (b"w", self.search_engine.wikipedia_docs),
+                (b"n", self.search_engine.news_docs),
+            ):
+                for doc_id in sorted(docs):
+                    doc = docs[doc_id]
+                    digest.update(prefix + doc_id.encode("utf-8"))
+                    digest.update(doc.title.encode("utf-8"))
+                    digest.update(doc.text.encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+
+class QKBfly:
+    """The on-the-fly KB construction system."""
+
+    def __init__(
+        self,
+        entity_repository: Optional[EntityRepository] = None,
+        pattern_repository: Optional[PatternRepository] = None,
+        statistics: Optional[BackgroundStatistics] = None,
+        search_engine: Optional[SearchEngine] = None,
+        config: Optional[QKBflyConfig] = None,
+        session: Optional[SessionState] = None,
+    ) -> None:
+        self.config = config or QKBflyConfig()
+        if session is None:
+            if (
+                entity_repository is None
+                or pattern_repository is None
+                or statistics is None
+            ):
+                raise TypeError(
+                    "QKBfly needs entity_repository, pattern_repository and "
+                    "statistics when no session is given"
+                )
+            session = SessionState(
+                entity_repository=entity_repository,
+                pattern_repository=pattern_repository,
+                statistics=statistics,
+                search_engine=search_engine,
+                parser=self.config.parser,
+            )
+        elif any(
+            argument is not None
+            for argument in (
+                entity_repository, pattern_repository, statistics, search_engine
+            )
+        ):
+            raise TypeError(
+                "pass either a session or explicit repositories, not both"
+            )
+        self.session = session
+        self.entity_repository = session.entity_repository
+        self.pattern_repository = session.pattern_repository
+        self.statistics = session.statistics
+        self.search_engine = session.search_engine
+        if session.parser == self.config.parser:
+            self.nlp = session.nlp
+        else:
+            # A per-instance pipeline only when the parser differs from
+            # the session's; repositories stay shared either way.
+            self.nlp = NlpPipeline(
+                PipelineConfig(
+                    parser=self.config.parser,
+                    gazetteer=session.entity_repository.gazetteer(),
+                )
+            )
+        self.builder = GraphBuilder(session.entity_repository)
+        self.canonicalizer = Canonicalizer(
+            session.pattern_repository,
+            session.entity_repository,
+            CanonicalizerConfig(tau=self.config.tau),
+        )
+
+    @classmethod
+    def from_session(
+        cls,
+        session: SessionState,
+        config: Optional[QKBflyConfig] = None,
+    ) -> "QKBfly":
+        """Cheap per-query/per-config instance over shared session state."""
+        return cls(config=config, session=session)
+
+    @classmethod
+    def from_world(
+        cls,
+        world: World,
+        config: Optional[QKBflyConfig] = None,
+        with_search: bool = True,
+    ) -> "QKBfly":
+        """Assemble the system from a synthetic world's repositories."""
+        parser = (config or QKBflyConfig()).parser
+        session = SessionState.from_world(
+            world, parser=parser, with_search=with_search
+        )
+        return cls.from_session(session, config=config)
 
     # ------------------------------------------------------------------
     # Query-driven entry point
@@ -299,4 +445,4 @@ def _restrict_to_triples(kb: KnowledgeBase) -> KnowledgeBase:
     return out
 
 
-__all__ = ["DocumentTrace", "QKBfly", "QKBflyConfig"]
+__all__ = ["DocumentTrace", "QKBfly", "QKBflyConfig", "SessionState"]

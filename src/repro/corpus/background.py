@@ -8,7 +8,7 @@ config) so benchmarks and tests share one build.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.corpus.realizer import RealizedDocument, Realizer
 from repro.corpus.statistics import BackgroundStatistics, compute_statistics

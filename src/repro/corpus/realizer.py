@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.corpus.schema import SPECS_BY_ID, RelationSpec, Template
+from repro.corpus.schema import SPECS_BY_ID, Template
 from repro.corpus.world import World, WorldEntity, WorldFact
 from repro.utils.rng import DeterministicRng
 
@@ -340,7 +340,6 @@ class Realizer:
             body += f" in {loc_surface}"
             args.append(("entity", fact.location_id))
 
-        spec = SPECS_BY_ID[fact.relation_id]
         emitted.append(
             EmittedFact(
                 sentence_index=sentence_index,

@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.corpus.realizer import RealizedDocument
-from repro.corpus.schema import SPECS_BY_ID
 from repro.utils.vectors import SparseVector
 
 _STOPWORDS: Set[str] = {
@@ -61,6 +60,32 @@ class BackgroundStatistics:
     )
     # pattern -> total count over all type pairs
     pattern_totals: Dict[str, int] = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Content hash of the statistics feeding the edge weights.
+
+        Covers the count tables that drive priors, IDF and type
+        signatures; context vectors are derived from the same articles
+        counted in ``doc_freq``, so any rebuild that changes them also
+        changes a hashed table. Feeds the serving layer's
+        ``corpus_version`` stamp.
+        """
+        import hashlib
+
+        digest = hashlib.sha1()
+        digest.update(str(self.num_docs).encode("utf-8"))
+        for mention in sorted(self.anchor_counts):
+            bucket = self.anchor_counts[mention]
+            digest.update(mention.encode("utf-8"))
+            for entity_id in sorted(bucket):
+                digest.update(f"{entity_id}:{bucket[entity_id]}".encode("utf-8"))
+        for token in sorted(self.doc_freq):
+            digest.update(f"{token}:{self.doc_freq[token]}".encode("utf-8"))
+        for key in sorted(self.type_pattern_counts):
+            digest.update(
+                f"{key}:{self.type_pattern_counts[key]}".encode("utf-8")
+            )
+        return digest.hexdigest()
 
     # ---- priors -----------------------------------------------------------
 

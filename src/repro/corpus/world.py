@@ -23,10 +23,10 @@ so a given (seed, config) pair always yields the identical world.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.corpus import names
-from repro.corpus.schema import RELATION_SPECS, SPECS_BY_ID, build_pattern_repository
+from repro.corpus.schema import SPECS_BY_ID, build_pattern_repository
 from repro.kb.entity_repository import Entity, EntityRepository
 from repro.kb.pattern_repository import PatternRepository
 from repro.kb.typesystem import TypeSystem

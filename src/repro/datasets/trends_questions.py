@@ -10,8 +10,8 @@ facts with a disjoint set of templates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.corpus.world import TrendEvent, World, WorldFact
 from repro.utils.rng import DeterministicRng

@@ -10,8 +10,8 @@ inter-assessor agreement lands near the paper's kappa = 0.7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.realizer import EmittedFact, RealizedDocument
 from repro.corpus.world import World

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 
 def wald_interval(p: float, n: int, z: float = 1.96) -> float:

@@ -15,7 +15,7 @@ clauses, linked across sentences by the initial sameAs edges from
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.graph.coref import initialize_same_as
 from repro.graph.semantic_graph import (
@@ -30,7 +30,7 @@ from repro.graph.semantic_graph import (
     phrase_node_id,
 )
 from repro.kb.entity_repository import EntityRepository
-from repro.nlp.lexicon import is_pronoun, pronoun_features
+from repro.nlp.lexicon import pronoun_features
 from repro.nlp.tokens import Document, Sentence, Span
 from repro.openie.clausie import ClausIE
 from repro.openie.clauses import Clause, Constituent

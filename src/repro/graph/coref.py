@@ -14,9 +14,9 @@ NP-NP edges act as hard constraints (constraint (3)).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict
 
-from repro.graph.semantic_graph import NodeType, PhraseNode, SemanticGraph
+from repro.graph.semantic_graph import PhraseNode, SemanticGraph
 from repro.nlp.lexicon import pronoun_features
 from repro.utils.text import longest_common_suffix_words, strip_determiners
 

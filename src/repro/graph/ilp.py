@@ -22,7 +22,7 @@ The objective mirrors the greedy algorithm's W(S): means weights on the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -13,8 +13,8 @@ removal with candidate-set bookkeeping).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 
 class NodeType:

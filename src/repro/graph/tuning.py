@@ -15,7 +15,7 @@ background corpus's emitted facts, and scipy's L-BFGS-B optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy.optimize import minimize
@@ -54,7 +54,6 @@ def build_training_instances(
     """Sample annotated facts with two linkable entity arguments."""
     corpus = corpus or build_background_corpus(world)
     statistics = corpus.statistics
-    repository = world.entity_repository
     rng = DeterministicRng(seed, namespace="tuning")
 
     candidates_facts = []

@@ -23,7 +23,7 @@ Two weight families over a (sub)graph S:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.corpus.statistics import BackgroundStatistics, content_tokens
 from repro.graph.semantic_graph import RelationEdge, SemanticGraph

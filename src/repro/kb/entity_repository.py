@@ -9,6 +9,8 @@ gender lookup, and type lookup against :class:`repro.kb.typesystem.TypeSystem`.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -41,6 +43,29 @@ class Entity:
     def __post_init__(self) -> None:
         if self.canonical_name and self.canonical_name not in self.aliases:
             self.aliases.insert(0, self.canonical_name)
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for persistence and fingerprinting."""
+        return {
+            "entity_id": self.entity_id,
+            "canonical_name": self.canonical_name,
+            "aliases": list(self.aliases),
+            "types": list(self.types),
+            "gender": self.gender,
+            "prominence": self.prominence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Entity":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            entity_id=data["entity_id"],
+            canonical_name=data["canonical_name"],
+            aliases=list(data.get("aliases", [])),
+            types=list(data.get("types", [])),
+            gender=data.get("gender", ""),
+            prominence=data.get("prominence", 1.0),
+        )
 
 
 class EntityRepository:
@@ -151,6 +176,41 @@ class EntityRepository:
                     best[key] = entity.prominence
                     out[key] = coarse
         return out
+
+    # ---- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Canonical plain-dict form (entities sorted by id)."""
+        return {
+            "entities": [
+                self._entities[entity_id].to_dict()
+                for entity_id in sorted(self._entities)
+            ]
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict, type_system: Optional[TypeSystem] = None
+    ) -> "EntityRepository":
+        """Inverse of :meth:`to_dict`.
+
+        Types are validated against ``type_system`` when given; pass the
+        original system to preserve ``coarse_type`` / ancestor lookups.
+        """
+        repository = cls(type_system=type_system)
+        for entity_data in data.get("entities", []):
+            repository.add(Entity.from_dict(entity_data))
+        return repository
+
+    def fingerprint(self) -> str:
+        """Content hash: two repositories with equal entities share it.
+
+        Feeds the session's ``corpus_version`` stamp — registering or
+        changing any entity yields a new fingerprint and therefore
+        invalidates cached query results.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
 
     def ambiguous_aliases(self) -> List[Tuple[str, List[str]]]:
         """Aliases shared by several entities, for diagnostics and tests."""

@@ -11,7 +11,7 @@ subject / predicate / object substring and ``Type:`` category search.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 ARG_ENTITY = "entity"
 ARG_EMERGING = "emerging"
@@ -39,6 +39,17 @@ class Argument:
     def is_entity(self) -> bool:
         """True for canonical or emerging entity arguments."""
         return self.kind in (ARG_ENTITY, ARG_EMERGING)
+
+    def to_dict(self) -> Dict[str, str]:
+        """Plain-dict form for persistence (see :mod:`repro.service`)."""
+        return {"kind": self.kind, "value": self.value, "display": self.display}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "Argument":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=data["kind"], value=data["value"], display=data["display"]
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         marker = "*" if self.kind == ARG_EMERGING else ""
@@ -94,8 +105,34 @@ class Fact:
             tuple((o.kind, o.value) for o in self.objects),
         )
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form (stable field order) for persistence."""
+        return {
+            "subject": self.subject.to_dict(),
+            "predicate": self.predicate,
+            "objects": [o.to_dict() for o in self.objects],
+            "pattern": self.pattern,
+            "confidence": self.confidence,
+            "doc_id": self.doc_id,
+            "sentence_index": self.sentence_index,
+            "canonical_predicate": self.canonical_predicate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Fact":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            subject=Argument.from_dict(data["subject"]),
+            predicate=data["predicate"],
+            objects=[Argument.from_dict(o) for o in data["objects"]],
+            pattern=data.get("pattern", ""),
+            confidence=data.get("confidence", 1.0),
+            doc_id=data.get("doc_id", ""),
+            sentence_index=data.get("sentence_index", -1),
+            canonical_predicate=data.get("canonical_predicate", False),
+        )
+
     def __str__(self) -> str:
-        args = ", ".join(str(a) for a in [self.subject] + self.objects)
         return f"<{self.subject}, {self.predicate}, " + ", ".join(
             str(o) for o in self.objects
         ) + ">"
@@ -113,6 +150,25 @@ class EmergingEntity:
     display_name: str
     mentions: List[str] = field(default_factory=list)
     guessed_type: str = "MISC"
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for persistence."""
+        return {
+            "cluster_id": self.cluster_id,
+            "display_name": self.display_name,
+            "mentions": list(self.mentions),
+            "guessed_type": self.guessed_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EmergingEntity":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cluster_id=data["cluster_id"],
+            display_name=data["display_name"],
+            mentions=list(data.get("mentions", [])),
+            guessed_type=data.get("guessed_type", "MISC"),
+        )
 
 
 class KnowledgeBase:
@@ -220,6 +276,85 @@ class KnowledgeBase:
                 return emerging is not None and emerging.guessed_type.upper() == wanted
             return False
         return query.lower() in argument.display.lower()
+
+    def copy(self) -> "KnowledgeBase":
+        """Deep-enough copy: mutating the copy never touches the original.
+
+        ``Fact`` rows are mutable (``add_fact`` raises confidences on
+        duplicates, ``merge`` folds KBs together), so the serving layer
+        hands out copies — a consumer merging a cached KB must not
+        write through to the cache. Frozen ``Argument`` instances are
+        shared; everything mutable is duplicated.
+        """
+        out = KnowledgeBase()
+        for fact in self.facts:
+            out.facts.append(
+                Fact(
+                    subject=fact.subject,
+                    predicate=fact.predicate,
+                    objects=list(fact.objects),
+                    pattern=fact.pattern,
+                    confidence=fact.confidence,
+                    doc_id=fact.doc_id,
+                    sentence_index=fact.sentence_index,
+                    canonical_predicate=fact.canonical_predicate,
+                )
+            )
+        out._fact_keys = set(self._fact_keys)
+        for cluster_id, emerging in self.emerging.items():
+            out.emerging[cluster_id] = EmergingEntity(
+                cluster_id=emerging.cluster_id,
+                display_name=emerging.display_name,
+                mentions=list(emerging.mentions),
+                guessed_type=emerging.guessed_type,
+            )
+        out.entity_mentions = {
+            eid: set(mentions) for eid, mentions in self.entity_mentions.items()
+        }
+        out.entity_types = {
+            eid: list(types) for eid, types in self.entity_types.items()
+        }
+        return out
+
+    # ---- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Canonical plain-dict form of the whole KB.
+
+        Deterministic (mentions and map keys are sorted), so two KBs
+        with identical content serialize identically — the property the
+        store round-trip and batch-equivalence tests rely on.
+        """
+        return {
+            "facts": [f.to_dict() for f in self.facts],
+            "emerging": {
+                cid: self.emerging[cid].to_dict()
+                for cid in sorted(self.emerging)
+            },
+            "entity_mentions": {
+                eid: sorted(self.entity_mentions[eid])
+                for eid in sorted(self.entity_mentions)
+            },
+            "entity_types": {
+                eid: list(self.entity_types[eid])
+                for eid in sorted(self.entity_types)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "KnowledgeBase":
+        """Inverse of :meth:`to_dict`."""
+        kb = cls()
+        for fact_data in data.get("facts", []):
+            kb.add_fact(Fact.from_dict(fact_data))
+        for emerging_data in data.get("emerging", {}).values():
+            kb.add_emerging(EmergingEntity.from_dict(emerging_data))
+        for entity_id, mentions in data.get("entity_mentions", {}).items():
+            for mention in mentions:
+                kb.observe_mention(entity_id, mention)
+        for entity_id, types in data.get("entity_types", {}).items():
+            kb.set_entity_types(entity_id, types)
+        return kb
 
     def merge(self, other: "KnowledgeBase") -> None:
         """Fold another KB (e.g. from a second document) into this one."""

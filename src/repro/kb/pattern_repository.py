@@ -10,7 +10,7 @@ same synset; patterns outside the repository become new relations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass
@@ -72,6 +72,32 @@ class PatternRepository:
     def num_patterns(self) -> int:
         """Total number of indexed paraphrases."""
         return len(self._pattern_index)
+
+    def fingerprint(self) -> str:
+        """Content hash over all relations, patterns and signatures.
+
+        Feeds the serving layer's ``corpus_version`` stamp: editing the
+        pattern inventory changes canonicalization output, so it must
+        invalidate cached query results.
+        """
+        import hashlib
+
+        digest = hashlib.sha1()
+        for relation_id in sorted(self._relations):
+            relation = self._relations[relation_id]
+            digest.update(
+                "|".join(
+                    (
+                        relation.relation_id,
+                        relation.display_name,
+                        ",".join(sorted(relation.patterns)),
+                        ",".join(relation.signature),
+                        str(relation.symmetric),
+                        str(relation.arity_hint),
+                    )
+                ).encode("utf-8")
+            )
+        return digest.hexdigest()
 
     def canonicalize(self, pattern: str) -> Optional[str]:
         """Map a lemmatized surface pattern to its relation id.

@@ -19,7 +19,7 @@ finished tree.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.nlp.lexicon import AUXILIARIES
 from repro.nlp.tokens import Sentence, Token
@@ -527,7 +527,6 @@ def label_arcs(sentence: Sentence) -> None:
     aux, advmod, acl:relcl, conj, cc, appos, mark, advcl, punct, dep.
     """
     tokens = sentence.tokens
-    n = len(tokens)
     children: Dict[int, List[int]] = {}
     for i, token in enumerate(tokens):
         children.setdefault(token.head, []).append(i)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.nlp.tokenizer import ABBREVIATIONS, tokenize
+from repro.nlp.tokenizer import tokenize
 
 _TERMINATORS = {".", "!", "?"}
 _CLOSERS = {'"', "”", ")", "'"}

@@ -15,7 +15,7 @@ question-token x candidate-token pair features; positives are returned
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.qkbfly import QKBfly
 from repro.datasets.trends_questions import QaQuestion

@@ -13,14 +13,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.statistics import content_tokens
 from repro.corpus.world import World
 from repro.datasets.trends_questions import QaQuestion
-from repro.kb.facts import ARG_ENTITY, Argument, Fact, KnowledgeBase
+from repro.kb.facts import ARG_ENTITY, Argument, Fact
 from repro.nlp.pipeline import NlpPipeline, PipelineConfig
 from repro.qa.classifier import LinearSvm
 from repro.qa.features import FEATURE_DIMENSION, pair_features, question_tokens

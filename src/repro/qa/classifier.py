@@ -7,7 +7,7 @@ indices). Deterministic given the seed.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

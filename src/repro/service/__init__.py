@@ -1,0 +1,29 @@
+"""The query-serving layer: persistence, caching, batched execution.
+
+Turns the one-shot :class:`repro.core.qkbfly.QKBfly` pipeline into a
+serving deployment (see README, "Serving layer"):
+
+- :mod:`repro.service.cache` — LRU/TTL query cache keyed on
+  (normalized query, mode, algorithm, corpus_version);
+- :mod:`repro.service.kb_store` — persistent SQLite (WAL) store for
+  built KBs with full provenance;
+- :mod:`repro.service.executor` — thread-pool batch execution with
+  single-flight deduplication over shared session state;
+- :mod:`repro.service.service` — the :class:`QKBflyService` facade.
+"""
+
+from repro.service.cache import CacheKey, QueryCache, normalize_query
+from repro.service.executor import BatchExecutor
+from repro.service.kb_store import KbStore
+from repro.service.service import QKBflyService, QueryResult, ServiceConfig
+
+__all__ = [
+    "BatchExecutor",
+    "CacheKey",
+    "KbStore",
+    "QKBflyService",
+    "QueryCache",
+    "QueryResult",
+    "ServiceConfig",
+    "normalize_query",
+]

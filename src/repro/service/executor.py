@@ -1,0 +1,113 @@
+"""Batched query execution with in-flight deduplication.
+
+Serving traffic arrives in bursts that repeat themselves: trending
+queries are issued by many clients at once. Running each request
+through the full pipeline independently wastes exactly the work the
+cache exists to save — so the executor (a) fans requests out over a
+thread pool that shares one :class:`~repro.core.qkbfly.SessionState`,
+and (b) collapses *concurrent* identical requests onto a single
+in-flight computation, so a burst of N copies of one query costs one
+pipeline run, not N.
+
+Results are futures; :meth:`BatchExecutor.run_batch` preserves input
+order, and duplicated inputs receive the same result object.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Hashable, List, Sequence
+
+
+class BatchExecutor:
+    """Thread-pool executor with per-key single-flight semantics.
+
+    Args:
+        run_fn: The computation, called once per *distinct* in-flight
+            key as ``run_fn(request)``. Must be thread-safe — in the
+            serving layer it closes over shared read-only session state
+            plus the (internally locked) cache and store.
+        max_workers: Concurrent worker threads.
+    """
+
+    def __init__(
+        self,
+        run_fn: Callable[[Any], Any],
+        max_workers: int = 4,
+    ) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self._run_fn = run_fn
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="qkbfly"
+        )
+        self._lock = threading.Lock()
+        self._in_flight: Dict[Hashable, Future] = {}
+        self.deduplicated = 0
+        self.submitted = 0
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ---- submission --------------------------------------------------------
+
+    def submit(self, key: Hashable, request: Any) -> Future:
+        """Schedule ``request``; identical concurrent keys share a future.
+
+        The key leaves the in-flight table the moment its computation
+        finishes, so later submissions recompute (by then the serving
+        layer's cache answers them instead).
+        """
+        with self._lock:
+            existing = self._in_flight.get(key)
+            if existing is not None:
+                self.deduplicated += 1
+                return existing
+            future = self._pool.submit(self._run_fn, request)
+            self._in_flight[key] = future
+            self.submitted += 1
+
+        def _release(done: Future, key: Hashable = key) -> None:
+            with self._lock:
+                if self._in_flight.get(key) is done:
+                    del self._in_flight[key]
+
+        future.add_done_callback(_release)
+        return future
+
+    def run_batch(
+        self,
+        requests: Sequence[Any],
+        key_fn: Callable[[Any], Hashable] = lambda request: request,
+    ) -> List[Any]:
+        """Execute all requests concurrently, preserving input order.
+
+        Duplicate keys within the batch are guaranteed to be computed
+        once and fanned back out (regardless of timing), so the returned
+        list always has ``len(requests)`` elements. Exceptions from
+        ``run_fn`` propagate to the caller.
+        """
+        futures_by_key: Dict[Hashable, Future] = {}
+        order: List[Hashable] = []
+        for request in requests:
+            key = key_fn(request)
+            order.append(key)
+            if key not in futures_by_key:
+                futures_by_key[key] = self.submit(key, request)
+            else:
+                with self._lock:
+                    self.deduplicated += 1
+        return [futures_by_key[key].result() for key in order]
+
+
+__all__ = ["BatchExecutor"]

@@ -1,0 +1,431 @@
+"""Persistent on-the-fly KB store (SQLite, WAL mode).
+
+The second tier of the serving layer: query results that fall out of the
+in-memory cache (or belong to an earlier process) are answered from
+disk instead of re-running the pipeline. The schema mirrors the KB
+model of :mod:`repro.kb.facts`:
+
+- ``kb_entries`` — one row per stored query result, uniquely identified
+  by the full query signature (query, mode, algorithm, corpus_version,
+  source, num_documents, config_digest);
+- ``facts`` — one row per fact with subject, predicate, pattern,
+  confidence and provenance (doc id, sentence index);
+- ``fact_objects`` — ordered object slots, supporting higher-arity
+  facts;
+- ``emerging_entities`` / ``entity_records`` — per-entry emerging
+  clusters and canonical-entity mentions/types;
+- ``meta`` — store-level keys, including the ``corpus_version`` stamp
+  the store was last synchronized to.
+
+WAL journaling keeps concurrent readers cheap; all access additionally
+goes through one process-wide lock per store, which SQLite's default
+serialized mode does not provide across cursors.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.facts import Argument, EmergingEntity, Fact, KnowledgeBase
+
+_SCHEMA_VERSION = "1"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS kb_entries (
+    entry_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    query          TEXT NOT NULL,
+    mode           TEXT NOT NULL,
+    algorithm      TEXT NOT NULL,
+    corpus_version TEXT NOT NULL,
+    source         TEXT NOT NULL DEFAULT 'wikipedia',
+    num_documents  INTEGER NOT NULL DEFAULT 1,
+    config_digest  TEXT NOT NULL DEFAULT '',
+    created_at     REAL NOT NULL,
+    UNIQUE (query, mode, algorithm, corpus_version, source, num_documents,
+            config_digest)
+);
+CREATE TABLE IF NOT EXISTS facts (
+    fact_id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    entry_id            INTEGER NOT NULL
+                        REFERENCES kb_entries(entry_id) ON DELETE CASCADE,
+    position            INTEGER NOT NULL,
+    subject_kind        TEXT NOT NULL,
+    subject_value       TEXT NOT NULL,
+    subject_display     TEXT NOT NULL,
+    predicate           TEXT NOT NULL,
+    pattern             TEXT NOT NULL,
+    confidence          REAL NOT NULL,
+    canonical_predicate INTEGER NOT NULL,
+    doc_id              TEXT NOT NULL,
+    sentence_index      INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_facts_entry ON facts(entry_id, position);
+CREATE TABLE IF NOT EXISTS fact_objects (
+    fact_id  INTEGER NOT NULL REFERENCES facts(fact_id) ON DELETE CASCADE,
+    position INTEGER NOT NULL,
+    kind     TEXT NOT NULL,
+    value    TEXT NOT NULL,
+    display  TEXT NOT NULL,
+    PRIMARY KEY (fact_id, position)
+);
+CREATE TABLE IF NOT EXISTS emerging_entities (
+    entry_id     INTEGER NOT NULL
+                 REFERENCES kb_entries(entry_id) ON DELETE CASCADE,
+    cluster_id   TEXT NOT NULL,
+    display_name TEXT NOT NULL,
+    guessed_type TEXT NOT NULL,
+    mentions     TEXT NOT NULL,
+    PRIMARY KEY (entry_id, cluster_id)
+);
+CREATE TABLE IF NOT EXISTS entity_records (
+    entry_id  INTEGER NOT NULL
+              REFERENCES kb_entries(entry_id) ON DELETE CASCADE,
+    entity_id TEXT NOT NULL,
+    mentions  TEXT NOT NULL,
+    types     TEXT,
+    PRIMARY KEY (entry_id, entity_id)
+);
+"""
+
+
+class KbStore:
+    """SQLite-backed persistence for served query results.
+
+    Args:
+        path: Database file path, or ``":memory:"`` for an ephemeral
+            store (tests, benchmarks).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", _SCHEMA_VERSION),
+        )
+        self._conn.commit()
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "KbStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---- meta --------------------------------------------------------------
+
+    @property
+    def corpus_version(self) -> str:
+        """The corpus stamp the store was last synchronized to."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'corpus_version'"
+            ).fetchone()
+            return row[0] if row else ""
+
+    def set_corpus_version(self, version: str) -> None:
+        """Record the corpus stamp entries are being written under."""
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('corpus_version', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (version,),
+            )
+            self._conn.commit()
+
+    # ---- save / load -------------------------------------------------------
+
+    def save(
+        self,
+        query: str,
+        kb: KnowledgeBase,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> int:
+        """Persist a query result, replacing any previous row for the key.
+
+        Atomic: a failure mid-write rolls the whole entry back, so a
+        later ``load`` can never see a truncated KB. Returns the entry
+        id.
+        """
+        with self._lock:
+            try:
+                return self._save_locked(
+                    query, kb, corpus_version, mode, algorithm, source,
+                    num_documents, config_digest,
+                )
+            except Exception:
+                self._conn.rollback()
+                raise
+
+    def _save_locked(
+        self,
+        query: str,
+        kb: KnowledgeBase,
+        corpus_version: str,
+        mode: str,
+        algorithm: str,
+        source: str,
+        num_documents: int,
+        config_digest: str,
+    ) -> int:
+        cur = self._conn.cursor()
+        cur.execute(
+            "DELETE FROM kb_entries WHERE query = ? AND mode = ? AND "
+            "algorithm = ? AND corpus_version = ? AND source = ? AND "
+            "num_documents = ? AND config_digest = ?",
+            (
+                query, mode, algorithm, corpus_version, source,
+                num_documents, config_digest,
+            ),
+        )
+        cur.execute(
+            "INSERT INTO kb_entries (query, mode, algorithm, "
+            "corpus_version, source, num_documents, config_digest, "
+            "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                query,
+                mode,
+                algorithm,
+                corpus_version,
+                source,
+                num_documents,
+                config_digest,
+                time.time(),
+            ),
+        )
+        entry_id = cur.lastrowid
+        for position, fact in enumerate(kb.facts):
+            cur.execute(
+                "INSERT INTO facts (entry_id, position, subject_kind, "
+                "subject_value, subject_display, predicate, pattern, "
+                "confidence, canonical_predicate, doc_id, sentence_index) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    entry_id,
+                    position,
+                    fact.subject.kind,
+                    fact.subject.value,
+                    fact.subject.display,
+                    fact.predicate,
+                    fact.pattern,
+                    fact.confidence,
+                    int(fact.canonical_predicate),
+                    fact.doc_id,
+                    fact.sentence_index,
+                ),
+            )
+            fact_id = cur.lastrowid
+            cur.executemany(
+                "INSERT INTO fact_objects (fact_id, position, kind, "
+                "value, display) VALUES (?, ?, ?, ?, ?)",
+                [
+                    (fact_id, i, obj.kind, obj.value, obj.display)
+                    for i, obj in enumerate(fact.objects)
+                ],
+            )
+        cur.executemany(
+            "INSERT INTO emerging_entities (entry_id, cluster_id, "
+            "display_name, guessed_type, mentions) VALUES (?, ?, ?, ?, ?)",
+            [
+                (
+                    entry_id,
+                    emerging.cluster_id,
+                    emerging.display_name,
+                    emerging.guessed_type,
+                    json.dumps(list(emerging.mentions)),
+                )
+                for emerging in kb.emerging.values()
+            ],
+        )
+        entity_ids = sorted(
+            set(kb.entity_mentions) | set(kb.entity_types)
+        )
+        cur.executemany(
+            "INSERT INTO entity_records (entry_id, entity_id, mentions, "
+            "types) VALUES (?, ?, ?, ?)",
+            [
+                (
+                    entry_id,
+                    entity_id,
+                    json.dumps(sorted(kb.entity_mentions.get(entity_id, ()))),
+                    # NULL distinguishes "no types recorded" from an
+                    # explicit empty type list, keeping round-trips exact.
+                    json.dumps(list(kb.entity_types[entity_id]))
+                    if entity_id in kb.entity_types
+                    else None,
+                )
+                for entity_id in entity_ids
+            ],
+        )
+        self._conn.commit()
+        return int(entry_id)
+
+    def load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Optional[KnowledgeBase]:
+        """Reconstruct a stored KB, or None when the key is absent."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT entry_id FROM kb_entries WHERE query = ? AND "
+                "mode = ? AND algorithm = ? AND corpus_version = ? AND "
+                "source = ? AND num_documents = ? AND config_digest = ?",
+                (
+                    query, mode, algorithm, corpus_version, source,
+                    num_documents, config_digest,
+                ),
+            ).fetchone()
+            if row is None:
+                return None
+            return self._load_entry(row[0])
+
+    def _load_entry(self, entry_id: int) -> KnowledgeBase:
+        kb = KnowledgeBase()
+        fact_rows = self._conn.execute(
+            "SELECT fact_id, subject_kind, subject_value, subject_display, "
+            "predicate, pattern, confidence, canonical_predicate, doc_id, "
+            "sentence_index FROM facts WHERE entry_id = ? ORDER BY position",
+            (entry_id,),
+        ).fetchall()
+        # All object slots for the entry in one round-trip (avoids one
+        # query per fact on the serving hot path).
+        objects_by_fact: Dict[int, List[Argument]] = {}
+        for fact_id, kind, value, display in self._conn.execute(
+            "SELECT o.fact_id, o.kind, o.value, o.display "
+            "FROM fact_objects o JOIN facts f ON f.fact_id = o.fact_id "
+            "WHERE f.entry_id = ? ORDER BY o.fact_id, o.position",
+            (entry_id,),
+        ):
+            objects_by_fact.setdefault(fact_id, []).append(
+                Argument(kind=kind, value=value, display=display)
+            )
+        for (
+            fact_id,
+            subject_kind,
+            subject_value,
+            subject_display,
+            predicate,
+            pattern,
+            confidence,
+            canonical_predicate,
+            doc_id,
+            sentence_index,
+        ) in fact_rows:
+            objects = objects_by_fact.get(fact_id, [])
+            kb.add_fact(
+                Fact(
+                    subject=Argument(
+                        kind=subject_kind,
+                        value=subject_value,
+                        display=subject_display,
+                    ),
+                    predicate=predicate,
+                    objects=objects,
+                    pattern=pattern,
+                    confidence=confidence,
+                    doc_id=doc_id,
+                    sentence_index=sentence_index,
+                    canonical_predicate=bool(canonical_predicate),
+                )
+            )
+        for cluster_id, display_name, guessed_type, mentions in (
+            self._conn.execute(
+                "SELECT cluster_id, display_name, guessed_type, mentions "
+                "FROM emerging_entities WHERE entry_id = ?",
+                (entry_id,),
+            )
+        ):
+            kb.add_emerging(
+                EmergingEntity(
+                    cluster_id=cluster_id,
+                    display_name=display_name,
+                    mentions=json.loads(mentions),
+                    guessed_type=guessed_type,
+                )
+            )
+        for entity_id, mentions, types in self._conn.execute(
+            "SELECT entity_id, mentions, types FROM entity_records "
+            "WHERE entry_id = ?",
+            (entry_id,),
+        ):
+            for mention in json.loads(mentions):
+                kb.observe_mention(entity_id, mention)
+            if types is not None:
+                kb.set_entity_types(entity_id, json.loads(types))
+        return kb
+
+    # ---- maintenance -------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, str, str, str]]:
+        """(query, mode, algorithm, corpus_version) for every stored KB."""
+        with self._lock:
+            return [
+                tuple(row)
+                for row in self._conn.execute(
+                    "SELECT query, mode, algorithm, corpus_version "
+                    "FROM kb_entries ORDER BY entry_id"
+                )
+            ]
+
+    def delete_stale(self, current_version: str) -> int:
+        """Drop entries from corpus versions other than ``current_version``.
+
+        Returns the number of entries removed. Called when the corpus
+        advances, mirroring the in-memory cache invalidation.
+        """
+        with self._lock:
+            cur = self._conn.execute(
+                "DELETE FROM kb_entries WHERE corpus_version != ?",
+                (current_version,),
+            )
+            self._conn.commit()
+            return cur.rowcount
+
+    def stats(self) -> Dict[str, int]:
+        """Row counts per table, for monitoring."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for table in (
+                "kb_entries",
+                "facts",
+                "fact_objects",
+                "emerging_entities",
+                "entity_records",
+            ):
+                row = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table}"
+                ).fetchone()
+                out[table] = int(row[0])
+            return out
+
+
+__all__ = ["KbStore"]

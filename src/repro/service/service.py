@@ -1,0 +1,446 @@
+"""QKBflyService: the query-serving facade.
+
+Wires the serving tiers together in front of the one-shot pipeline:
+
+1. in-memory :class:`~repro.service.cache.QueryCache` (LRU + TTL),
+2. persistent :class:`~repro.service.kb_store.KbStore` (SQLite/WAL),
+3. :class:`~repro.service.executor.BatchExecutor` (thread pool with
+   single-flight deduplication) over a shared
+   :class:`~repro.core.qkbfly.SessionState`.
+
+A query falls through cache -> store -> full pipeline; every tier it
+misses is filled on the way back. All tiers key on the query signature
+including the session's ``corpus_version``, so advancing the corpus
+(:meth:`QKBflyService.refresh_corpus`) atomically invalidates both the
+cache and the stale store rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
+from repro.corpus.retrieval import SearchEngine
+from repro.corpus.world import World
+from repro.kb.facts import KnowledgeBase
+from repro.service.cache import CacheKey, QueryCache
+from repro.service.executor import BatchExecutor
+from repro.service.kb_store import KbStore
+
+
+def _config_digest(config: QKBflyConfig) -> str:
+    """Fingerprint of the result-shaping pipeline knobs beyond mode and
+    algorithm, so cache/store keys separate configs that produce
+    different KBs (parser, tau, triples_only, weights, ILP budget)."""
+    payload = "|".join(
+        (
+            config.parser,
+            f"{config.tau}",
+            str(config.triples_only),
+            ",".join(str(a) for a in config.weights.as_tuple()),
+            f"{config.ilp_time_budget}",
+        )
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the serving layer (the pipeline has its own config)."""
+
+    source: str = "wikipedia"
+    num_documents: int = 1
+    cache_size: int = 256
+    cache_ttl_seconds: Optional[float] = None
+    max_workers: int = 4
+    # None disables persistence; ":memory:" gives an ephemeral store.
+    store_path: Optional[str] = None
+
+
+@dataclass
+class QueryResult:
+    """One served query: the KB plus serving metadata."""
+
+    query: str
+    normalized_query: str
+    kb: KnowledgeBase
+    corpus_version: str
+    cache_hit: bool = False
+    store_hit: bool = False
+    seconds: float = 0.0
+
+
+class QKBflyService:
+    """Serving layer over a shared QKBfly session.
+
+    Exposes the same ``build_kb`` / ``entity_repository`` /
+    ``search_engine`` surface as :class:`~repro.core.qkbfly.QKBfly`, so
+    existing consumers (e.g. :class:`repro.qa.answering.QaSystem`) can
+    point at a service instance and transparently gain caching.
+    """
+
+    def __init__(
+        self,
+        session: SessionState,
+        config: Optional[QKBflyConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        cache: Optional[QueryCache] = None,
+        store: Optional[KbStore] = None,
+    ) -> None:
+        self.session = session
+        self.service_config = service_config or ServiceConfig()
+        self.qkbfly = QKBfly.from_session(session, config=config)
+        self.cache = cache or QueryCache(
+            max_size=self.service_config.cache_size,
+            ttl_seconds=self.service_config.cache_ttl_seconds,
+        )
+        if store is None and self.service_config.store_path is not None:
+            store = KbStore(self.service_config.store_path)
+        self.store = store
+        if self.store is not None:
+            stored_version = self.store.corpus_version
+            if stored_version != session.corpus_version:
+                # A reopened store from an older corpus: its rows can
+                # never match the new version's keys, so reclaim them.
+                if stored_version:
+                    self.store.delete_stale(session.corpus_version)
+                self.store.set_corpus_version(session.corpus_version)
+        self._executor = BatchExecutor(
+            self._serve, max_workers=self.service_config.max_workers
+        )
+        self._counter_lock = threading.Lock()
+        self._config_digest = _config_digest(self.qkbfly.config)
+        self.pipeline_runs = 0
+
+    @classmethod
+    def from_world(
+        cls,
+        world: World,
+        config: Optional[QKBflyConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        with_search: bool = True,
+    ) -> "QKBflyService":
+        """Build session state for a world and serve it."""
+        parser = (config or QKBflyConfig()).parser
+        session = SessionState.from_world(
+            world, parser=parser, with_search=with_search
+        )
+        return cls(session, config=config, service_config=service_config)
+
+    # ---- QKBfly-compatible surface ----------------------------------------
+
+    @property
+    def config(self) -> QKBflyConfig:
+        """The pipeline configuration served by this instance."""
+        return self.qkbfly.config
+
+    @property
+    def entity_repository(self):
+        """Shared entity repository (QKBfly-compatible attribute)."""
+        return self.session.entity_repository
+
+    @property
+    def pattern_repository(self):
+        """Shared pattern repository (QKBfly-compatible attribute)."""
+        return self.session.pattern_repository
+
+    @property
+    def statistics(self):
+        """Shared background statistics (QKBfly-compatible attribute)."""
+        return self.session.statistics
+
+    @property
+    def search_engine(self) -> Optional[SearchEngine]:
+        """Shared search engine (QKBfly-compatible attribute)."""
+        return self.session.search_engine
+
+    @property
+    def corpus_version(self) -> str:
+        """The corpus snapshot currently served."""
+        return self.session.corpus_version
+
+    def build_kb(
+        self,
+        query: str,
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> KnowledgeBase:
+        """Drop-in replacement for :meth:`QKBfly.build_kb`, but cached.
+
+        Omitted arguments fall back to :class:`ServiceConfig`, exactly
+        like :meth:`query` — both entry points serve identical results.
+        """
+        return self.query(
+            query, source=source, num_documents=num_documents
+        ).kb
+
+    # ---- serving -----------------------------------------------------------
+
+    def query(
+        self,
+        query: str,
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> QueryResult:
+        """Serve one query through cache -> store -> pipeline.
+
+        Cache hits are answered on the calling thread; misses go
+        through the executor, so a burst of concurrent identical
+        queries collapses onto a single pipeline run (single-flight),
+        just like :meth:`batch_query`.
+        """
+        key = self._key(query, source, num_documents)
+        started = time.perf_counter()
+        cached = self.cache.get(key)
+        if cached is not None:
+            return QueryResult(
+                query=query,
+                normalized_query=key.query,
+                kb=cached.copy(),
+                corpus_version=key.corpus_version,
+                cache_hit=True,
+                seconds=time.perf_counter() - started,
+            )
+        # The miss was already counted by the lookup above; the
+        # executor's double-check must not count it again.
+        shared = self._executor.submit(key, (query, key, True)).result()
+        return self._result_copy(
+            shared, seconds=time.perf_counter() - started, query=query
+        )
+
+    def batch_query(
+        self,
+        queries: Sequence[str],
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Serve many queries concurrently, deduplicating identical ones.
+
+        Results come back in input order; duplicated queries are
+        computed once, but every result slot gets its own KB copy so no
+        caller's mutation can leak into another slot — including slots
+        of a *different* concurrent batch that joined the same
+        in-flight computation.
+        """
+        requests = [
+            (query, self._key(query, source, num_documents), False)
+            for query in queries
+        ]
+        shared = self._executor.run_batch(
+            requests, key_fn=lambda request: request[1]
+        )
+        return [
+            self._result_copy(result, query=request[0])
+            for request, result in zip(requests, shared)
+        ]
+
+    @staticmethod
+    def _result_copy(
+        shared: QueryResult,
+        seconds: Optional[float] = None,
+        query: Optional[str] = None,
+    ) -> QueryResult:
+        """Per-consumer view of a possibly shared in-flight result.
+
+        ``query`` restores the caller's own raw query string — a shared
+        result carries whichever spelling happened to compute it.
+        """
+        return QueryResult(
+            query=shared.query if query is None else query,
+            normalized_query=shared.normalized_query,
+            kb=shared.kb.copy(),
+            corpus_version=shared.corpus_version,
+            cache_hit=shared.cache_hit,
+            store_hit=shared.store_hit,
+            seconds=shared.seconds if seconds is None else seconds,
+        )
+
+    def _serve(self, request) -> QueryResult:
+        """Executor entry point for one (query, key) request.
+
+        Returns the *canonical* ``KnowledgeBase`` (also held by the
+        cache); the result may be shared by every caller that joined
+        this in-flight computation, so ``query``/``batch_query`` wrap
+        it in a per-consumer copy via :meth:`_result_copy` — merging or
+        mutating a served KB (as the QA system does) must never write
+        through into the cache or another caller's result.
+        """
+        query, key, precounted = request
+        started = time.perf_counter()
+        cached = self.cache.get(key, count=not precounted)
+        if cached is not None:
+            return QueryResult(
+                query=query,
+                normalized_query=key.query,
+                kb=cached,
+                corpus_version=key.corpus_version,
+                cache_hit=True,
+                seconds=time.perf_counter() - started,
+            )
+        result = self._serve_key(query, key)
+        result.seconds = time.perf_counter() - started
+        return result
+
+    def _serve_key(self, query: str, key: CacheKey) -> QueryResult:
+        """Cache-miss path: consult the store, else run the pipeline."""
+        store_hit = False
+        kb = None
+        if self.store is not None:
+            kb = self.store.load(
+                key.query,
+                corpus_version=key.corpus_version,
+                mode=key.mode,
+                algorithm=key.algorithm,
+                source=key.source,
+                num_documents=key.num_documents,
+                config_digest=key.config_digest,
+            )
+            store_hit = kb is not None
+        if kb is None:
+            kb = self.qkbfly.build_kb(
+                query, source=key.source, num_documents=key.num_documents
+            )
+            with self._counter_lock:
+                self.pipeline_runs += 1
+            # Don't persist results keyed under a corpus version that a
+            # concurrent refresh_corpus already invalidated: they would
+            # be unreachable dead weight in both tiers.
+            if (
+                self.store is not None
+                and key.corpus_version == self.session.corpus_version
+            ):
+                self.store.save(
+                    key.query,
+                    kb,
+                    corpus_version=key.corpus_version,
+                    mode=key.mode,
+                    algorithm=key.algorithm,
+                    source=key.source,
+                    num_documents=key.num_documents,
+                    config_digest=key.config_digest,
+                )
+        # Label the result with the version its content actually came
+        # from: a store hit is keyed (and was built) under the key's
+        # version, while a fresh pipeline run used the session as it
+        # stands *now* — which may be newer if a refresh_corpus
+        # completed while this request was in flight. The key mismatch
+        # below also keeps such a result out of the cache and store.
+        built_under = (
+            key.corpus_version if store_hit else self.session.corpus_version
+        )
+        if key.corpus_version == self.session.corpus_version:
+            self.cache.put(key, kb)
+        return QueryResult(
+            query=query,
+            normalized_query=key.query,
+            kb=kb,
+            corpus_version=built_under,
+            store_hit=store_hit,
+        )
+
+    def _key(
+        self,
+        query: str,
+        source: Optional[str],
+        num_documents: Optional[int],
+    ) -> CacheKey:
+        return CacheKey.for_request(
+            query,
+            mode=self.qkbfly.config.mode,
+            algorithm=self.qkbfly.config.algorithm,
+            corpus_version=self.session.corpus_version,
+            source=source if source is not None else self.service_config.source,
+            num_documents=(
+                num_documents
+                if num_documents is not None
+                else self.service_config.num_documents
+            ),
+            config_digest=self._config_digest,
+        )
+
+    # ---- corpus lifecycle --------------------------------------------------
+
+    def refresh_corpus(
+        self,
+        search_engine: Optional[SearchEngine] = None,
+        statistics=None,
+        pattern_repository=None,
+        version: Optional[str] = None,
+    ) -> str:
+        """Advance the corpus snapshot and invalidate stale results.
+
+        Pass the pieces that changed — a new ``search_engine`` when
+        documents changed, new ``statistics`` when the background corpus
+        was rebuilt, a new ``pattern_repository`` when the pattern
+        inventory changed. The pipeline is rebound to the updated
+        session, the version stamp is recomputed (or set to ``version``
+        explicitly), the cache drops entries from older versions, and
+        the store deletes its stale rows. Returns the new version.
+        """
+        if search_engine is not None:
+            self.session.search_engine = search_engine
+        if statistics is not None:
+            self.session.statistics = statistics
+        if pattern_repository is not None:
+            self.session.pattern_repository = pattern_repository
+        # Rebuild the NER gazetteer snapshot and rebind the pipeline:
+        # the session's nlp and QKBfly captured references to the old
+        # corpus pieces at construction, and refresh_corpus with no
+        # arguments signals an in-place mutation (e.g. entities added
+        # directly to the repository).
+        self.session.rebuild_nlp()
+        self.qkbfly = QKBfly.from_session(
+            self.session, config=self.qkbfly.config
+        )
+        self.session.corpus_version = (
+            version or self.session.compute_corpus_version()
+        )
+        self.cache.invalidate_corpus_version(self.session.corpus_version)
+        if self.store is not None:
+            self.store.delete_stale(self.session.corpus_version)
+            self.store.set_corpus_version(self.session.corpus_version)
+        return self.session.corpus_version
+
+    # ---- lifecycle / monitoring -------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters across all tiers.
+
+        Cache hit/miss counts are exact under sequential use; under
+        concurrent mixed ``query``/``batch_query`` traffic on the same
+        key they can drift by a few lookups (a request that joins
+        another caller's in-flight computation may count its lookup on
+        a different tier) — treat them as monitoring signals, not an
+        audit log.
+        """
+        out: Dict[str, Any] = {
+            "corpus_version": self.session.corpus_version,
+            "pipeline_runs": self.pipeline_runs,
+            "cache": self.cache.stats(),
+            "executor": {
+                "submitted": self._executor.submitted,
+                "deduplicated": self._executor.deduplicated,
+            },
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+    def close(self) -> None:
+        """Shut down the executor and close the store."""
+        self._executor.shutdown()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "QKBflyService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["QKBflyService", "QueryResult", "ServiceConfig"]

@@ -10,7 +10,7 @@ statistically independent: two namespaces never share a stream.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Iterable, List, Sequence, TypeVar
 
 T = TypeVar("T")
 

@@ -62,3 +62,19 @@ def qkbfly_system(tiny_world):
     from repro.core.qkbfly import QKBfly
 
     return QKBfly.from_world(tiny_world, with_search=False)
+
+
+@pytest.fixture(scope="session")
+def service_session(tiny_world, background):
+    """Shared serving-layer session state (with search) for the tiny world."""
+    from repro.core.qkbfly import SessionState
+    from repro.corpus.retrieval import SearchEngine
+
+    return SessionState(
+        entity_repository=tiny_world.entity_repository,
+        pattern_repository=tiny_world.pattern_repository,
+        statistics=background.statistics,
+        search_engine=SearchEngine.from_world(
+            tiny_world, background.documents
+        ),
+    )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.qkbfly import QKBfly, QKBflyConfig
-from repro.kb.facts import ARG_EMERGING, ARG_ENTITY
 
 
 @pytest.fixture(scope="module")

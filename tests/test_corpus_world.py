@@ -1,6 +1,5 @@
 """Tests for the synthetic world and the realizer."""
 
-import pytest
 
 from repro.corpus.schema import SPECS_BY_ID
 from repro.corpus.world import World, WorldConfig

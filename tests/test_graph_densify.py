@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.corpus.background import build_background_corpus
 from repro.graph.builder import GraphBuilder
 from repro.graph.densify import DensestSubgraph
 from repro.graph.weights import EdgeWeights, WeightParameters

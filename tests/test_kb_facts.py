@@ -1,12 +1,10 @@
 """Tests for the fact / KB model."""
 
-import pytest
 
 from repro.kb.facts import (
     ARG_EMERGING,
     ARG_ENTITY,
     ARG_LITERAL,
-    ARG_TIME,
     Argument,
     EmergingEntity,
     Fact,

@@ -103,3 +103,34 @@ class TestPatternRepository:
 
     def test_num_patterns(self, patterns):
         assert patterns.num_patterns() == 6
+
+
+class TestSerialization:
+    def test_entity_round_trip(self, repo):
+        entity = repo.get("E1")
+        restored = Entity.from_dict(entity.to_dict())
+        assert restored == entity
+
+    def test_repository_round_trip_preserves_lookups(self, repo):
+        restored = EntityRepository.from_dict(
+            repo.to_dict(), type_system=repo.type_system
+        )
+        assert len(restored) == len(repo)
+        assert restored.to_dict() == repo.to_dict()
+        assert [e.entity_id for e in restored.candidates("brad pitt")] == ["E1"]
+        assert {e.entity_id for e in restored.candidates("Liverpool")} == {
+            "E2", "E3",
+        }
+        assert restored.gender("E1") == "male"
+        assert restored.fingerprint() == repo.fingerprint()
+
+    def test_from_dict_validates_types(self, repo):
+        data = repo.to_dict()
+        data["entities"][0]["types"] = ["NOT_A_TYPE"]
+        with pytest.raises(ValueError):
+            EntityRepository.from_dict(data, type_system=repo.type_system)
+
+    def test_fingerprint_changes_with_content(self, repo):
+        before = repo.fingerprint()
+        repo.add_alias("E1", "William Bradley Pitt")
+        assert repo.fingerprint() != before

@@ -4,16 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nlp.dependency import (
-    ROOT,
-    EisnerChartParser,
-    GreedyTransitionParser,
-    arc_score,
-    coarse,
-    tree_is_valid,
-)
+from repro.nlp.dependency import ROOT, arc_score, coarse, tree_is_valid
 from repro.nlp.pipeline import NlpPipeline, PipelineConfig
-from repro.nlp.tokens import Sentence, Token
 
 GAZ = {"brad pitt": "PERSON", "pitt": "PERSON", "troy": "MISC",
        "marwick": "LOCATION", "angelina jolie": "PERSON"}

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 from repro.nlp import lexicon
 from repro.nlp.lemma import lemmatize_token
 from repro.nlp.pipeline import NlpPipeline, PipelineConfig
-from repro.nlp.tokens import Sentence, Token
 
 
 def tag(text):

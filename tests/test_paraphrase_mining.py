@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.paraphrase_mining import MinedSynset, ParaphraseMiner
+from repro.core.paraphrase_mining import ParaphraseMiner
 from repro.kb.facts import ARG_ENTITY, ARG_LITERAL, Argument, Fact, KnowledgeBase
 
 

@@ -1,0 +1,112 @@
+"""Query cache: hits, misses, LRU eviction, TTL, version invalidation."""
+
+from __future__ import annotations
+
+from repro.service.cache import CacheKey, QueryCache, normalize_query
+
+
+def _key(query: str, version: str = "v1") -> CacheKey:
+    return CacheKey.for_request(
+        query, mode="joint", algorithm="greedy", corpus_version=version
+    )
+
+
+class FakeClock:
+    """Deterministic time source for TTL tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_normalize_query_folds_case_and_whitespace():
+    assert normalize_query("  Brad   PITT \n") == "brad pitt"
+    assert _key("Brad  Pitt") == _key("brad pitt")
+
+
+def test_key_distinguishes_variant_and_corpus():
+    base = _key("brad pitt")
+    assert base != CacheKey.for_request(
+        "brad pitt", mode="noun", algorithm="greedy", corpus_version="v1"
+    )
+    assert base != CacheKey.for_request(
+        "brad pitt", mode="joint", algorithm="ilp", corpus_version="v1"
+    )
+    assert base != _key("brad pitt", version="v2")
+    assert base != CacheKey.for_request(
+        "brad pitt",
+        mode="joint",
+        algorithm="greedy",
+        corpus_version="v1",
+        source="news",
+    )
+
+
+def test_hit_miss_counters():
+    cache = QueryCache(max_size=4)
+    key = _key("q")
+    assert cache.get(key) is None
+    cache.put(key, "value")
+    assert cache.get(key) == "value"
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate == 0.5
+    assert key in cache
+
+
+def test_lru_eviction_prefers_recently_used():
+    cache = QueryCache(max_size=2)
+    a, b, c = _key("a"), _key("b"), _key("c")
+    cache.put(a, 1)
+    cache.put(b, 2)
+    assert cache.get(a) == 1  # refresh a; b is now LRU
+    cache.put(c, 3)
+    assert cache.evictions == 1
+    assert cache.get(b) is None
+    assert cache.get(a) == 1
+    assert cache.get(c) == 3
+
+
+def test_ttl_expiry_counts_as_miss():
+    clock = FakeClock()
+    cache = QueryCache(max_size=4, ttl_seconds=10.0, clock=clock)
+    key = _key("q")
+    cache.put(key, "value")
+    clock.advance(9.0)
+    assert cache.get(key) == "value"
+    clock.advance(2.0)
+    assert cache.get(key) is None
+    assert cache.expirations == 1
+    assert key not in cache
+
+
+def test_corpus_version_invalidation_drops_only_stale_entries():
+    cache = QueryCache(max_size=8)
+    old_a, old_b = _key("a", "v1"), _key("b", "v1")
+    new_a = _key("a", "v2")
+    cache.put(old_a, 1)
+    cache.put(old_b, 2)
+    cache.put(new_a, 3)
+    removed = cache.invalidate_corpus_version("v2")
+    assert removed == 2
+    assert cache.invalidations == 2
+    assert cache.get(old_a) is None
+    assert cache.get(old_b) is None
+    assert cache.get(new_a) == 3
+
+
+def test_clear_keeps_statistics():
+    cache = QueryCache(max_size=4)
+    cache.put(_key("q"), 1)
+    cache.get(_key("q"))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+    stats = cache.stats()
+    assert stats["size"] == 0
+    assert stats["hits"] == 1

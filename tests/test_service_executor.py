@@ -1,0 +1,222 @@
+"""Batch executor and service facade: concurrency, dedup, equivalence."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.qkbfly import QKBfly
+from repro.service.cache import QueryCache
+from repro.service.executor import BatchExecutor
+from repro.service.kb_store import KbStore
+from repro.service.service import QKBflyService, ServiceConfig
+
+
+def _service(service_session, **kwargs) -> QKBflyService:
+    kwargs.setdefault(
+        "service_config", ServiceConfig(max_workers=4, num_documents=1)
+    )
+    return QKBflyService(service_session, **kwargs)
+
+
+def _query_names(service_session, count: int):
+    entities = sorted(
+        service_session.entity_repository.entities(),
+        key=lambda e: -e.prominence,
+    )
+    return [e.canonical_name for e in entities[:count]]
+
+
+# ---- BatchExecutor in isolation -------------------------------------------
+
+
+def test_run_batch_preserves_order_and_completes():
+    with BatchExecutor(lambda x: x * 2, max_workers=3) as executor:
+        results = executor.run_batch(list(range(10)))
+    assert results == [x * 2 for x in range(10)]
+
+
+def test_duplicate_keys_in_batch_computed_once():
+    calls = []
+    lock = threading.Lock()
+
+    def run(request):
+        with lock:
+            calls.append(request)
+        return request.upper()
+
+    with BatchExecutor(run, max_workers=4) as executor:
+        results = executor.run_batch(["a", "b", "a", "a", "b"])
+    assert results == ["A", "B", "A", "A", "B"]
+    assert sorted(calls) == ["a", "b"]
+    assert executor.submitted == 2
+    assert executor.deduplicated == 3
+
+
+def test_in_flight_dedup_shares_one_computation():
+    started = threading.Event()
+    release = threading.Event()
+    calls = []
+
+    def slow(request):
+        calls.append(request)
+        started.set()
+        release.wait(timeout=5)
+        return request
+
+    with BatchExecutor(slow, max_workers=4) as executor:
+        first = executor.submit("k", "payload")
+        assert started.wait(timeout=5)
+        second = executor.submit("k", "payload")
+        assert second is first  # joined the in-flight computation
+        release.set()
+        assert first.result(timeout=5) == "payload"
+    assert calls == ["payload"]
+
+
+def test_key_released_after_completion_allows_recompute():
+    calls = []
+    with BatchExecutor(lambda request: calls.append(request), max_workers=2) as ex:
+        ex.submit("k", 1).result(timeout=5)
+        ex.submit("k", 2).result(timeout=5)
+    assert calls == [1, 2]
+
+
+def test_exceptions_propagate():
+    def boom(request):
+        raise ValueError(request)
+
+    with BatchExecutor(boom, max_workers=2) as executor:
+        future = executor.submit("k", "bad")
+        try:
+            future.result(timeout=5)
+        except ValueError as error:
+            assert str(error) == "bad"
+        else:  # pragma: no cover - the test must not reach here
+            raise AssertionError("expected ValueError")
+
+
+# ---- Service facade --------------------------------------------------------
+
+
+def test_batch_results_identical_to_sequential_runs(service_session):
+    queries = _query_names(service_session, 6)
+    reference = QKBfly.from_session(service_session)
+    expected = [
+        reference.build_kb(q, source="wikipedia", num_documents=1).to_dict()
+        for q in queries
+    ]
+    with _service(service_session) as service:
+        results = service.batch_query(queries)
+    assert [r.kb.to_dict() for r in results] == expected
+
+
+def test_batch_deduplicates_repeated_queries(service_session):
+    queries = _query_names(service_session, 2)
+    workload = queries * 3  # each query appears three times
+    with _service(service_session) as service:
+        results = service.batch_query(workload)
+        assert len(results) == len(workload)
+        # Only one pipeline run per distinct query.
+        assert service.pipeline_runs == len(queries)
+        for i, result in enumerate(results):
+            assert result.kb.to_dict() == results[i % len(queries)].kb.to_dict()
+
+
+def test_query_flows_cache_then_store_then_pipeline(service_session, tmp_path):
+    store = KbStore(str(tmp_path / "kb.sqlite"))
+    query = _query_names(service_session, 1)[0]
+    with _service(service_session, store=store) as service:
+        cold = service.query(query)
+        assert not cold.cache_hit and not cold.store_hit
+        warm = service.query(query)
+        assert warm.cache_hit
+        service.cache.clear()
+        from_store = service.query(query)
+        assert from_store.store_hit and not from_store.cache_hit
+        assert cold.kb.to_dict() == warm.kb.to_dict() == from_store.kb.to_dict()
+        assert service.pipeline_runs == 1
+
+
+def test_build_kb_is_cached_drop_in(service_session):
+    query = _query_names(service_session, 1)[0]
+    with _service(service_session) as service:
+        first = service.build_kb(query, source="wikipedia", num_documents=1)
+        second = service.build_kb(query, source="wikipedia", num_documents=1)
+        assert second is not first  # served KBs are defensive copies
+        assert second.to_dict() == first.to_dict()
+        assert service.pipeline_runs == 1
+
+
+def test_served_kb_mutation_cannot_poison_cache(service_session):
+    """Merging a duplicate fact into a served KB must not write through."""
+    query = _query_names(service_session, 1)[0]
+    with _service(service_session) as service:
+        first = service.build_kb(query, source="wikipedia", num_documents=1)
+        baseline = first.to_dict()
+        # Consumer-style mutation: re-add an existing fact with a higher
+        # confidence (what KnowledgeBase.merge does on duplicates).
+        from repro.kb.facts import Fact
+
+        bumped = Fact.from_dict(first.facts[0].to_dict())
+        bumped.confidence = 1.0
+        first.add_fact(bumped)
+        first.observe_mention("E_POISON", "poison")
+        again = service.build_kb(query, source="wikipedia", num_documents=1)
+        assert again.to_dict() == baseline
+
+
+def test_refresh_corpus_invalidates_cache_and_store(service_session, tmp_path):
+    store = KbStore(str(tmp_path / "kb.sqlite"))
+    query = _query_names(service_session, 1)[0]
+    with _service(service_session, store=store) as service:
+        original_version = service.corpus_version
+        service.query(query)
+        new_version = service.refresh_corpus(version="test-v2")
+        assert new_version == "test-v2" != original_version
+        assert len(service.cache) == 0
+        assert store.stats()["kb_entries"] == 0
+        refreshed = service.query(query)
+        assert not refreshed.cache_hit and not refreshed.store_hit
+        assert service.pipeline_runs == 2
+        # Restore the session's natural version for other tests.
+        service.refresh_corpus(version=original_version)
+
+
+def test_corpus_version_covers_patterns_and_statistics():
+    """Pattern or statistics changes must advance the corpus version."""
+    from repro.core.qkbfly import SessionState
+    from repro.corpus.world import World, WorldConfig
+    from repro.kb.pattern_repository import Relation
+
+    world = World(WorldConfig.tiny(), seed=5)
+    session = SessionState.from_world(world, with_search=False)
+    v0 = session.corpus_version
+    assert session.compute_corpus_version() == v0  # deterministic
+
+    session.pattern_repository.add(
+        Relation("test_rel", "testRel", patterns=["testify about"])
+    )
+    v1 = session.compute_corpus_version()
+    assert v1 != v0
+
+    session.statistics.num_docs += 1
+    assert session.compute_corpus_version() != v1
+
+
+def test_concurrent_queries_share_session_safely(service_session):
+    """Many threads over one session yield the same KBs as sequential."""
+    queries = _query_names(service_session, 8)
+    reference = QKBfly.from_session(service_session)
+    expected = {
+        q: reference.build_kb(q, source="wikipedia", num_documents=1).to_dict()
+        for q in queries
+    }
+    service = _service(
+        service_session,
+        cache=QueryCache(max_size=4),  # force evictions under concurrency
+        service_config=ServiceConfig(max_workers=8),
+    )
+    with service:
+        results = service.batch_query(queries * 2)
+    for query, result in zip(queries * 2, results):
+        assert result.kb.to_dict() == expected[query]
