@@ -18,7 +18,22 @@ import argparse
 import json
 import sys
 
-INFORMATIONAL = ("qps_cold", "qps_warm", "qps_batched", "p50_ms", "p95_ms")
+INFORMATIONAL = (
+    "qps_cold",
+    "qps_warm",
+    "qps_batched",
+    "p50_ms",
+    "p95_ms",
+    "qps_sharded_cold",
+    "qps_sharded_store_hit",
+    "sharded_store_speedup",
+    "qps_thread_distinct",
+    "qps_process_distinct",
+    # Thread-vs-process ratio is a property of the host's core count
+    # (see cpu_count in the same file), so it is printed, never gated.
+    "process_speedup",
+    "cpu_count",
+)
 
 
 def compare(current: dict, baseline: dict, tolerance: float) -> int:

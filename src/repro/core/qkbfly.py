@@ -90,6 +90,13 @@ class SessionState:
     results from a stale corpus are never returned. It is computed
     lazily on first access — pipelines that never touch the serving
     layer don't pay for corpus-wide fingerprinting.
+
+    A session is **picklable**, which is what lets the serving layer's
+    multi-process executor bootstrap one per worker. The NLP pipeline is
+    derived state (parser name + a gazetteer snapshot of the entity
+    repository), so it is excluded from the pickle and rebuilt lazily
+    in the receiving process — pickles stay small and can never be
+    poisoned by transient pipeline caches.
     """
 
     def __init__(
@@ -108,12 +115,28 @@ class SessionState:
         self.search_engine = search_engine
         self.parser = parser
         self._corpus_version = corpus_version
-        self.nlp = nlp or NlpPipeline(
-            PipelineConfig(
-                parser=parser,
-                gazetteer=entity_repository.gazetteer(),
+        self._nlp = nlp
+
+    @property
+    def nlp(self) -> NlpPipeline:
+        """The shared NLP pipeline, built on first access."""
+        if self._nlp is None:
+            self._nlp = NlpPipeline(
+                PipelineConfig(
+                    parser=self.parser,
+                    gazetteer=self.entity_repository.gazetteer(),
+                )
             )
-        )
+        return self._nlp
+
+    @nlp.setter
+    def nlp(self, pipeline: Optional[NlpPipeline]) -> None:
+        self._nlp = pipeline
+
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        state["_nlp"] = None  # derived; rebuilt lazily after unpickling
+        return state
 
     @property
     def corpus_version(self) -> str:
@@ -132,7 +155,7 @@ class SessionState:
         The NER gazetteer is a snapshot taken at construction; call this
         after the entity repository changes so new entities are tagged.
         """
-        self.nlp = NlpPipeline(
+        self._nlp = NlpPipeline(
             PipelineConfig(
                 parser=self.parser,
                 gazetteer=self.entity_repository.gazetteer(),

@@ -6,24 +6,41 @@ serving deployment (see README, "Serving layer"):
 - :mod:`repro.service.cache` — LRU/TTL query cache keyed on
   (normalized query, mode, algorithm, corpus_version);
 - :mod:`repro.service.kb_store` — persistent SQLite (WAL) store for
-  built KBs with full provenance;
+  built KBs with full provenance, plus TTL/size compaction;
+- :mod:`repro.service.sharding` — the same store partitioned across N
+  SQLite files with per-shard locks, keyed on the query-signature hash;
 - :mod:`repro.service.executor` — thread-pool batch execution with
   single-flight deduplication over shared session state;
-- :mod:`repro.service.service` — the :class:`QKBflyService` facade.
+- :mod:`repro.service.process_executor` — the same pipeline stages on
+  a multiprocessing pool, escaping the GIL for distinct-query traffic;
+- :mod:`repro.service.service` — the :class:`QKBflyService` facade
+  (cache warm-up, store compaction, thread/process execution tiers).
 """
 
 from repro.service.cache import CacheKey, QueryCache, normalize_query
 from repro.service.executor import BatchExecutor
-from repro.service.kb_store import KbStore
+from repro.service.kb_store import EntrySignature, KbStore
+from repro.service.process_executor import (
+    PipelineRequest,
+    PipelineResponse,
+    ProcessBatchExecutor,
+)
 from repro.service.service import QKBflyService, QueryResult, ServiceConfig
+from repro.service.sharding import ShardedKbStore, shard_index
 
 __all__ = [
     "BatchExecutor",
     "CacheKey",
+    "EntrySignature",
     "KbStore",
+    "PipelineRequest",
+    "PipelineResponse",
+    "ProcessBatchExecutor",
     "QKBflyService",
     "QueryCache",
     "QueryResult",
     "ServiceConfig",
+    "ShardedKbStore",
     "normalize_query",
+    "shard_index",
 ]

@@ -28,18 +28,26 @@ class BatchExecutor:
             key as ``run_fn(request)``. Must be thread-safe — in the
             serving layer it closes over shared read-only session state
             plus the (internally locked) cache and store.
-        max_workers: Concurrent worker threads.
+        max_workers: Concurrent worker threads (ignored when ``pool``
+            is supplied).
+        pool: Optional executor to run computations on instead of an
+            owned thread pool — this is how
+            :class:`~repro.service.process_executor.ProcessBatchExecutor`
+            reuses the single-flight machinery over a process pool.
+            Must provide ``submit``/``shutdown``; ownership transfers
+            to this instance.
     """
 
     def __init__(
         self,
         run_fn: Callable[[Any], Any],
         max_workers: int = 4,
+        pool: Any = None,
     ) -> None:
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self._run_fn = run_fn
-        self._pool = ThreadPoolExecutor(
+        self._pool = pool or ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="qkbfly"
         )
         self._lock = threading.Lock()
@@ -64,26 +72,61 @@ class BatchExecutor:
     def submit(self, key: Hashable, request: Any) -> Future:
         """Schedule ``request``; identical concurrent keys share a future.
 
-        The key leaves the in-flight table the moment its computation
-        finishes, so later submissions recompute (by then the serving
-        layer's cache answers them instead).
+        The key leaves the in-flight table *before* its future
+        completes, so a submission that observes the key always joins a
+        still-pending computation, and a submission after completion
+        recomputes (by then the serving layer's cache answers instead).
+
+        The in-flight table holds a fresh executor-owned future rather
+        than the pool's own: the pool future can complete between
+        ``_pool.submit`` returning and a done-callback being attached,
+        and in that window a table holding the pool future maps the key
+        to an already-completed result — later submitters would join a
+        finished flight instead of recomputing, and the stale key could
+        outlive its computation (the single-flight leak this design
+        fixes). The owned future only completes inside the callback
+        that first removes the key, making that window unobservable.
         """
         with self._lock:
             existing = self._in_flight.get(key)
             if existing is not None:
                 self.deduplicated += 1
                 return existing
-            future = self._pool.submit(self._run_fn, request)
-            self._in_flight[key] = future
+            shared: Future = Future()
+            # A flight may be shared by many callers, so no single
+            # caller may cancel it out from under the others: marking
+            # it running up front makes cancel() always return False
+            # (same contract as a pool future once picked up), and
+            # lets the completion paths below set results untroubled
+            # by a concurrent cancellation.
+            shared.set_running_or_notify_cancel()
+            self._in_flight[key] = shared
             self.submitted += 1
-
-        def _release(done: Future, key: Hashable = key) -> None:
+        try:
+            inner = self._pool.submit(self._run_fn, request)
+        except BaseException as error:
             with self._lock:
-                if self._in_flight.get(key) is done:
+                if self._in_flight.get(key) is shared:
                     del self._in_flight[key]
+            shared.set_exception(error)
+            return shared
 
-        future.add_done_callback(_release)
-        return future
+        def _settle(done: Future, key: Hashable = key) -> None:
+            # Order matters: unpublish the key first, then complete the
+            # shared future — a waiter woken by the result must never
+            # find its finished flight still in the table.
+            with self._lock:
+                if self._in_flight.get(key) is shared:
+                    del self._in_flight[key]
+            try:
+                result = done.result()
+            except BaseException as error:  # includes CancelledError
+                shared.set_exception(error)
+            else:
+                shared.set_result(result)
+
+        inner.add_done_callback(_settle)
+        return shared
 
     def run_batch(
         self,

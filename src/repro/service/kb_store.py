@@ -28,7 +28,8 @@ import json
 import sqlite3
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.kb.facts import Argument, EmergingEntity, Fact, KnowledgeBase
 
@@ -94,6 +95,25 @@ CREATE TABLE IF NOT EXISTS entity_records (
     PRIMARY KEY (entry_id, entity_id)
 );
 """
+
+
+@dataclass(frozen=True)
+class EntrySignature:
+    """Full identity of one stored entry plus its creation stamp.
+
+    Everything needed to re-derive the entry's cache key (and therefore
+    to warm the in-memory cache from the store) or to re-save the entry
+    into another store (shard migration/rebalancing).
+    """
+
+    query: str
+    mode: str
+    algorithm: str
+    corpus_version: str
+    source: str
+    num_documents: int
+    config_digest: str
+    created_at: float
 
 
 class KbStore:
@@ -163,18 +183,21 @@ class KbStore:
         source: str = "wikipedia",
         num_documents: int = 1,
         config_digest: str = "",
+        created_at: Optional[float] = None,
     ) -> int:
         """Persist a query result, replacing any previous row for the key.
 
         Atomic: a failure mid-write rolls the whole entry back, so a
-        later ``load`` can never see a truncated KB. Returns the entry
-        id.
+        later ``load`` can never see a truncated KB. ``created_at``
+        defaults to now; migration and rebalancing pass the original
+        stamp through so compaction ages entries by first creation, not
+        by their last move between shards. Returns the entry id.
         """
         with self._lock:
             try:
                 return self._save_locked(
                     query, kb, corpus_version, mode, algorithm, source,
-                    num_documents, config_digest,
+                    num_documents, config_digest, created_at,
                 )
             except Exception:
                 self._conn.rollback()
@@ -190,6 +213,7 @@ class KbStore:
         source: str,
         num_documents: int,
         config_digest: str,
+        created_at: Optional[float],
     ) -> int:
         cur = self._conn.cursor()
         cur.execute(
@@ -213,7 +237,7 @@ class KbStore:
                 source,
                 num_documents,
                 config_digest,
-                time.time(),
+                created_at if created_at is not None else time.time(),
             ),
         )
         entry_id = cur.lastrowid
@@ -396,6 +420,116 @@ class KbStore:
                 )
             ]
 
+    def signatures(
+        self,
+        corpus_version: Optional[str] = None,
+        mode: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        config_digest: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[EntrySignature]:
+        """Stored entry signatures, newest first, optionally filtered.
+
+        The warm-up path refills the in-memory cache from this on
+        service start; migration/rebalancing iterates the unfiltered
+        listing to re-route entries. The filters and ``limit`` run in
+        SQL so a warm-up over a huge store reads O(limit) rows, not the
+        whole table. ``None`` means "no filter" (an empty string is a
+        real ``config_digest`` value).
+        """
+        clauses: List[str] = []
+        params: List = []
+        for column, value in (
+            ("corpus_version", corpus_version),
+            ("mode", mode),
+            ("algorithm", algorithm),
+            ("config_digest", config_digest),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = (
+            "SELECT query, mode, algorithm, corpus_version, source, "
+            "num_documents, config_digest, created_at FROM kb_entries"
+        )
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_at DESC, entry_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(max(0, int(limit)))
+        with self._lock:
+            return [
+                EntrySignature(
+                    query=row[0],
+                    mode=row[1],
+                    algorithm=row[2],
+                    corpus_version=row[3],
+                    source=row[4],
+                    num_documents=int(row[5]),
+                    config_digest=row[6],
+                    created_at=float(row[7]),
+                )
+                for row in self._conn.execute(sql, params)
+            ]
+
+    def created_index(self) -> List[Tuple[float, int]]:
+        """(created_at, entry_id) for every entry — compaction input."""
+        with self._lock:
+            return [
+                (float(created_at), int(entry_id))
+                for created_at, entry_id in self._conn.execute(
+                    "SELECT created_at, entry_id FROM kb_entries"
+                )
+            ]
+
+    def delete_entries(self, entry_ids: Iterable[int]) -> int:
+        """Drop specific entries (facts etc. cascade); returns the count."""
+        ids = [(int(entry_id),) for entry_id in entry_ids]
+        if not ids:
+            return 0
+        with self._lock:
+            cur = self._conn.executemany(
+                "DELETE FROM kb_entries WHERE entry_id = ?", ids
+            )
+            self._conn.commit()
+            return cur.rowcount
+
+    def compact(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Reclaim space for long-running deployments; returns removed count.
+
+        Two independent policies, applied in order:
+
+        - ``max_age_seconds`` — drop entries created more than this many
+          seconds before ``now`` (TTL);
+        - ``max_entries`` — then keep only the newest N entries.
+
+        Both default to "no limit". ``now`` is injectable for tests.
+        """
+        removed = 0
+        with self._lock:
+            if max_age_seconds is not None:
+                cutoff = (now if now is not None else time.time()) - max_age_seconds
+                cur = self._conn.execute(
+                    "DELETE FROM kb_entries WHERE created_at < ?", (cutoff,)
+                )
+                removed += cur.rowcount
+            if max_entries is not None:
+                cur = self._conn.execute(
+                    "DELETE FROM kb_entries WHERE entry_id NOT IN ("
+                    "SELECT entry_id FROM kb_entries "
+                    "ORDER BY created_at DESC, entry_id DESC LIMIT ?)",
+                    (max(0, int(max_entries)),),
+                )
+                removed += cur.rowcount
+            self._conn.commit()
+        return removed
+
     def delete_stale(self, current_version: str) -> int:
         """Drop entries from corpus versions other than ``current_version``.
 
@@ -428,4 +562,4 @@ class KbStore:
             return out
 
 
-__all__ = ["KbStore"]
+__all__ = ["EntrySignature", "KbStore"]

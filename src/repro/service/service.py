@@ -30,6 +30,8 @@ from repro.kb.facts import KnowledgeBase
 from repro.service.cache import CacheKey, QueryCache
 from repro.service.executor import BatchExecutor
 from repro.service.kb_store import KbStore
+from repro.service.process_executor import ProcessBatchExecutor
+from repro.service.sharding import ShardedKbStore
 
 
 def _config_digest(config: QKBflyConfig) -> str:
@@ -58,7 +60,32 @@ class ServiceConfig:
     cache_ttl_seconds: Optional[float] = None
     max_workers: int = 4
     # None disables persistence; ":memory:" gives an ephemeral store.
+    # With store_shards > 1 this is a *directory* of shard files.
     store_path: Optional[str] = None
+    # 1 keeps the single-file KbStore; N > 1 partitions entries across
+    # N SQLite files with per-shard locks (ShardedKbStore).
+    store_shards: int = 1
+    # "thread" runs the pipeline on the request worker threads (best
+    # for repeat-heavy traffic: dedup + cache do the work); "process"
+    # adds a multiprocessing pool for the CPU-bound pipeline stages so
+    # concurrent *distinct* queries scale past the GIL on multi-core
+    # hosts. Falls back to threads when the session cannot be pickled.
+    executor: str = "thread"
+    # Pool size for executor="process" (defaults to max_workers), and
+    # an optional multiprocessing start method ("fork"/"spawn").
+    process_workers: Optional[int] = None
+    process_start_method: Optional[str] = None
+    # Refill the in-memory cache from the store on service start (up to
+    # warm_limit entries, newest first; capped by cache_size).
+    warm_cache_on_start: bool = False
+    warm_limit: Optional[int] = None
+    # Store compaction policy for long-running deployments: entries
+    # older than store_max_age_seconds, or beyond the newest
+    # store_max_entries, are reclaimed by compact_store() — on start
+    # when compact_store_on_start is set, and on every call thereafter.
+    store_max_age_seconds: Optional[float] = None
+    store_max_entries: Optional[int] = None
+    compact_store_on_start: bool = False
 
 
 @dataclass
@@ -93,13 +120,25 @@ class QKBflyService:
     ) -> None:
         self.session = session
         self.service_config = service_config or ServiceConfig()
+        if self.service_config.executor not in ("thread", "process"):
+            # Validate before any pool/store is allocated: raising
+            # later would leak worker threads and SQLite handles.
+            raise ValueError(
+                f"unknown executor kind: {self.service_config.executor!r}"
+            )
         self.qkbfly = QKBfly.from_session(session, config=config)
         self.cache = cache or QueryCache(
             max_size=self.service_config.cache_size,
             ttl_seconds=self.service_config.cache_ttl_seconds,
         )
         if store is None and self.service_config.store_path is not None:
-            store = KbStore(self.service_config.store_path)
+            if self.service_config.store_shards > 1:
+                store = ShardedKbStore(
+                    self.service_config.store_path,
+                    num_shards=self.service_config.store_shards,
+                )
+            else:
+                store = KbStore(self.service_config.store_path)
         self.store = store
         if self.store is not None:
             stored_version = self.store.corpus_version
@@ -115,6 +154,28 @@ class QKBflyService:
         self._counter_lock = threading.Lock()
         self._config_digest = _config_digest(self.qkbfly.config)
         self.pipeline_runs = 0
+        self._pipeline_executor = self._build_pipeline_executor()
+        if self.service_config.compact_store_on_start:
+            self.compact_store()
+        if self.service_config.warm_cache_on_start:
+            self.warm_cache(self.service_config.warm_limit)
+
+    def _build_pipeline_executor(self) -> Optional[ProcessBatchExecutor]:
+        """The multiprocessing pool behind ``executor="process"``.
+
+        The kind was validated up front in ``__init__``.
+        """
+        if self.service_config.executor == "thread":
+            return None
+        return ProcessBatchExecutor(
+            self.session,
+            config=self.qkbfly.config,
+            max_workers=(
+                self.service_config.process_workers
+                or self.service_config.max_workers
+            ),
+            mp_context=self.service_config.process_start_method,
+        )
 
     @classmethod
     def from_world(
@@ -301,7 +362,7 @@ class QKBflyService:
             )
             store_hit = kb is not None
         if kb is None:
-            kb = self.qkbfly.build_kb(
+            kb = self._run_pipeline(
                 query, source=key.source, num_documents=key.num_documents
             )
             with self._counter_lock:
@@ -340,6 +401,23 @@ class QKBflyService:
             kb=kb,
             corpus_version=built_under,
             store_hit=store_hit,
+        )
+
+    def _run_pipeline(
+        self, query: str, source: str, num_documents: int
+    ) -> KnowledgeBase:
+        """One uncached pipeline run, on the configured execution tier.
+
+        The thread tier runs inline on the calling executor thread; the
+        process tier ships a picklable envelope to a worker process so
+        the CPU-bound stages escape the GIL.
+        """
+        if self._pipeline_executor is not None:
+            return self._pipeline_executor.build_kb(
+                query, source=source, num_documents=num_documents
+            )
+        return self.qkbfly.build_kb(
+            query, source=source, num_documents=num_documents
         )
 
     def _key(
@@ -403,7 +481,97 @@ class QKBflyService:
         if self.store is not None:
             self.store.delete_stale(self.session.corpus_version)
             self.store.set_corpus_version(self.session.corpus_version)
+        if self._pipeline_executor is not None:
+            # Worker processes bootstrapped from the *old* session
+            # pickle; rebuild the pool so they serve the new corpus.
+            self._pipeline_executor.shutdown()
+            self._pipeline_executor = self._build_pipeline_executor()
         return self.session.corpus_version
+
+    # ---- warm-up / compaction ---------------------------------------------
+
+    def warm_cache(self, limit: Optional[int] = None) -> int:
+        """Refill the in-memory cache from the store; returns the count.
+
+        Long-running deployments restart with a cold cache but a warm
+        store — this promotes stored entries back into memory so the
+        first wave of traffic after a restart is served at cache speed.
+        Only entries that are servable *now* qualify (current corpus
+        version, current mode/algorithm/config digest); newest first,
+        up to ``limit`` (default: the cache's own capacity). Already
+        cached keys are skipped, so warming never demotes recency.
+        """
+        if self.store is None:
+            return 0
+        budget = self.cache.max_size if limit is None else limit
+        budget = min(budget, self.cache.max_size)
+        # Servability is filtered in SQL, so a warm-up over a huge
+        # store reads O(budget) rows; the extra len(cache) headroom
+        # covers candidates that turn out to be cached already.
+        candidates = self.store.signatures(
+            corpus_version=self.session.corpus_version,
+            mode=self.qkbfly.config.mode,
+            algorithm=self.qkbfly.config.algorithm,
+            config_digest=self._config_digest,
+            limit=budget + len(self.cache),
+        )
+        selected = []
+        for sig in candidates:  # newest first
+            if len(selected) >= budget:
+                break
+            key = CacheKey(
+                query=sig.query,
+                mode=sig.mode,
+                algorithm=sig.algorithm,
+                corpus_version=sig.corpus_version,
+                source=sig.source,
+                num_documents=sig.num_documents,
+                config_digest=sig.config_digest,
+            )
+            if key not in self.cache:
+                selected.append((key, sig))
+        loaded = 0
+        # Insert oldest-first so the newest entry ends up
+        # most-recently-used: newest-first insertion would put the
+        # hottest candidates first in line for LRU eviction.
+        for key, sig in reversed(selected):
+            kb = self.store.load(
+                sig.query,
+                corpus_version=sig.corpus_version,
+                mode=sig.mode,
+                algorithm=sig.algorithm,
+                source=sig.source,
+                num_documents=sig.num_documents,
+                config_digest=sig.config_digest,
+            )
+            if kb is None:  # deleted between listing and load
+                continue
+            self.cache.put(key, kb)
+            loaded += 1
+        return loaded
+
+    def compact_store(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Apply the store TTL/size policy; returns removed entries.
+
+        Explicit arguments override the :class:`ServiceConfig` policy;
+        with neither configured nor passed this is a no-op, so it is
+        always safe to call from a maintenance cron.
+        """
+        if self.store is None:
+            return 0
+        if max_age_seconds is None:
+            max_age_seconds = self.service_config.store_max_age_seconds
+        if max_entries is None:
+            max_entries = self.service_config.store_max_entries
+        if max_age_seconds is None and max_entries is None:
+            return 0
+        return self.store.compact(
+            max_age_seconds=max_age_seconds, max_entries=max_entries
+        )
 
     # ---- lifecycle / monitoring -------------------------------------------
 
@@ -426,13 +594,17 @@ class QKBflyService:
                 "deduplicated": self._executor.deduplicated,
             },
         }
+        if self._pipeline_executor is not None:
+            out["pipeline_executor"] = self._pipeline_executor.stats()
         if self.store is not None:
             out["store"] = self.store.stats()
         return out
 
     def close(self) -> None:
-        """Shut down the executor and close the store."""
+        """Shut down the executors and close the store."""
         self._executor.shutdown()
+        if self._pipeline_executor is not None:
+            self._pipeline_executor.shutdown()
         if self.store is not None:
             self.store.close()
 

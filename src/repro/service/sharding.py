@@ -1,0 +1,421 @@
+"""Sharded KB store: N SQLite files behind per-shard locks.
+
+A single :class:`~repro.service.kb_store.KbStore` serializes every
+save/load behind one process-wide lock, which caps serving throughput
+once many workers persist results concurrently. The sharded store
+partitions entries across ``num_shards`` independent SQLite files, each
+with its own lock (the per-partition-lock pattern of large partitioned
+scientific stores), so writers to different shards never contend.
+
+Routing is deterministic: the *query signature* — normalized query,
+mode, algorithm, source, document count and config digest — is hashed
+with SHA-1 and reduced modulo the shard count (:func:`shard_index`).
+The ``corpus_version`` is deliberately **excluded** from routing: a
+corpus refresh restamps every key, and keeping routing stable under
+refresh means stale-entry cleanup stays a per-shard operation and all
+versions of one query live in one shard.
+
+The shard count is recorded in a ``shards.json`` manifest next to the
+shard files; reopening with a different count is refused (entries would
+silently become unreachable) — :meth:`ShardedKbStore.rebalance`
+re-routes every entry into a new shard count instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.facts import KnowledgeBase
+from repro.service.kb_store import EntrySignature, KbStore
+
+DEFAULT_NUM_SHARDS = 4
+MANIFEST_NAME = "shards.json"
+_SHARD_FILE_TEMPLATE = "shard-{:03d}.sqlite"
+
+
+def shard_index(
+    query: str,
+    num_shards: int,
+    mode: str = "joint",
+    algorithm: str = "greedy",
+    source: str = "wikipedia",
+    num_documents: int = 1,
+    config_digest: str = "",
+) -> int:
+    """Deterministic shard for a query signature, in ``[0, num_shards)``.
+
+    Pure function of the signature fields (minus ``corpus_version``;
+    see the module docstring) — stable across processes and Python
+    versions, unlike the builtin ``hash``.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    payload = "\x1f".join(
+        (query, mode, algorithm, source, str(num_documents), config_digest)
+    )
+    digest = hashlib.sha1(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardedKbStore:
+    """Drop-in :class:`KbStore` replacement over N shard files.
+
+    Exposes the same ``save`` / ``load`` / ``entries`` / ``signatures``
+    / ``delete_stale`` / ``compact`` / ``stats`` surface; reads and
+    writes delegate to exactly one shard, maintenance operations
+    aggregate over all of them.
+
+    Args:
+        directory: Directory holding the shard files and the manifest;
+            created if absent.
+        num_shards: Shard count for a *new* store. For an existing
+            store this must match the manifest (or be ``None`` to adopt
+            it); a mismatch raises instead of silently mis-routing.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        num_shards: Optional[int] = None,
+    ) -> None:
+        self.directory = str(directory)
+        path = Path(self.directory)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest_path = path / MANIFEST_NAME
+        if manifest_path.exists():
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            existing = int(manifest["num_shards"])
+            if num_shards is not None and num_shards != existing:
+                raise ValueError(
+                    f"store at {self.directory} has {existing} shards; "
+                    f"asked for {num_shards} — use ShardedKbStore.rebalance"
+                )
+            num_shards = existing
+        else:
+            if num_shards is None:
+                num_shards = DEFAULT_NUM_SHARDS
+            if num_shards <= 0:
+                raise ValueError("num_shards must be positive")
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                json.dump({"num_shards": num_shards}, handle)
+                handle.write("\n")
+        self.num_shards = num_shards
+        self._shards: List[KbStore] = [
+            KbStore(str(path / _SHARD_FILE_TEMPLATE.format(i)))
+            for i in range(num_shards)
+        ]
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every shard connection."""
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedKbStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---- routing -----------------------------------------------------------
+
+    @property
+    def shard_paths(self) -> List[str]:
+        """Database file path of every shard, in shard order."""
+        return [shard.path for shard in self._shards]
+
+    def shard_for(
+        self,
+        query: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> int:
+        """The shard this signature routes to (exposed for tests/ops)."""
+        return shard_index(
+            query,
+            self.num_shards,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+        )
+
+    # ---- meta --------------------------------------------------------------
+
+    @property
+    def corpus_version(self) -> str:
+        """The corpus stamp the store was last synchronized to."""
+        return self._shards[0].corpus_version
+
+    def set_corpus_version(self, version: str) -> None:
+        """Record the corpus stamp on every shard."""
+        for shard in self._shards:
+            shard.set_corpus_version(version)
+
+    # ---- save / load -------------------------------------------------------
+
+    def save(
+        self,
+        query: str,
+        kb: KnowledgeBase,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+        created_at: Optional[float] = None,
+    ) -> int:
+        """Persist into the signature's shard; returns the entry id."""
+        index = self.shard_for(
+            query,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+        )
+        return self._shards[index].save(
+            query,
+            kb,
+            corpus_version=corpus_version,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+            created_at=created_at,
+        )
+
+    def load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Optional[KnowledgeBase]:
+        """Load from the signature's shard; None when absent."""
+        index = self.shard_for(
+            query,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+        )
+        return self._shards[index].load(
+            query,
+            corpus_version=corpus_version,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+        )
+
+    # ---- maintenance -------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, str, str, str]]:
+        """(query, mode, algorithm, corpus_version) across all shards."""
+        out: List[Tuple[str, str, str, str]] = []
+        for shard in self._shards:
+            out.extend(shard.entries())
+        return out
+
+    def signatures(
+        self,
+        corpus_version: Optional[str] = None,
+        mode: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        config_digest: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[EntrySignature]:
+        """Entry signatures across shards, newest first (same filters
+        and ``limit`` as :meth:`KbStore.signatures`; each shard is asked
+        for at most ``limit`` rows, then the merged top-``limit`` wins)."""
+        out: List[EntrySignature] = []
+        for shard in self._shards:
+            out.extend(
+                shard.signatures(
+                    corpus_version=corpus_version,
+                    mode=mode,
+                    algorithm=algorithm,
+                    config_digest=config_digest,
+                    limit=limit,
+                )
+            )
+        out.sort(key=lambda sig: -sig.created_at)
+        return out if limit is None else out[: max(0, int(limit))]
+
+    def delete_stale(self, current_version: str) -> int:
+        """Drop other-version entries on every shard; returns the count."""
+        return sum(
+            shard.delete_stale(current_version) for shard in self._shards
+        )
+
+    def compact(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """TTL + size compaction with a *global* entry budget.
+
+        ``max_age_seconds`` applies per shard (age is shard-local
+        information). ``max_entries`` bounds the total across shards:
+        the globally newest N entries survive, wherever they live — a
+        per-shard budget would keep cold entries on underfull shards
+        while evicting hot ones from full shards.
+        """
+        removed = 0
+        if max_age_seconds is not None:
+            for shard in self._shards:
+                removed += shard.compact(
+                    max_age_seconds=max_age_seconds, now=now
+                )
+        if max_entries is not None:
+            index: List[Tuple[float, int, int]] = []
+            for shard_no, shard in enumerate(self._shards):
+                index.extend(
+                    (created_at, shard_no, entry_id)
+                    for created_at, entry_id in shard.created_index()
+                )
+            budget = max(0, int(max_entries))
+            if len(index) > budget:
+                index.sort(reverse=True)  # newest first
+                doomed: Dict[int, List[int]] = {}
+                for _, shard_no, entry_id in index[budget:]:
+                    doomed.setdefault(shard_no, []).append(entry_id)
+                for shard_no, entry_ids in doomed.items():
+                    removed += self._shards[shard_no].delete_entries(entry_ids)
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregated row counts (KbStore-compatible) plus shard count."""
+        out: Dict[str, int] = {"shards": self.num_shards}
+        for shard in self._shards:
+            for table, count in shard.stats().items():
+                out[table] = out.get(table, 0) + count
+        return out
+
+    def shard_entry_counts(self) -> List[int]:
+        """kb_entries per shard, in shard order (balance monitoring)."""
+        return [shard.stats()["kb_entries"] for shard in self._shards]
+
+    # ---- migration / rebalancing ------------------------------------------
+
+    @classmethod
+    def migrate_from(
+        cls,
+        source: KbStore,
+        directory: str,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+    ) -> "ShardedKbStore":
+        """Copy every entry of a single-file store into a sharded one.
+
+        The migration path from the PR-1 ``KbStore``: signatures,
+        creation stamps and the corpus-version meta all carry over. The
+        source store is left untouched; callers delete it once happy.
+        """
+        sharded = cls(directory, num_shards=num_shards)
+        _copy_entries(source, sharded)
+        sharded.set_corpus_version(source.corpus_version)
+        return sharded
+
+    @classmethod
+    def rebalance(cls, directory: str, num_shards: int) -> "ShardedKbStore":
+        """Re-route every entry of an existing store into N shards.
+
+        Offline maintenance: must not race live traffic on the same
+        directory. Entries are staged in memory, the old shard files
+        are replaced, and the reopened store is returned. A no-op when
+        the store already has ``num_shards`` shards.
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        old = cls(directory)
+        if old.num_shards == num_shards:
+            return old
+        staged = [
+            (sig, _load_signature(old, sig)) for sig in old.signatures()
+        ]
+        version = old.corpus_version
+        paths = old.shard_paths
+        old.close()
+        for path in paths:
+            for suffix in ("", "-wal", "-shm"):
+                stale = path + suffix
+                if os.path.exists(stale):
+                    os.remove(stale)
+        os.remove(os.path.join(str(directory), MANIFEST_NAME))
+        rebalanced = cls(directory, num_shards=num_shards)
+        for sig, kb in staged:
+            rebalanced.save(
+                sig.query,
+                kb,
+                corpus_version=sig.corpus_version,
+                mode=sig.mode,
+                algorithm=sig.algorithm,
+                source=sig.source,
+                num_documents=sig.num_documents,
+                config_digest=sig.config_digest,
+                created_at=sig.created_at,
+            )
+        if version:
+            rebalanced.set_corpus_version(version)
+        return rebalanced
+
+
+def _load_signature(store, sig: EntrySignature) -> KnowledgeBase:
+    """Load the KB behind a signature from any store-shaped object."""
+    kb = store.load(
+        sig.query,
+        corpus_version=sig.corpus_version,
+        mode=sig.mode,
+        algorithm=sig.algorithm,
+        source=sig.source,
+        num_documents=sig.num_documents,
+        config_digest=sig.config_digest,
+    )
+    if kb is None:  # pragma: no cover - signatures() and load() disagree
+        raise RuntimeError(f"store lost the entry for {sig!r} mid-copy")
+    return kb
+
+
+def _copy_entries(source, target) -> int:
+    """Re-save every entry of ``source`` into ``target``; returns count."""
+    copied = 0
+    for sig in source.signatures():
+        target.save(
+            sig.query,
+            _load_signature(source, sig),
+            corpus_version=sig.corpus_version,
+            mode=sig.mode,
+            algorithm=sig.algorithm,
+            source=sig.source,
+            num_documents=sig.num_documents,
+            config_digest=sig.config_digest,
+            created_at=sig.created_at,
+        )
+        copied += 1
+    return copied
+
+
+__all__ = [
+    "DEFAULT_NUM_SHARDS",
+    "ShardedKbStore",
+    "shard_index",
+]

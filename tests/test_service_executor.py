@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+from concurrent.futures import Future
 
 from repro.core.qkbfly import QKBfly
 from repro.service.cache import QueryCache
@@ -79,6 +80,92 @@ def test_key_released_after_completion_allows_recompute():
         ex.submit("k", 1).result(timeout=5)
         ex.submit("k", 2).result(timeout=5)
     assert calls == [1, 2]
+
+
+def test_shared_flight_cannot_be_cancelled_by_one_caller():
+    """A flight's future may be shared by many deduplicated callers, so
+    no single caller's cancel() may poison the others' results."""
+    started = threading.Event()
+    release = threading.Event()
+
+    def slow(request):
+        started.set()
+        release.wait(timeout=5)
+        return request
+
+    with BatchExecutor(slow, max_workers=2) as executor:
+        first = executor.submit("k", "payload")
+        assert started.wait(timeout=5)
+        second = executor.submit("k", "payload")
+        assert second is first
+        assert not first.cancel()  # flights are uncancellable
+        release.set()
+        assert first.result(timeout=5) == "payload"
+        assert second.result(timeout=5) == "payload"
+
+
+class _EagerFuture(Future):
+    """A pool future that completes immediately but whose done-callbacks
+    are deferred until :meth:`release` — the exact interleaving where a
+    computation finishes between ``pool.submit`` returning and
+    ``add_done_callback`` being registered."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.deferred = []
+
+    def add_done_callback(self, fn) -> None:  # defer instead of firing
+        self.deferred.append(fn)
+
+    def release(self) -> None:
+        for fn in self.deferred:
+            fn(self)
+
+
+class _EagerPool:
+    """Pool stub running submissions synchronously on the caller."""
+
+    def __init__(self) -> None:
+        self.futures = []
+
+    def submit(self, fn, *args) -> _EagerFuture:
+        future = _EagerFuture()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:  # pragma: no cover - defensive
+            future.set_exception(error)
+        self.futures.append(future)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+
+def test_single_flight_key_never_maps_to_finished_future():
+    """Regression: a computation finishing before its done-callback was
+    registered used to leave the key mapped to a *completed* future, so
+    later submissions joined a stale finished flight instead of seeing
+    a live one (and the key could leak past its computation)."""
+    executor = BatchExecutor(lambda request: request * 2, max_workers=1)
+    executor._pool.shutdown()
+    executor._pool = _EagerPool()
+    with executor:
+        first = executor.submit("k", 1)
+        # The pool already ran the computation, but the completion
+        # signal has not been delivered: callers must still observe a
+        # pending (never a finished) in-flight future.
+        assert not first.done()
+        second = executor.submit("k", 99)
+        assert second is first
+        assert executor.deduplicated == 1
+        executor._pool.futures[0].release()
+        assert first.result(timeout=5) == 2
+        assert "k" not in executor._in_flight
+        # After completion the key is free: a new submit recomputes.
+        third = executor.submit("k", 5)
+        assert third is not first
+        executor._pool.futures[1].release()
+        assert third.result(timeout=5) == 10
 
 
 def test_exceptions_propagate():

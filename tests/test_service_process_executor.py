@@ -1,0 +1,120 @@
+"""Process executor: envelopes, worker bootstrap, thread fallback."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.core.qkbfly import QKBfly
+from repro.service.process_executor import (
+    PipelineRequest,
+    PipelineResponse,
+    ProcessBatchExecutor,
+)
+
+
+def _top_queries(service_session, count: int):
+    entities = sorted(
+        service_session.entity_repository.entities(),
+        key=lambda e: -e.prominence,
+    )
+    return [e.canonical_name for e in entities[:count]]
+
+
+def test_request_and_response_envelopes_are_picklable():
+    request = PipelineRequest(query="alice", source="news", num_documents=2)
+    assert pickle.loads(pickle.dumps(request)) == request
+    response = PipelineResponse(
+        kb_payload={"facts": []}, worker_pid=123, seconds=0.5
+    )
+    restored = pickle.loads(pickle.dumps(response))
+    assert restored.kb_payload == response.kb_payload
+    assert restored.worker_pid == 123
+
+
+def test_process_results_match_inline_pipeline(service_session):
+    queries = _top_queries(service_session, 4)
+    reference = QKBfly.from_session(service_session)
+    expected = {
+        q: reference.build_kb(q, source="wikipedia", num_documents=1).to_dict()
+        for q in queries
+    }
+    with ProcessBatchExecutor(service_session, max_workers=2) as executor:
+        assert executor.kind == "process"
+        kbs = executor.run_batch([PipelineRequest(q) for q in queries])
+    for query, kb in zip(queries, kbs):
+        assert kb.to_dict() == expected[query]
+
+
+def test_work_actually_crosses_the_process_boundary(service_session):
+    query = _top_queries(service_session, 1)[0]
+    with ProcessBatchExecutor(service_session, max_workers=2) as executor:
+        response = executor.submit(PipelineRequest(query)).result(timeout=60)
+    assert response.worker_pid != os.getpid()
+
+
+def test_identical_envelopes_single_flight(service_session):
+    query = _top_queries(service_session, 1)[0]
+    with ProcessBatchExecutor(service_session, max_workers=2) as executor:
+        request = PipelineRequest(query)
+        kbs = executor.run_batch([request] * 5)
+        assert executor.submitted == 1
+        assert executor.deduplicated == 4
+    first = kbs[0].to_dict()
+    for kb in kbs[1:]:
+        assert kb.to_dict() == first
+        # Shared flight, but every consumer got a private KB object.
+    assert len({id(kb) for kb in kbs}) == len(kbs)
+
+
+def test_forced_thread_fallback_matches_process_results(service_session):
+    queries = _top_queries(service_session, 3)
+    with ProcessBatchExecutor(
+        service_session, max_workers=2, force_threads=True
+    ) as threaded:
+        assert threaded.kind == "thread"
+        assert threaded.stats()["fallback_reason"] == "forced by configuration"
+        thread_kbs = threaded.run_batch([PipelineRequest(q) for q in queries])
+    reference = QKBfly.from_session(service_session)
+    for query, kb in zip(queries, thread_kbs):
+        assert (
+            kb.to_dict()
+            == reference.build_kb(
+                query, source="wikipedia", num_documents=1
+            ).to_dict()
+        )
+
+
+def test_unpicklable_session_falls_back_to_threads(service_session):
+    # Simulate a corpus object that cannot be forked/pickled (sockets,
+    # mmaps, ...): any unpicklable attribute poisons the session pickle.
+    service_session.transient_handle = threading.Lock()
+    try:
+        with pytest.raises(TypeError):
+            pickle.dumps(service_session)
+        query = _top_queries(service_session, 1)[0]
+        with ProcessBatchExecutor(service_session, max_workers=2) as executor:
+            assert executor.kind == "thread"
+            assert "not picklable" in executor.stats()["fallback_reason"]
+            kb = executor.build_kb(query)
+        reference = QKBfly.from_session(service_session)
+        assert (
+            kb.to_dict()
+            == reference.build_kb(
+                query, source="wikipedia", num_documents=1
+            ).to_dict()
+        )
+    finally:
+        del service_session.transient_handle
+
+
+def test_session_pickle_excludes_derived_nlp_state(service_session):
+    payload = pickle.dumps(service_session)
+    restored = pickle.loads(payload)
+    assert restored.__getstate__()["_nlp"] is None
+    # The pipeline is rebuilt lazily and still annotates.
+    doc = restored.nlp.annotate_text("Alice met Bob.", doc_id="d")
+    assert doc.doc_id == "d"

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis): shard routing, rebalancing, and
+cache LRU+TTL invariants checked against a reference model."""
+
+from __future__ import annotations
+
+import tempfile
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.facts import ARG_ENTITY, Argument, Fact, KnowledgeBase
+from repro.service.cache import CacheKey, QueryCache
+from repro.service.sharding import ShardedKbStore, shard_index
+
+# SQLite TEXT and utf-8 hashing both need real characters: no lone
+# surrogates, no NUL.
+_QUERY_TEXT = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\x00"
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+_SIGNATURES = st.fixed_dictionaries(
+    {
+        "query": _QUERY_TEXT,
+        "mode": st.sampled_from(["joint", "pipeline", "noun"]),
+        "algorithm": st.sampled_from(["greedy", "ilp"]),
+        "source": st.sampled_from(["wikipedia", "news"]),
+        "num_documents": st.integers(min_value=1, max_value=5),
+        "config_digest": st.sampled_from(["", "abc123", "ffee00"]),
+    }
+)
+
+
+def _kb(tag: str) -> KnowledgeBase:
+    kb = KnowledgeBase()
+    kb.add_fact(
+        Fact(
+            subject=Argument(ARG_ENTITY, "E", tag),
+            predicate="is",
+            objects=[Argument(ARG_ENTITY, "O", tag)],
+            pattern="is",
+            confidence=1.0,
+            doc_id=f"doc:{tag}",
+            sentence_index=0,
+        )
+    )
+    return kb
+
+
+# ---- shard routing ----------------------------------------------------------
+
+
+@given(signature=_SIGNATURES, num_shards=st.integers(1, 64))
+def test_shard_index_stable_and_in_range(signature, num_shards):
+    """Same signature, same shard — always, and always a legal one."""
+    first = shard_index(num_shards=num_shards, **signature)
+    assert 0 <= first < num_shards
+    for _ in range(3):
+        assert shard_index(num_shards=num_shards, **signature) == first
+
+
+@given(
+    queries=st.lists(_QUERY_TEXT, unique=True, min_size=1, max_size=10),
+    old_shards=st.integers(1, 6),
+    new_shards=st.integers(1, 6),
+)
+@settings(max_examples=20, deadline=None)
+def test_rebalance_preserves_every_entry(queries, old_shards, new_shards):
+    """Rebalancing N -> M loses nothing and re-routes everything."""
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = f"{tmp}/shards"
+        with ShardedKbStore(directory, num_shards=old_shards) as store:
+            for i, query in enumerate(queries):
+                store.save(
+                    query,
+                    _kb(f"t{i}"),
+                    corpus_version="v1",
+                    created_at=10.0 + i,
+                )
+            store.set_corpus_version("v1")
+        rebalanced = ShardedKbStore.rebalance(directory, new_shards)
+        with rebalanced:
+            assert rebalanced.num_shards == new_shards
+            assert rebalanced.stats()["kb_entries"] == len(queries)
+            for i, query in enumerate(queries):
+                loaded = rebalanced.load(query, corpus_version="v1")
+                assert loaded is not None, f"entry lost in rebalance: {query!r}"
+                assert loaded.to_dict() == _kb(f"t{i}").to_dict()
+            stamps = sorted(sig.created_at for sig in rebalanced.signatures())
+            assert stamps == [10.0 + i for i in range(len(queries))]
+
+
+@given(
+    signature=_SIGNATURES,
+    num_shards=st.integers(1, 8),
+)
+@settings(max_examples=25, deadline=None)
+def test_store_load_consults_the_routed_shard(signature, num_shards):
+    """save then load through the sharded store round-trips for any
+    signature — i.e. both sides agree on the route."""
+    with tempfile.TemporaryDirectory() as tmp:
+        with ShardedKbStore(
+            f"{tmp}/shards", num_shards=num_shards
+        ) as store:
+            store.save(kb=_kb("x"), corpus_version="v1", **signature)
+            loaded = store.load(corpus_version="v1", **signature)
+            assert loaded is not None
+            assert loaded.to_dict() == _kb("x").to_dict()
+
+
+# ---- cache LRU + TTL invariants --------------------------------------------
+
+
+class _ModelClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class _CacheModel:
+    """Reference semantics: LRU order + strict-greater-than-TTL expiry,
+    mirroring the documented QueryCache contract."""
+
+    def __init__(self, max_size: int, ttl: float, clock: _ModelClock) -> None:
+        self.max_size = max_size
+        self.ttl = ttl
+        self.clock = clock
+        self.entries: "OrderedDict[CacheKey, tuple]" = OrderedDict()
+
+    def put(self, key, value) -> None:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+        self.entries[key] = (value, self.clock())
+        while len(self.entries) > self.max_size:
+            self.entries.popitem(last=False)
+
+    def get(self, key):
+        if key not in self.entries:
+            return None
+        value, inserted = self.entries[key]
+        if self.clock() - inserted > self.ttl:
+            del self.entries[key]
+            return None
+        self.entries.move_to_end(key)
+        return value
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 7), st.integers(0, 99)),
+        st.tuples(st.just("get"), st.integers(0, 7)),
+        st.tuples(st.just("advance"), st.floats(min_value=0.5, max_value=6.0)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_OPS, max_size=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_lru_ttl_reference_model(ops, max_size):
+    clock = _ModelClock()
+    ttl = 10.0
+    cache = QueryCache(max_size=max_size, ttl_seconds=ttl, clock=clock)
+    model = _CacheModel(max_size, ttl, clock)
+    keys = [
+        CacheKey.for_request(
+            f"k{i}", mode="joint", algorithm="greedy", corpus_version="v1"
+        )
+        for i in range(8)
+    ]
+    lookups = 0
+    for op in ops:
+        if op[0] == "put":
+            _, key_no, value = op
+            cache.put(keys[key_no], value)
+            model.put(keys[key_no], value)
+        elif op[0] == "get":
+            _, key_no = op
+            assert cache.get(keys[key_no]) == model.get(keys[key_no])
+            lookups += 1
+        else:
+            clock.now += op[1]
+        # Standing invariants after every operation:
+        assert len(cache) <= max_size
+    assert cache.hits + cache.misses == lookups
+    # Final sweep: cache and model agree on every key's visibility.
+    for key in keys:
+        assert cache.get(key, count=False) == model.get(key)
+
+
+@given(
+    puts=st.lists(st.integers(0, 9), min_size=1, max_size=30),
+    max_size=st.integers(1, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_lru_keeps_exactly_the_most_recent_distinct_keys(puts, max_size):
+    """Without TTL pressure, the cache holds precisely the last
+    ``max_size`` *distinct* keys put, and evicts in LRU order."""
+    cache = QueryCache(max_size=max_size)
+    keys = [
+        CacheKey.for_request(
+            f"k{i}", mode="joint", algorithm="greedy", corpus_version="v1"
+        )
+        for i in range(10)
+    ]
+    for key_no in puts:
+        cache.put(keys[key_no], key_no)
+    expected: list = []
+    for key_no in reversed(puts):  # newest first, first occurrence wins
+        if key_no not in expected:
+            expected.append(key_no)
+    expected = expected[:max_size]
+    for key_no in range(10):
+        if key_no in expected:
+            assert cache.get(keys[key_no], count=False) == key_no
+        else:
+            assert cache.get(keys[key_no], count=False) is None
