@@ -33,6 +33,11 @@ INFORMATIONAL = (
     # (see cpu_count in the same file), so it is printed, never gated.
     "process_speedup",
     "cpu_count",
+    # Absolute event-loop hit latencies vary with the host; the gated
+    # form is the alone/during ratio (gate_async_isolation).
+    "async_hit_p50_alone_ms",
+    "async_hit_p50_during_cold_ms",
+    "async_isolation_ratio",
 )
 
 

@@ -1,0 +1,123 @@
+"""Docs CI check: relative links must resolve, examples must import.
+
+Two rot detectors, stdlib only:
+
+1. **Links** — every inline markdown link ``[text](target)`` in
+   ``README.md`` and ``docs/*.md`` whose target is a relative path
+   must point at an existing file or directory (fragments are
+   stripped; ``http(s)://``, ``mailto:`` and same-page ``#anchor``
+   targets are skipped — this repo's docs must stay checkable
+   offline).
+2. **Examples** — every ``examples/*.py`` module must import cleanly
+   (all are ``__main__``-guarded, so importing runs no workload). A
+   renamed service API breaks this job, not a user's first copy-paste.
+
+Usage::
+
+    python scripts/check_docs.py [repo_root]
+
+Exits non-zero listing every broken link / failed import.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+
+# Inline links, excluding images; the target is everything up to the
+# first unescaped closing paren (markdown titles are not used here).
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files(root: Path):
+    """The markdown surface this check guards."""
+    yield root / "README.md"
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_links(root: Path) -> list:
+    """Return 'file: target' strings for every dangling relative link."""
+    broken = []
+    for md_file in iter_markdown_files(root):
+        if not md_file.exists():
+            broken.append(f"{md_file.relative_to(root)}: file missing")
+            continue
+        text = md_file.read_text(encoding="utf-8")
+        # Links inside fenced code blocks are illustrative, not
+        # navigation — drop the fences before scanning.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md_file.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(
+                    f"{md_file.relative_to(root)}: ({target}) -> "
+                    f"{resolved} does not exist"
+                )
+    return broken
+
+
+def check_example_imports(root: Path) -> list:
+    """Import every example module; return 'file: error' strings."""
+    failures = []
+    src = root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    for example in sorted((root / "examples").glob("*.py")):
+        module_name = f"_docs_check_{example.stem}"
+        try:
+            spec = importlib.util.spec_from_file_location(
+                module_name, example
+            )
+            module = importlib.util.module_from_spec(spec)
+            # Registered so dataclasses/pickling inside the module
+            # resolve their __module__ during exec.
+            sys.modules[module_name] = module
+            spec.loader.exec_module(module)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            failures.append(
+                f"{example.relative_to(root)}: {type(error).__name__}: "
+                f"{error}"
+            )
+        finally:
+            sys.modules.pop(module_name, None)
+    return failures
+
+
+def main() -> int:
+    root = (
+        Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    ).resolve()
+    broken_links = check_links(root)
+    import_failures = check_example_imports(root)
+    for problem in broken_links:
+        print(f"BROKEN LINK  {problem}")
+    for problem in import_failures:
+        print(f"IMPORT FAIL  {problem}")
+    markdown_count = sum(1 for _ in iter_markdown_files(root))
+    example_count = len(list((root / "examples").glob("*.py")))
+    if broken_links or import_failures:
+        print(
+            f"\ndocs check FAILED: {len(broken_links)} broken link(s), "
+            f"{len(import_failures)} example import failure(s)"
+        )
+        return 1
+    print(
+        f"docs check passed: {markdown_count} markdown file(s) linked "
+        f"correctly, {example_count} example(s) import cleanly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

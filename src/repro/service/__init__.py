@@ -1,22 +1,35 @@
 """The query-serving layer: persistence, caching, batched execution.
 
 Turns the one-shot :class:`repro.core.qkbfly.QKBfly` pipeline into a
-serving deployment (see README, "Serving layer"):
+serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
 
 - :mod:`repro.service.cache` — LRU/TTL query cache keyed on
   (normalized query, mode, algorithm, corpus_version);
 - :mod:`repro.service.kb_store` — persistent SQLite (WAL) store for
-  built KBs with full provenance, plus TTL/size compaction;
+  built KBs with full provenance, TTL/size compaction, and a
+  non-blocking ``try_load`` accessor for the event-loop fast path;
 - :mod:`repro.service.sharding` — the same store partitioned across N
   SQLite files with per-shard locks, keyed on the query-signature hash;
 - :mod:`repro.service.executor` — thread-pool batch execution with
   single-flight deduplication over shared session state;
 - :mod:`repro.service.process_executor` — the same pipeline stages on
   a multiprocessing pool, escaping the GIL for distinct-query traffic;
-- :mod:`repro.service.service` — the :class:`QKBflyService` facade
-  (cache warm-up, store compaction, thread/process execution tiers).
+- :mod:`repro.service.autoscale` — the thread-vs-process selector
+  behind ``ServiceConfig(executor="auto")``: startup choice from the
+  CPU count, runtime switching from the observed traffic;
+- :mod:`repro.service.service` — the sync :class:`QKBflyService`
+  facade (cache warm-up, store compaction, execution tiers);
+- :mod:`repro.service.async_service` — the asyncio
+  :class:`AsyncQKBflyService` front end (hits on the event loop,
+  misses dispatched to the executors, asyncio-native single-flight).
 """
 
+from repro.service.async_service import AsyncQKBflyService
+from repro.service.autoscale import (
+    AutoscalePolicy,
+    ExecutorSelector,
+    observed_cpu_count,
+)
 from repro.service.cache import CacheKey, QueryCache, normalize_query
 from repro.service.executor import BatchExecutor
 from repro.service.kb_store import EntrySignature, KbStore
@@ -29,9 +42,12 @@ from repro.service.service import QKBflyService, QueryResult, ServiceConfig
 from repro.service.sharding import ShardedKbStore, shard_index
 
 __all__ = [
+    "AsyncQKBflyService",
+    "AutoscalePolicy",
     "BatchExecutor",
     "CacheKey",
     "EntrySignature",
+    "ExecutorSelector",
     "KbStore",
     "PipelineRequest",
     "PipelineResponse",
@@ -42,5 +58,6 @@ __all__ = [
     "ServiceConfig",
     "ShardedKbStore",
     "normalize_query",
+    "observed_cpu_count",
     "shard_index",
 ]

@@ -1,0 +1,377 @@
+"""Asyncio front end: slow pipeline runs never stall cache-hit traffic.
+
+The sync :class:`~repro.service.service.QKBflyService` answers a cache
+hit in microseconds — but a caller thread that happens to be behind a
+cold query waits for a full pipeline run. An event-loop front end
+removes that head-of-line blocking, the same fast-path/slow-path split
+hybrid transactional/analytical systems use: cheap lookups stay on the
+latency-critical path while heavy work is isolated on its own
+execution tier.
+
+:class:`AsyncQKBflyService` serves three paths per request:
+
+- **cache hit** — answered synchronously on the event loop (the LRU
+  lookup is a microsecond-scale critical section, never disk or
+  pipeline work);
+- **store hit** — attempted on the loop through the stores'
+  non-blocking accessors (:meth:`~repro.service.kb_store.KbStore.
+  try_load`): if the routed store lock is free, the SQLite read happens
+  inline and the cache is filled; if a writer holds it, the request
+  falls through to the slow path instead of stalling the loop;
+- **miss** — dispatched off the loop via ``loop.run_in_executor`` into
+  the sync service's :class:`~repro.service.executor.BatchExecutor`
+  (and through it the process tier, when selected), so the pipeline's
+  CPU-bound stages run on worker threads/processes while the loop keeps
+  answering hits.
+
+Concurrent coroutines asking for the same cold query are collapsed by
+an **asyncio-native single-flight registry** (one in-flight task per
+key, joiners await it) layered over the executor's own thread-level
+dedup — so a burst of N identical cold queries costs one dispatch
+thread and one pipeline run, whether the copies arrive via this front
+end, the sync API, or both.
+
+One instance belongs to one event loop. All mutable front-end state
+(the in-flight registry, the counters) is touched only from loop
+callbacks, which is what makes the front end lock-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.qkbfly import QKBflyConfig, SessionState
+from repro.corpus.world import World
+from repro.service.cache import CacheKey
+from repro.service.service import QKBflyService, QueryResult, ServiceConfig
+
+
+class AsyncQKBflyService:
+    """Event-loop serving facade over a :class:`QKBflyService`.
+
+    All serving tiers (cache, store, executors, autoscaler) are the
+    wrapped sync service's — the two front ends can serve the same
+    deployment concurrently and share every tier, including
+    single-flight dedup across the sync/async boundary.
+
+    Args:
+        service: The sync service to front. Closed by :meth:`aclose`
+            only when ``own_service`` is set (:meth:`from_world` sets
+            it; wrap an externally managed service with the default).
+        own_service: Whether :meth:`aclose` also closes ``service``.
+        dispatch_workers: Threads in the dispatch pool that bridges the
+            loop to the blocking executor API; one is occupied per
+            *distinct* in-flight cold query (the single-flight registry
+            guarantees that bound). Defaults to the service's
+            ``max_workers``.
+    """
+
+    def __init__(
+        self,
+        service: QKBflyService,
+        own_service: bool = False,
+        dispatch_workers: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self._own_service = own_service
+        workers = (
+            dispatch_workers
+            if dispatch_workers is not None
+            else service.service_config.max_workers
+        )
+        if workers <= 0:
+            raise ValueError("dispatch_workers must be positive")
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="qkbfly-async"
+        )
+        self._in_flight: Dict[CacheKey, "asyncio.Task[QueryResult]"] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        # Front-end counters (loop-confined, hence unlocked).
+        self.answered = 0
+        self.loop_cache_hits = 0
+        self.loop_store_hits = 0
+        self.store_busy_fallthroughs = 0
+        self.deduplicated = 0
+        self.dispatched = 0
+
+    @classmethod
+    def from_world(
+        cls,
+        world: World,
+        config: Optional[QKBflyConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        with_search: bool = True,
+        dispatch_workers: Optional[int] = None,
+    ) -> "AsyncQKBflyService":
+        """Build and own a sync service for ``world``, then front it."""
+        service = QKBflyService.from_world(
+            world,
+            config=config,
+            service_config=service_config,
+            with_search=with_search,
+        )
+        return cls(
+            service, own_service=True, dispatch_workers=dispatch_workers
+        )
+
+    @classmethod
+    def from_session(
+        cls,
+        session: SessionState,
+        config: Optional[QKBflyConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+        dispatch_workers: Optional[int] = None,
+    ) -> "AsyncQKBflyService":
+        """Build and own a sync service over ``session``, then front it."""
+        service = QKBflyService(
+            session, config=config, service_config=service_config
+        )
+        return cls(
+            service, own_service=True, dispatch_workers=dispatch_workers
+        )
+
+    # ---- QKBflyService-compatible surface ----------------------------------
+
+    @property
+    def cache(self):
+        """The shared in-memory query cache."""
+        return self.service.cache
+
+    @property
+    def store(self):
+        """The shared persistent KB store (None when persistence is off)."""
+        return self.service.store
+
+    @property
+    def session(self) -> SessionState:
+        """The shared session state."""
+        return self.service.session
+
+    @property
+    def corpus_version(self) -> str:
+        """The corpus snapshot currently served."""
+        return self.service.corpus_version
+
+    # ---- serving -----------------------------------------------------------
+
+    async def answer(
+        self,
+        query: str,
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> QueryResult:
+        """Serve one query; hits resolve on the loop, misses off it.
+
+        The returned :class:`QueryResult` carries a private KB copy, so
+        callers may mutate it freely (exactly like the sync API).
+        """
+        loop = self._check_loop()
+        key = self.service.request_key(query, source, num_documents)
+        started = time.perf_counter()
+        self.answered += 1
+
+        # Fast path 1: in-memory cache, directly on the loop (the
+        # shared helper records for the autoscaler without ever
+        # swapping pools inline).
+        cached = self.service.cache.get(key)
+        if cached is not None:
+            self.loop_cache_hits += 1
+            return self.service.hit_result(query, key, cached, started)
+
+        # Fast path 2: persistent store, only if its lock is free right
+        # now — a writer mid-save must not stall the loop.
+        result = self._try_store_on_loop(query, key, started)
+        if result is not None:
+            return result
+
+        # Slow path: join or start the single flight for this key.
+        task = self._in_flight.get(key)
+        if task is None:
+            task = loop.create_task(self._dispatch(query, key))
+            task.add_done_callback(self._make_reaper(key, task))
+            self._in_flight[key] = task
+            self.dispatched += 1
+        else:
+            self.deduplicated += 1
+        # shield(): a cancelled consumer must not cancel the shared
+        # flight out from under its other joiners.
+        shared = await asyncio.shield(task)
+        result = QKBflyService._result_copy(
+            shared, seconds=time.perf_counter() - started, query=query
+        )
+        self.service._record_request(key, result.seconds, allow_switch=False)
+        return result
+
+    async def answer_batch(
+        self,
+        queries: Sequence[str],
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Serve many queries concurrently; results in input order.
+
+        Duplicates within the batch (and against any other in-flight
+        request) collapse onto one pipeline run via the single-flight
+        registry; every result slot still gets its own KB copy.
+        """
+        return list(
+            await asyncio.gather(
+                *(
+                    self.answer(
+                        query, source=source, num_documents=num_documents
+                    )
+                    for query in queries
+                )
+            )
+        )
+
+    # ---- internals ---------------------------------------------------------
+
+    def _check_loop(self) -> asyncio.AbstractEventLoop:
+        """Pin the instance to the first loop that uses it."""
+        if self._closed:
+            raise RuntimeError("AsyncQKBflyService is closed")
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif loop is not self._loop:
+            raise RuntimeError(
+                "AsyncQKBflyService is bound to another event loop; "
+                "create one instance per loop"
+            )
+        return loop
+
+    def _try_store_on_loop(
+        self, query: str, key: CacheKey, started: float
+    ) -> Optional[QueryResult]:
+        """Non-blocking store lookup; None when busy, missing, or off.
+
+        A hit fills the cache (mirroring the sync miss path) so the
+        next repeat is a cache hit; a busy lock counts as a
+        fall-through and leaves the lookup to the off-loop slow path.
+        """
+        store = self.service.store
+        if store is None:
+            return None
+        attempted, kb = store.try_load(
+            key.query,
+            corpus_version=key.corpus_version,
+            mode=key.mode,
+            algorithm=key.algorithm,
+            source=key.source,
+            num_documents=key.num_documents,
+            config_digest=key.config_digest,
+        )
+        if not attempted:
+            self.store_busy_fallthroughs += 1
+            return None
+        if kb is None:
+            return None
+        self.loop_store_hits += 1
+        if key.corpus_version == self.service.session.corpus_version:
+            self.service.cache.put(key, kb)
+        result = QueryResult(
+            query=query,
+            normalized_query=key.query,
+            kb=kb.copy(),
+            corpus_version=key.corpus_version,
+            store_hit=True,
+            seconds=time.perf_counter() - started,
+        )
+        self.service._record_request(key, result.seconds, allow_switch=False)
+        return result
+
+    async def _dispatch(self, query: str, key: CacheKey) -> QueryResult:
+        """Run the blocking miss path off the loop; owns one flight."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool, self._blocking_serve, query, key
+        )
+
+    def _blocking_serve(self, query: str, key: CacheKey) -> QueryResult:
+        """Dispatch-pool thread: through the sync executor stack.
+
+        Submitting to the service's own :class:`BatchExecutor` (rather
+        than calling the pipeline directly) preserves single-flight
+        dedup *across front ends*: a sync caller and an async caller
+        racing on one cold key still share one pipeline run. The miss
+        was counted by the loop-side cache lookup, hence the
+        pre-counted flag. Requests are recorded by their consumers on
+        the loop; this thread only *applies* any autoscale decision
+        those observations produced, because it is already off the
+        loop and may build a process pool without stalling hits.
+        """
+        result = self.service._executor.submit(
+            key, (query, key, True)
+        ).result()
+        self.service.autoscale_tick()
+        return result
+
+    def _make_reaper(self, key: CacheKey, task: "asyncio.Task") -> Any:
+        """Done-callback that unpublishes a finished flight.
+
+        Also retrieves a failed task's exception: every live consumer
+        re-raises it from ``await shield(task)``, so the only
+        unretrieved case is "all consumers cancelled", where the
+        interpreter's never-retrieved warning would be noise in a
+        long-running server.
+        """
+
+        def _reap(done: "asyncio.Task") -> None:
+            if self._in_flight.get(key) is task:
+                del self._in_flight[key]
+            if not done.cancelled():
+                done.exception()
+
+        return _reap
+
+    # ---- lifecycle / monitoring --------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Sync-service counters plus this front end's loop-side view."""
+        out = self.service.stats()
+        out["async"] = {
+            "answered": self.answered,
+            "loop_cache_hits": self.loop_cache_hits,
+            "loop_store_hits": self.loop_store_hits,
+            "store_busy_fallthroughs": self.store_busy_fallthroughs,
+            "deduplicated": self.deduplicated,
+            "dispatched": self.dispatched,
+            "in_flight": len(self._in_flight),
+        }
+        return out
+
+    async def aclose(self) -> None:
+        """Drain in-flight work and shut the front end down.
+
+        Pending flights are awaited (their consumers still get
+        results), then the dispatch pool — and, when owned, the sync
+        service with all its pools and store handles — is shut down off
+        the loop.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        pending = list(self._in_flight.values())
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._shutdown_blocking)
+
+    def _shutdown_blocking(self) -> None:
+        self._dispatch_pool.shutdown(wait=True)
+        if self._own_service:
+            self.service.close()
+
+    async def __aenter__(self) -> "AsyncQKBflyService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+__all__ = ["AsyncQKBflyService"]

@@ -1,0 +1,260 @@
+"""Runtime thread-vs-process executor selection.
+
+The serving layer has two execution tiers with opposite sweet spots
+(see :mod:`repro.service.process_executor`): the thread tier wins on
+repeat-heavy traffic (dedup and the cache absorb the work, and no IPC
+is paid) and on single-core hosts (where a process pool can only add
+overhead), while the process tier wins when concurrent **distinct**
+queries must actually run the CPU-bound pipeline and the host has cores
+to parallelize them across. Which regime a deployment is in is a
+property of its *traffic*, not its configuration — so instead of asking
+operators to guess, :class:`ExecutorSelector` observes it:
+
+- at **startup** it picks a tier from the observed CPU count alone
+  (processes can never win on one core);
+- at **runtime** it watches a sliding window of recent requests — the
+  *distinct-query ratio* (how much of the traffic is dedupable repeats)
+  and the *per-request latency* (whether requests are actually
+  pipeline-bound rather than served from cache) — and recommends
+  switching tier when the traffic crosses the policy thresholds, with
+  hysteresis (two thresholds plus a cooldown) so oscillating traffic
+  does not thrash the pool.
+
+The selector only *recommends*; :class:`~repro.service.service.
+QKBflyService` (with ``ServiceConfig(executor="auto")``) performs the
+actual pool swap. All methods are thread-safe and non-blocking, so the
+asyncio front end may record observations directly on the event loop.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, Tuple
+
+
+def observed_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity
+    mask a container is pinned to; ``sched_getaffinity`` reflects what
+    the process can really use, which is what decides whether a process
+    pool can pay for its IPC.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux platforms
+        return os.cpu_count() or 1
+
+
+@dataclass
+class AutoscalePolicy:
+    """Thresholds governing :class:`ExecutorSelector` decisions.
+
+    Attributes:
+        window: Number of recent requests the sliding window holds.
+        min_samples: No recommendation is made before this many
+            requests have been observed (a cold window has a
+            meaningless distinct ratio).
+        distinct_high: Window distinct-query ratio at or above which
+            traffic counts as distinct-heavy (favors processes).
+        distinct_low: Ratio at or below which traffic counts as
+            repeat-heavy (favors threads). Keeping ``distinct_low <
+            distinct_high`` creates the hysteresis band in between,
+            where the current tier is kept.
+        min_pipeline_ms: Mean per-request latency floor (milliseconds)
+            for a switch *to* processes: distinct-but-cheap traffic
+            (store hits, trivial queries) gains nothing from a pool.
+        cooldown_seconds: Minimum time between recommended switches —
+            pool construction is expensive (process bootstrap pickles
+            the session), so decisions are rate-limited.
+        min_cpus_for_process: Hosts with fewer usable CPUs than this
+            are pinned to the thread tier outright.
+    """
+
+    window: int = 64
+    min_samples: int = 16
+    distinct_high: float = 0.5
+    distinct_low: float = 0.25
+    min_pipeline_ms: float = 1.0
+    cooldown_seconds: float = 30.0
+    min_cpus_for_process: int = 2
+
+
+class ExecutorSelector:
+    """Observe request traffic; recommend a thread or process tier.
+
+    Args:
+        policy: Decision thresholds (defaults are deliberately
+            conservative: switching needs sustained evidence).
+        cpu_count: Usable CPUs; defaults to :func:`observed_cpu_count`.
+            Injectable so tests can exercise multi-core policy on any
+            host.
+        clock: Monotonic time source, injectable for cooldown tests.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[AutoscalePolicy] = None,
+        cpu_count: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or AutoscalePolicy()
+        if self.policy.window <= 0:
+            raise ValueError("window must be positive")
+        if self.policy.min_samples > self.policy.window:
+            # The window can never hold min_samples entries, so decide()
+            # would silently never switch — refuse the dead policy.
+            raise ValueError("min_samples must not exceed window")
+        if not self.policy.distinct_low <= self.policy.distinct_high:
+            raise ValueError("distinct_low must not exceed distinct_high")
+        self.cpu_count = (
+            cpu_count if cpu_count is not None else observed_cpu_count()
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._window: Deque[Tuple[Hashable, float]] = deque(
+            maxlen=self.policy.window
+        )
+        self._last_switch_at: Optional[float] = None
+        self.pinned_thread_reason: Optional[str] = None
+        self.recorded = 0
+        self.switches_recommended = 0
+
+    def pin_to_thread(self, reason: str) -> None:
+        """Permanently rule out the process tier for this deployment.
+
+        Called when a process pool turned out to be *unavailable* (the
+        session cannot be pickled, no multiprocessing support): without
+        the pin, every cooldown expiry under distinct-heavy traffic
+        would re-recommend the impossible switch, re-attempt the
+        pickle, and churn a fresh fallback pool. ``reason`` is surfaced
+        via :meth:`stats`.
+        """
+        with self._lock:
+            self.pinned_thread_reason = reason
+
+    # ---- observation -------------------------------------------------------
+
+    def record(self, signature: Hashable, seconds: float) -> None:
+        """Add one served request to the sliding window.
+
+        ``signature`` identifies the request for the distinct-ratio
+        computation (the serving layer passes the cache key); it is
+        never interpreted beyond equality. Non-blocking (one lock'd
+        deque append), so the asyncio front end calls this directly on
+        the event loop.
+        """
+        with self._lock:
+            self._window.append((signature, seconds))
+            self.recorded += 1
+
+    def distinct_ratio(self) -> float:
+        """Distinct signatures over window size (1.0 for an empty window).
+
+        1.0 means every recent request was unique — dedup and the cache
+        cannot help, so pipeline execution dominates. Low values mean
+        the traffic repeats itself and the thread tier serves it from
+        cache/dedup without paying IPC.
+        """
+        with self._lock:
+            if not self._window:
+                return 1.0
+            distinct = len({signature for signature, _ in self._window})
+            return distinct / len(self._window)
+
+    def mean_latency_ms(self) -> float:
+        """Mean per-request latency over the window, in milliseconds."""
+        with self._lock:
+            if not self._window:
+                return 0.0
+            total = sum(seconds for _, seconds in self._window)
+            return total / len(self._window) * 1000.0
+
+    # ---- decisions ---------------------------------------------------------
+
+    def initial_kind(self) -> str:
+        """The tier to start on, from the CPU count alone.
+
+        Multi-core hosts start on the process tier: at startup nothing
+        is cached, so early traffic is pipeline-bound by construction
+        and the GIL is the binding constraint. Single-core hosts are
+        pinned to threads (IPC overhead can never be won back).
+        """
+        if self.cpu_count < self.policy.min_cpus_for_process:
+            return "thread"
+        return "process"
+
+    def decide(self, current_kind: str) -> Optional[str]:
+        """Recommend ``"thread"`` / ``"process"``, or None to stay put.
+
+        A non-None return also arms the cooldown, so callers should
+        treat it as a commitment and actually switch. The rules, in
+        order:
+
+        1. below ``min_cpus_for_process`` usable CPUs, always thread;
+        2. fewer than ``min_samples`` observations (or still cooling
+           down), no change;
+        3. distinct ratio >= ``distinct_high`` *and* mean latency >=
+           ``min_pipeline_ms``: recommend process;
+        4. distinct ratio <= ``distinct_low``: recommend thread;
+        5. otherwise (the hysteresis band): no change.
+        """
+        policy = self.policy
+        if (
+            self.cpu_count < policy.min_cpus_for_process
+            or self.pinned_thread_reason is not None
+        ):
+            return self._recommend("thread", current_kind, cooldown=False)
+        with self._lock:
+            samples = len(self._window)
+            if samples < policy.min_samples:
+                return None
+            now = self._clock()
+            if (
+                self._last_switch_at is not None
+                and now - self._last_switch_at < policy.cooldown_seconds
+            ):
+                return None
+            distinct = len({signature for signature, _ in self._window})
+            ratio = distinct / samples
+            mean_ms = (
+                sum(seconds for _, seconds in self._window) / samples * 1000.0
+            )
+        if ratio >= policy.distinct_high and mean_ms >= policy.min_pipeline_ms:
+            return self._recommend("process", current_kind)
+        if ratio <= policy.distinct_low:
+            return self._recommend("thread", current_kind)
+        return None
+
+    def _recommend(
+        self, kind: str, current_kind: str, cooldown: bool = True
+    ) -> Optional[str]:
+        """None when already on ``kind``; else stamp cooldown and return."""
+        if kind == current_kind:
+            return None
+        with self._lock:
+            if cooldown:
+                self._last_switch_at = self._clock()
+            self.switches_recommended += 1
+        return kind
+
+    # ---- monitoring --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Selector state for the service's monitoring surface."""
+        return {
+            "cpu_count": self.cpu_count,
+            "recorded": self.recorded,
+            "window_size": len(self._window),
+            "distinct_ratio": round(self.distinct_ratio(), 4),
+            "mean_latency_ms": round(self.mean_latency_ms(), 3),
+            "switches_recommended": self.switches_recommended,
+            "pinned_thread_reason": self.pinned_thread_reason,
+        }
+
+
+__all__ = ["AutoscalePolicy", "ExecutorSelector", "observed_cpu_count"]

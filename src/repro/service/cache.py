@@ -12,7 +12,8 @@ miss; stale entries are evicted lazily and via
 
 Eviction is least-recently-used with an optional wall-clock TTL. The
 cache is thread-safe: the batch executor's worker threads share one
-instance.
+instance — and its critical sections are microsecond-scale, which is
+what lets the asyncio front end probe it directly on the event loop.
 """
 
 from __future__ import annotations

@@ -319,18 +319,64 @@ class KbStore:
     ) -> Optional[KnowledgeBase]:
         """Reconstruct a stored KB, or None when the key is absent."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT entry_id FROM kb_entries WHERE query = ? AND "
-                "mode = ? AND algorithm = ? AND corpus_version = ? AND "
-                "source = ? AND num_documents = ? AND config_digest = ?",
-                (
-                    query, mode, algorithm, corpus_version, source,
-                    num_documents, config_digest,
-                ),
-            ).fetchone()
-            if row is None:
-                return None
-            return self._load_entry(row[0])
+            return self._load_locked(
+                query, corpus_version, mode, algorithm, source,
+                num_documents, config_digest,
+            )
+
+    def try_load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Tuple[bool, Optional[KnowledgeBase]]:
+        """Event-loop-safe :meth:`load`: never blocks on the store lock.
+
+        Returns ``(attempted, kb)``. ``attempted`` is False when the
+        lock was held by another thread (a writer mid-save, a
+        compaction) — the lookup was *not* performed and the caller
+        should fall back to the blocking path off the loop. With
+        ``attempted`` True, ``kb`` is the stored KB or None for a clean
+        miss. The asyncio front end uses this to answer store hits
+        directly on the event loop without ever stalling behind a slow
+        writer.
+        """
+        if not self._lock.acquire(blocking=False):
+            return False, None
+        try:
+            return True, self._load_locked(
+                query, corpus_version, mode, algorithm, source,
+                num_documents, config_digest,
+            )
+        finally:
+            self._lock.release()
+
+    def _load_locked(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str,
+        algorithm: str,
+        source: str,
+        num_documents: int,
+        config_digest: str,
+    ) -> Optional[KnowledgeBase]:
+        row = self._conn.execute(
+            "SELECT entry_id FROM kb_entries WHERE query = ? AND "
+            "mode = ? AND algorithm = ? AND corpus_version = ? AND "
+            "source = ? AND num_documents = ? AND config_digest = ?",
+            (
+                query, mode, algorithm, corpus_version, source,
+                num_documents, config_digest,
+            ),
+        ).fetchone()
+        if row is None:
+            return None
+        return self._load_entry(row[0])
 
     def _load_entry(self, entry_id: int) -> KnowledgeBase:
         kb = KnowledgeBase()

@@ -13,6 +13,15 @@ misses is filled on the way back. All tiers key on the query signature
 including the session's ``corpus_version``, so advancing the corpus
 (:meth:`QKBflyService.refresh_corpus`) atomically invalidates both the
 cache and the stale store rows.
+
+Pipeline execution runs on the thread tier (inline on the request
+workers) or the process tier
+(:class:`~repro.service.process_executor.ProcessBatchExecutor`);
+``ServiceConfig(executor="auto")`` delegates the choice to an
+:class:`~repro.service.autoscale.ExecutorSelector` that observes the
+live traffic and swaps tiers at runtime. The asyncio front end
+(:class:`~repro.service.async_service.AsyncQKBflyService`) layers on
+top of this facade and shares all of its tiers.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.world import World
 from repro.kb.facts import KnowledgeBase
+from repro.service.autoscale import AutoscalePolicy, ExecutorSelector
 from repro.service.cache import CacheKey, QueryCache
 from repro.service.executor import BatchExecutor
 from repro.service.kb_store import KbStore
@@ -69,8 +79,14 @@ class ServiceConfig:
     # for repeat-heavy traffic: dedup + cache do the work); "process"
     # adds a multiprocessing pool for the CPU-bound pipeline stages so
     # concurrent *distinct* queries scale past the GIL on multi-core
-    # hosts. Falls back to threads when the session cannot be pickled.
+    # hosts (falls back to threads when the session cannot be pickled);
+    # "auto" lets an ExecutorSelector pick at startup from the observed
+    # CPU count and switch tiers at runtime from the traffic's
+    # distinct-query ratio and per-request latency.
     executor: str = "thread"
+    # Thresholds for executor="auto" (None uses AutoscalePolicy
+    # defaults); ignored on the fixed tiers.
+    autoscale_policy: Optional[AutoscalePolicy] = None
     # Pool size for executor="process" (defaults to max_workers), and
     # an optional multiprocessing start method ("fork"/"spawn").
     process_workers: Optional[int] = None
@@ -120,12 +136,20 @@ class QKBflyService:
     ) -> None:
         self.session = session
         self.service_config = service_config or ServiceConfig()
-        if self.service_config.executor not in ("thread", "process"):
+        if self.service_config.executor not in ("thread", "process", "auto"):
             # Validate before any pool/store is allocated: raising
             # later would leak worker threads and SQLite handles.
             raise ValueError(
                 f"unknown executor kind: {self.service_config.executor!r}"
             )
+        if self.service_config.executor == "auto":
+            self._selector: Optional[ExecutorSelector] = ExecutorSelector(
+                policy=self.service_config.autoscale_policy
+            )
+            self.executor_kind = self._selector.initial_kind()
+        else:
+            self._selector = None
+            self.executor_kind = self.service_config.executor
         self.qkbfly = QKBfly.from_session(session, config=config)
         self.cache = cache or QueryCache(
             max_size=self.service_config.cache_size,
@@ -152,8 +176,11 @@ class QKBflyService:
             self._serve, max_workers=self.service_config.max_workers
         )
         self._counter_lock = threading.Lock()
+        self._autoscale_lock = threading.Lock()
+        self._closed = False
         self._config_digest = _config_digest(self.qkbfly.config)
         self.pipeline_runs = 0
+        self.executor_switches = 0
         self._pipeline_executor = self._build_pipeline_executor()
         if self.service_config.compact_store_on_start:
             self.compact_store()
@@ -161,13 +188,20 @@ class QKBflyService:
             self.warm_cache(self.service_config.warm_limit)
 
     def _build_pipeline_executor(self) -> Optional[ProcessBatchExecutor]:
-        """The multiprocessing pool behind ``executor="process"``.
+        """The multiprocessing pool behind the process tier.
 
-        The kind was validated up front in ``__init__``.
+        Reads ``self.executor_kind`` (the *currently selected* tier,
+        which under ``executor="auto"`` can change at runtime), not the
+        static configuration. The configured kind was validated up
+        front in ``__init__``. If the pool silently falls back to
+        threads (unpicklable session, no process support),
+        ``executor_kind`` is reconciled to what is actually running —
+        otherwise stats would mislabel the tier and the autoscaler
+        would compare traffic against a tier that does not exist.
         """
-        if self.service_config.executor == "thread":
+        if self.executor_kind == "thread":
             return None
-        return ProcessBatchExecutor(
+        executor = ProcessBatchExecutor(
             self.session,
             config=self.qkbfly.config,
             max_workers=(
@@ -176,6 +210,16 @@ class QKBflyService:
             ),
             mp_context=self.service_config.process_start_method,
         )
+        if executor.kind != "process":
+            self.executor_kind = executor.kind
+            if self._selector is not None:
+                # The process tier is not available here at all (e.g.
+                # unpicklable session) — stop the autoscaler from
+                # re-recommending it after every cooldown.
+                self._selector.pin_to_thread(
+                    executor.fallback_reason or "process tier unavailable"
+                )
+        return executor
 
     @classmethod
     def from_world(
@@ -258,20 +302,15 @@ class QKBflyService:
         started = time.perf_counter()
         cached = self.cache.get(key)
         if cached is not None:
-            return QueryResult(
-                query=query,
-                normalized_query=key.query,
-                kb=cached.copy(),
-                corpus_version=key.corpus_version,
-                cache_hit=True,
-                seconds=time.perf_counter() - started,
-            )
+            return self.hit_result(query, key, cached, started)
         # The miss was already counted by the lookup above; the
         # executor's double-check must not count it again.
         shared = self._executor.submit(key, (query, key, True)).result()
-        return self._result_copy(
+        result = self._result_copy(
             shared, seconds=time.perf_counter() - started, query=query
         )
+        self._record_request(key, result.seconds)
+        return result
 
     def batch_query(
         self,
@@ -294,10 +333,36 @@ class QKBflyService:
         shared = self._executor.run_batch(
             requests, key_fn=lambda request: request[1]
         )
-        return [
+        results = [
             self._result_copy(result, query=request[0])
             for request, result in zip(requests, shared)
         ]
+        for request, result in zip(requests, results):
+            self._record_request(request[1], result.seconds)
+        return results
+
+    def hit_result(
+        self, query: str, key: CacheKey, kb: KnowledgeBase, started: float
+    ) -> QueryResult:
+        """Per-consumer result for a cache hit, shared by both front
+        ends (sync thread and event loop).
+
+        Records the request for the autoscaler but never swaps
+        executors inline: a pool bootstrap takes hundreds of
+        milliseconds and this caller came for a microsecond hit — any
+        pending decision is applied by the next miss or
+        :meth:`autoscale_tick`.
+        """
+        result = QueryResult(
+            query=query,
+            normalized_query=key.query,
+            kb=kb.copy(),
+            corpus_version=key.corpus_version,
+            cache_hit=True,
+            seconds=time.perf_counter() - started,
+        )
+        self._record_request(key, result.seconds, allow_switch=False)
+        return result
 
     @staticmethod
     def _result_copy(
@@ -406,19 +471,107 @@ class QKBflyService:
     def _run_pipeline(
         self, query: str, source: str, num_documents: int
     ) -> KnowledgeBase:
-        """One uncached pipeline run, on the configured execution tier.
+        """One uncached pipeline run, on the currently selected tier.
 
         The thread tier runs inline on the calling executor thread; the
         process tier ships a picklable envelope to a worker process so
-        the CPU-bound stages escape the GIL.
+        the CPU-bound stages escape the GIL. The executor reference is
+        snapshotted once per attempt: an autoscale swap (or corpus
+        refresh) may replace and shut down the pool concurrently, and a
+        request that loses that race retries on whatever tier is
+        current instead of failing.
         """
-        if self._pipeline_executor is not None:
-            return self._pipeline_executor.build_kb(
-                query, source=source, num_documents=num_documents
-            )
-        return self.qkbfly.build_kb(
-            query, source=source, num_documents=num_documents
-        )
+        while True:
+            executor = self._pipeline_executor
+            if executor is None:
+                return self.qkbfly.build_kb(
+                    query, source=source, num_documents=num_documents
+                )
+            try:
+                return executor.build_kb(
+                    query, source=source, num_documents=num_documents
+                )
+            except RuntimeError as error:
+                # Only swallow the pool's own "shut down beneath us"
+                # complaint, and only when the executor actually
+                # changed — a genuine pipeline RuntimeError (or a
+                # closed service) must propagate.
+                swapped = self._pipeline_executor is not executor
+                if not swapped or "shutdown" not in str(error):
+                    raise
+
+    # ---- executor autoscaling ----------------------------------------------
+
+    def _record_request(
+        self, key: CacheKey, seconds: float, allow_switch: bool = True
+    ) -> None:
+        """Feed one served request to the autoscaler (no-op otherwise).
+
+        Called once per *request* at the serving entry points — not per
+        pipeline run — so the selector's distinct-query ratio sees raw
+        traffic before dedup collapses the repeats. ``allow_switch=
+        False`` records the observation but defers any executor swap;
+        the cache-hit fast paths (sync and event-loop) use it so a
+        pool bootstrap never stalls a caller who came for a
+        microsecond hit.
+        """
+        if self._selector is None:
+            return
+        self._selector.record(key, seconds)
+        if not allow_switch:
+            return
+        decision = self._selector.decide(self.executor_kind)
+        if decision is not None:
+            self._switch_executor(decision)
+
+    def autoscale_tick(self) -> Optional[str]:
+        """Apply any pending autoscale decision; returns the new kind.
+
+        No-op (returning None) on the fixed tiers or when the selector
+        recommends staying put. The asyncio front end calls this from
+        its dispatch threads so pool swaps — which can take hundreds of
+        milliseconds for a process bootstrap — never run on the event
+        loop; it is equally safe to call from a maintenance cron.
+        """
+        if self._selector is None:
+            return None
+        decision = self._selector.decide(self.executor_kind)
+        if decision is not None:
+            self._switch_executor(decision)
+        return decision
+
+    def _switch_executor(self, kind: str) -> None:
+        """Swap the pipeline execution tier to ``kind`` at runtime.
+
+        The new pool is built and published before the old one is shut
+        down (``wait=False``), so requests in flight on the old tier
+        complete on it while new requests already land on the new tier.
+        """
+        with self._autoscale_lock:
+            if self._closed or kind == self.executor_kind:
+                return  # closed, or another thread won the same decision
+            old = self._pipeline_executor
+            self.executor_kind = kind
+            self._pipeline_executor = self._build_pipeline_executor()
+            self.executor_switches += 1
+        if old is not None:
+            old.shutdown(wait=False)
+
+    # ---- request identity --------------------------------------------------
+
+    def request_key(
+        self,
+        query: str,
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> CacheKey:
+        """The full cache/store signature this request serves under.
+
+        Public because every front end (sync, asyncio, warm-up) must
+        derive identical keys; omitted arguments fall back to the
+        :class:`ServiceConfig` defaults exactly like :meth:`query`.
+        """
+        return self._key(query, source, num_documents)
 
     def _key(
         self,
@@ -481,11 +634,17 @@ class QKBflyService:
         if self.store is not None:
             self.store.delete_stale(self.session.corpus_version)
             self.store.set_corpus_version(self.session.corpus_version)
-        if self._pipeline_executor is not None:
-            # Worker processes bootstrapped from the *old* session
-            # pickle; rebuild the pool so they serve the new corpus.
-            self._pipeline_executor.shutdown()
-            self._pipeline_executor = self._build_pipeline_executor()
+        # Worker processes bootstrapped from the *old* session pickle;
+        # rebuild the pool so they serve the new corpus. The swap takes
+        # the autoscale lock so a concurrent tier switch cannot orphan
+        # a pool or publish one that was just shut down.
+        with self._autoscale_lock:
+            old = self._pipeline_executor
+            self._pipeline_executor = (
+                self._build_pipeline_executor() if old is not None else None
+            )
+        if old is not None:
+            old.shutdown()
         return self.session.corpus_version
 
     # ---- warm-up / compaction ---------------------------------------------
@@ -588,12 +747,17 @@ class QKBflyService:
         out: Dict[str, Any] = {
             "corpus_version": self.session.corpus_version,
             "pipeline_runs": self.pipeline_runs,
+            "executor_kind": self.executor_kind,
             "cache": self.cache.stats(),
             "executor": {
                 "submitted": self._executor.submitted,
                 "deduplicated": self._executor.deduplicated,
             },
         }
+        if self._selector is not None:
+            autoscale = self._selector.stats()
+            autoscale["executor_switches"] = self.executor_switches
+            out["autoscale"] = autoscale
         if self._pipeline_executor is not None:
             out["pipeline_executor"] = self._pipeline_executor.stats()
         if self.store is not None:
@@ -601,10 +765,21 @@ class QKBflyService:
         return out
 
     def close(self) -> None:
-        """Shut down the executors and close the store."""
+        """Shut down the executors and close the store.
+
+        Takes the autoscale lock for the pipeline-executor handoff and
+        marks the service closed, so a tier switch racing the shutdown
+        can neither publish a fresh pool after it (leaked worker
+        processes) nor hand this method a pool that is about to be
+        replaced.
+        """
         self._executor.shutdown()
-        if self._pipeline_executor is not None:
-            self._pipeline_executor.shutdown()
+        with self._autoscale_lock:
+            self._closed = True
+            pipeline_executor = self._pipeline_executor
+            self._pipeline_executor = None
+        if pipeline_executor is not None:
+            pipeline_executor.shutdown()
         if self.store is not None:
             self.store.close()
 

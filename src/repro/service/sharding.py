@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -226,6 +227,40 @@ class ShardedKbStore:
             config_digest=config_digest,
         )
 
+    def try_load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Tuple[bool, Optional[KnowledgeBase]]:
+        """Event-loop-safe load (see :meth:`KbStore.try_load`).
+
+        Only the *routed* shard's lock is probed, so a writer on any
+        other shard cannot make this report busy — per-shard locking
+        keeps the non-blocking fast path usable even under write load.
+        """
+        index = self.shard_for(
+            query,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+        )
+        return self._shards[index].try_load(
+            query,
+            corpus_version=corpus_version,
+            mode=mode,
+            algorithm=algorithm,
+            source=source,
+            num_documents=num_documents,
+            config_digest=config_digest,
+        )
+
     # ---- maintenance -------------------------------------------------------
 
     def entries(self) -> List[Tuple[str, str, str, str]]:
@@ -326,9 +361,10 @@ class ShardedKbStore:
     ) -> "ShardedKbStore":
         """Copy every entry of a single-file store into a sharded one.
 
-        The migration path from the PR-1 ``KbStore``: signatures,
-        creation stamps and the corpus-version meta all carry over. The
-        source store is left untouched; callers delete it once happy.
+        The upgrade path from a single-file ``KbStore`` deployment:
+        signatures, creation stamps and the corpus-version meta all
+        carry over. The source store is left untouched; callers delete
+        it once happy.
         """
         sharded = cls(directory, num_shards=num_shards)
         _copy_entries(source, sharded)
@@ -340,43 +376,52 @@ class ShardedKbStore:
         """Re-route every entry of an existing store into N shards.
 
         Offline maintenance: must not race live traffic on the same
-        directory. Entries are staged in memory, the old shard files
-        are replaced, and the reopened store is returned. A no-op when
-        the store already has ``num_shards`` shards.
+        directory. Crash-safe: entries are streamed one at a time into
+        a sibling staging directory (the store is never held only in
+        memory), and the rebalanced store replaces the original via
+        two directory renames — a crash at any point leaves at least
+        one complete store on disk. The next ``rebalance`` call
+        recovers: if the crash landed inside the swap window (no valid
+        store at ``directory``), the complete sibling copy is promoted
+        back first; fully superseded ``.rebalance*`` siblings are
+        reclaimed. A no-op when the store already has ``num_shards``
+        shards.
         """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        old = cls(directory)
+        base = Path(str(directory))
+        staging = base.with_name(base.name + ".rebalance")
+        retired = base.with_name(base.name + ".rebalance-old")
+        # Recovery first: a crash inside a previous swap window leaves
+        # no (valid) store at ``base`` but a complete one in a sibling
+        # — promote it back *before* opening ``base`` (which would
+        # otherwise create an empty store) or deleting any sibling.
+        # The staging copy wins when both exist: it is only ever
+        # renamed-from after being fully written.
+        if not (base / MANIFEST_NAME).exists():
+            for survivor in (staging, retired):
+                if (survivor / MANIFEST_NAME).exists():
+                    if base.exists():
+                        shutil.rmtree(base)
+                    os.rename(survivor, base)
+                    break
+        for leftover in (staging, retired):
+            if leftover.exists():
+                shutil.rmtree(leftover)
+        old = cls(str(base))
         if old.num_shards == num_shards:
             return old
-        staged = [
-            (sig, _load_signature(old, sig)) for sig in old.signatures()
-        ]
+        rebalanced = cls(str(staging), num_shards=num_shards)
+        _copy_entries(old, rebalanced)
         version = old.corpus_version
-        paths = old.shard_paths
-        old.close()
-        for path in paths:
-            for suffix in ("", "-wal", "-shm"):
-                stale = path + suffix
-                if os.path.exists(stale):
-                    os.remove(stale)
-        os.remove(os.path.join(str(directory), MANIFEST_NAME))
-        rebalanced = cls(directory, num_shards=num_shards)
-        for sig, kb in staged:
-            rebalanced.save(
-                sig.query,
-                kb,
-                corpus_version=sig.corpus_version,
-                mode=sig.mode,
-                algorithm=sig.algorithm,
-                source=sig.source,
-                num_documents=sig.num_documents,
-                config_digest=sig.config_digest,
-                created_at=sig.created_at,
-            )
         if version:
             rebalanced.set_corpus_version(version)
-        return rebalanced
+        rebalanced.close()
+        old.close()
+        os.rename(base, retired)
+        os.rename(staging, base)
+        shutil.rmtree(retired)
+        return cls(str(base))
 
 
 def _load_signature(store, sig: EntrySignature) -> KnowledgeBase:
