@@ -1,8 +1,8 @@
-"""Serving-layer throughput: cold / warm / batched / sharded / process / async.
+"""Serving throughput: cold/warm/batched/sharded/process/async/gateway.
 
 Models a serving workload where trending queries repeat (each distinct
 query appears ``DUP_FACTOR`` times, round-robin interleaved) and
-measures six regimes over one shared session:
+measures seven regimes over one shared session:
 
 - **cold** — empty cache, each distinct query once, sequential: the
   full pipeline cost, and the source of p50/p95 latency;
@@ -23,7 +23,12 @@ measures six regimes over one shared session:
   then again while slow cold queries run concurrently on the executor
   tier. The two p50s must agree within ±10% — a slow pipeline run
   stalling hit traffic is exactly the failure mode the front end
-  exists to remove.
+  exists to remove;
+- **gateway** — the cost of the v1 HTTP transport: the same cache-hit
+  traffic as direct event-loop envelope calls and then over real
+  loopback HTTP through ``HttpGateway`` (keep-alive, full JSON
+  envelopes). Gated on correctness (every response 200, every hit from
+  the cache); the HTTP-vs-direct overhead ratio is informational.
 
 Emits ``BENCH_service.json`` when run as a script; CI gates on the
 *relative* metrics (speedups, hit/parity/dedup rates — stable across
@@ -51,8 +56,10 @@ except ImportError:  # standalone `python benchmarks/...` without install
 
 from repro.core.qkbfly import QKBfly, SessionState  # noqa: E402
 from repro.corpus.world import World, WorldConfig  # noqa: E402
+from repro.service.api import QueryRequest  # noqa: E402
 from repro.service.async_service import AsyncQKBflyService  # noqa: E402
 from repro.service.autoscale import observed_cpu_count  # noqa: E402
+from repro.service.gateway import HttpGateway  # noqa: E402
 from repro.service.service import QKBflyService, ServiceConfig  # noqa: E402
 
 BENCH_SEED = 7
@@ -76,6 +83,9 @@ ASYNC_COLD_DOCUMENTS = 3
 # scale — reference runs sit at ~4-5% with p50s around 17-18µs).
 ASYNC_ISOLATION_TOLERANCE = 0.10
 ASYNC_ISOLATION_EPSILON_MS = 0.01
+# Gateway scenario: cache hits measured per transport (direct envelope
+# calls on the loop vs. loopback HTTP through HttpGateway).
+GATEWAY_HITS = 300
 # Speedups are capped before gating: beyond this they only measure timer
 # noise on near-instant cache hits, not serving-layer health.
 GATE_CAP = 20.0
@@ -118,7 +128,7 @@ def run_throughput_benchmark(
     t0 = time.perf_counter()
     cold_results = []
     for query in unique:
-        result = cold_service.query(query)
+        result = cold_service.serve(QueryRequest(query=query))
         latencies.append(result.seconds)
         cold_results.append(result)
     cold_seconds = time.perf_counter() - t0
@@ -126,7 +136,9 @@ def run_throughput_benchmark(
 
     # Warm: same queries on the now-hot cache.
     t0 = time.perf_counter()
-    warm_results = [cold_service.query(query) for query in unique]
+    warm_results = [
+        cold_service.serve(QueryRequest(query=query)) for query in unique
+    ]
     warm_seconds = time.perf_counter() - t0
     assert all(r.cache_hit for r in warm_results)
 
@@ -135,7 +147,9 @@ def run_throughput_benchmark(
         session, service_config=ServiceConfig(max_workers=max_workers)
     )
     t0 = time.perf_counter()
-    batch_results = batch_service.batch_query(workload)
+    batch_results = batch_service.serve_batch(
+        [QueryRequest(query=query) for query in workload]
+    )
     batch_seconds = time.perf_counter() - t0
 
     # Correctness: batched results byte-identical to sequential runs.
@@ -204,14 +218,18 @@ def run_sharded_store_benchmark(
         )
         with QKBflyService(session, service_config=config) as service:
             t0 = time.perf_counter()
-            cold_results = [service.query(query) for query in unique]
+            cold_results = [
+                service.serve(QueryRequest(query=query)) for query in unique
+            ]
             cold_seconds = time.perf_counter() - t0
             assert not any(r.cache_hit or r.store_hit for r in cold_results)
 
             # Restart path: cold cache, warm shards.
             service.cache.clear()
             t0 = time.perf_counter()
-            store_results = [service.query(query) for query in unique]
+            store_results = [
+                service.serve(QueryRequest(query=query)) for query in unique
+            ]
             store_seconds = time.perf_counter() - t0
             store_hit_rate = sum(
                 1 for r in store_results if r.store_hit
@@ -271,9 +289,12 @@ def run_process_executor_benchmark(
             num_documents=num_documents,
         )
         with QKBflyService(session, service_config=config) as service:
-            service.query(warmup)  # bootstrap workers outside the clock
+            # Bootstrap workers outside the clock.
+            service.serve(QueryRequest(query=warmup))
             t0 = time.perf_counter()
-            results = service.batch_query(workload)
+            results = service.serve_batch(
+                [QueryRequest(query=query) for query in workload]
+            )
             timings[kind] = time.perf_counter() - t0
             assert service.pipeline_runs == len(workload) + 1
             if kind == "process":
@@ -338,7 +359,7 @@ def run_async_front_end_benchmark(
 
     async def hit_once(service: AsyncQKBflyService) -> float:
         t0 = time.perf_counter()
-        result = await service.answer(hot)
+        result = await service.serve(QueryRequest(query=hot))
         elapsed = time.perf_counter() - t0
         assert result.cache_hit, "hot query fell out of the cache"
         return elapsed
@@ -348,7 +369,7 @@ def run_async_front_end_benchmark(
         async with AsyncQKBflyService.from_session(
             session, service_config=service_config
         ) as service:
-            warm = await service.answer(hot)
+            warm = await service.serve(QueryRequest(query=hot))
             assert not warm.cache_hit
             # Baseline: hit latency on an otherwise idle loop.
             alone = [await hit_once(service) for _ in range(alone_hits)]
@@ -357,8 +378,14 @@ def run_async_front_end_benchmark(
             # executor tier. The hit loop runs for the whole lifetime
             # of the background batch (bounded by ASYNC_MAX_HITS).
             background = asyncio.ensure_future(
-                service.answer_batch(
-                    cold, num_documents=ASYNC_COLD_DOCUMENTS
+                service.serve_batch(
+                    [
+                        QueryRequest(
+                            query=query,
+                            num_documents=ASYNC_COLD_DOCUMENTS,
+                        )
+                        for query in cold
+                    ]
                 )
             )
             overlap: List[float] = []
@@ -417,6 +444,92 @@ def run_async_front_end_benchmark(
     }
 
 
+def run_gateway_benchmark(
+    session: SessionState, hits: int = GATEWAY_HITS
+) -> Dict[str, float]:
+    """HTTP serving cost: cache hits through the gateway vs. direct.
+
+    The same hot query is served ``hits`` times twice — first as direct
+    envelope calls on the event loop (:meth:`AsyncQKBflyService.serve`,
+    the floor any transport pays), then over real loopback HTTP through
+    :class:`HttpGateway` on a keep-alive ``http.client`` connection
+    (one request/response cycle each: JSON envelope in, full KB payload
+    out). The client runs on a worker thread, so the loop it hammers is
+    simultaneously parsing, serving, and framing — the deployment
+    shape. Correctness is gated absolutely: every HTTP response must be
+    200 and every one must be served from the cache; the overhead ratio
+    (HTTP p50 / direct p50) is committed as an informational metric,
+    because it measures socket+JSON cost on the host, not serving-layer
+    health.
+    """
+    import http.client
+
+    def http_pass(host: str, port: int, query: str, count: int):
+        connection = http.client.HTTPConnection(host, port)
+        body = json.dumps({"query": query, "client_id": "bench"})
+        headers = {"Content-Type": "application/json"}
+        latencies: List[float] = []
+        statuses: List[int] = []
+        served: List[str] = []
+        try:
+            for _ in range(count):
+                t0 = time.perf_counter()
+                connection.request("POST", "/v1/query", body, headers)
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                latencies.append(time.perf_counter() - t0)
+                statuses.append(response.status)
+                served.append(payload.get("served_from"))
+        finally:
+            connection.close()
+        return latencies, statuses, served
+
+    async def scenario():
+        service_config = ServiceConfig(max_workers=MAX_WORKERS)
+        service = AsyncQKBflyService.from_session(
+            session, service_config=service_config
+        )
+        async with HttpGateway(service, own_service=True) as gateway:
+            query = _queries(session, 1)[0]
+            request = QueryRequest(query=query, client_id="bench")
+            warm = await service.serve(request)
+            assert warm.served_from == "executor"
+
+            direct: List[float] = []
+            for _ in range(hits):
+                t0 = time.perf_counter()
+                result = await service.serve(request)
+                direct.append(time.perf_counter() - t0)
+                assert result.served_from == "cache"
+
+            loop = asyncio.get_running_loop()
+            latencies, statuses, served = await loop.run_in_executor(
+                None, http_pass, gateway.host, gateway.port, query, hits
+            )
+            return direct, latencies, statuses, served
+
+    direct, latencies, statuses, served = asyncio.run(scenario())
+    success_rate = sum(1 for s in statuses if s == 200) / len(statuses)
+    cache_rate = sum(1 for s in served if s == "cache") / len(served)
+    direct_p50_ms = _percentile(direct, 0.50) * 1000
+    gateway_p50_ms = _percentile(latencies, 0.50) * 1000
+    return {
+        "gateway_hits": len(statuses),
+        "qps_direct_async": round(len(direct) / sum(direct), 2),
+        "qps_gateway_http": round(len(latencies) / sum(latencies), 2),
+        "direct_hit_p50_ms": round(direct_p50_ms, 4),
+        "gateway_hit_p50_ms": round(gateway_p50_ms, 4),
+        "gateway_hit_p95_ms": round(_percentile(latencies, 0.95) * 1000, 4),
+        # HTTP cost per hit relative to the in-process floor: socket
+        # round-trip + request parse + envelope JSON both ways.
+        "gateway_overhead_ratio": round(
+            gateway_p50_ms / direct_p50_ms if direct_p50_ms else 1.0, 2
+        ),
+        "gate_gateway_success_rate": round(success_rate, 4),
+        "gate_gateway_cache_hit_rate": round(cache_rate, 4),
+    }
+
+
 def run_full_benchmark(world: World) -> Dict[str, float]:
     """All scenarios over one shared session, merged into one dict."""
     session = SessionState.from_world(world)
@@ -424,6 +537,7 @@ def run_full_benchmark(world: World) -> Dict[str, float]:
     metrics.update(run_sharded_store_benchmark(session))
     metrics.update(run_process_executor_benchmark(session))
     metrics.update(run_async_front_end_benchmark(session))
+    metrics.update(run_gateway_benchmark(session))
     return metrics
 
 
@@ -455,6 +569,12 @@ def _assert_scaleout_metrics(metrics: Dict[str, float]) -> None:
     assert metrics["shards_occupied"] > 1, "workload landed on one shard"
     assert metrics["gate_process_parity"] == 1.0, (
         "process-tier KBs must be byte-identical to sequential runs"
+    )
+    assert metrics["gate_gateway_success_rate"] == 1.0, (
+        "every gateway request must be answered 200"
+    )
+    assert metrics["gate_gateway_cache_hit_rate"] == 1.0, (
+        "every repeated gateway query must be served from the cache"
     )
     floor = 1.0 / (1.0 + ASYNC_ISOLATION_TOLERANCE)
     assert metrics["gate_async_isolation"] >= round(floor, 4), (

@@ -38,6 +38,15 @@ INFORMATIONAL = (
     "async_hit_p50_alone_ms",
     "async_hit_p50_during_cold_ms",
     "async_isolation_ratio",
+    # Gateway absolute latencies/QPS and the HTTP-vs-direct ratio
+    # measure socket+JSON cost on the host, not serving-layer health;
+    # the gated forms are the success/cache-hit rates.
+    "qps_direct_async",
+    "qps_gateway_http",
+    "direct_hit_p50_ms",
+    "gateway_hit_p50_ms",
+    "gateway_hit_p95_ms",
+    "gateway_overhead_ratio",
 )
 
 

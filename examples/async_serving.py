@@ -23,7 +23,7 @@ import asyncio
 import time
 
 from repro import build_world
-from repro.service import AsyncQKBflyService, ServiceConfig
+from repro.service import AsyncQKBflyService, QueryRequest, ServiceConfig
 
 
 def pick_queries(service: AsyncQKBflyService, count: int):
@@ -36,16 +36,11 @@ def pick_queries(service: AsyncQKBflyService, count: int):
 
 
 async def client(service: AsyncQKBflyService, name: str, query: str):
-    """One simulated client issuing one query."""
-    result = await service.answer(query)
-    tier = (
-        "cache" if result.cache_hit
-        else "store" if result.store_hit
-        else "pipeline"
-    )
+    """One simulated client issuing one v1 envelope."""
+    result = await service.serve(QueryRequest(query=query, client_id=name))
     print(
         f"  [{name}] {result.normalized_query!r}: {len(result.kb.facts)} "
-        f"facts via {tier} in {result.seconds * 1000:.3f} ms"
+        f"facts via {result.served_from} in {result.seconds * 1000:.3f} ms"
     )
     return result
 
@@ -71,12 +66,14 @@ async def main() -> None:
 
         print("== 2. Cache hits stay fast while cold queries run ==")
         background = asyncio.ensure_future(
-            service.answer_batch(cold, num_documents=2)
+            service.serve_batch(
+                [QueryRequest(query=query, num_documents=2) for query in cold]
+            )
         )
         latencies = []
         while not background.done():
             t0 = time.perf_counter()
-            result = await service.answer(hot)
+            result = await service.serve(QueryRequest(query=hot))
             latencies.append(time.perf_counter() - t0)
             assert result.cache_hit
             await asyncio.sleep(0.001)
@@ -90,10 +87,14 @@ async def main() -> None:
 
         print("== 3. Mixed hot/cold batch from concurrent clients ==")
         workload = [hot, cold[0], hot, cold[1], hot]
-        results = await service.answer_batch(workload)
+        results = await service.serve_batch(
+            [QueryRequest(query=query) for query in workload]
+        )
         for query, result in zip(workload, results):
-            tier = "cache" if result.cache_hit else "warm tier"
-            print(f"  {query!r} -> {len(result.kb.facts)} facts ({tier})")
+            print(
+                f"  {query!r} -> {len(result.kb.facts)} facts "
+                f"({result.served_from})"
+            )
 
         final = service.stats()
         print(

@@ -1,0 +1,144 @@
+"""HTTP serving: the v1 API over a live gateway, from a plain client.
+
+Demonstrates :class:`repro.service.HttpGateway` — the stdlib HTTP front
+end over the serving layer — exactly as a network client sees it:
+
+1. ``GET /v1/healthz`` answers with the served corpus version;
+2. a cold ``POST /v1/query`` returns the full v1 envelope
+   (``served_from="executor"``, timing breakdown, request key), and the
+   identical repeat comes back from the cache, orders of magnitude
+   faster;
+3. a client hammering past its token-bucket budget receives **429**
+   with a ``Retry-After`` header while a different ``client_id`` keeps
+   being served (per-client admission control);
+4. ``GET /v1/stats`` shows the whole story: cache hits, pipeline runs,
+   admission rejections, and the gateway's own status counters.
+
+The HTTP calls use ``urllib`` on a worker thread — any HTTP client
+works; nothing in this file imports private serving internals.
+
+Run:  python examples/http_gateway.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+from repro import build_world
+from repro.service import AsyncQKBflyService, HttpGateway, ServiceConfig
+
+
+def http_call(url: str, payload=None):
+    """One blocking HTTP request; returns (status, headers, body dict)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return (
+                response.status,
+                dict(response.headers),
+                json.loads(response.read()),
+            )
+    except urllib.error.HTTPError as error:  # 4xx/5xx still carry envelopes
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+async def main() -> None:
+    world = build_world(seed=7)
+    config = ServiceConfig(
+        max_workers=4,
+        # Tiny budget so step 3 can demonstrate a 429 without sleeping:
+        # each client may burst 3 requests, then waits out the refill.
+        rate_limit_qps=0.5,
+        rate_limit_burst=3,
+        max_queue_depth=8,
+    )
+    service = AsyncQKBflyService.from_world(world, service_config=config)
+    async with HttpGateway(service, own_service=True) as gateway:
+        print(f"gateway listening on {gateway.url}\n")
+        loop = asyncio.get_running_loop()
+
+        async def call(path: str, payload=None):
+            # urllib blocks, so it runs on a worker thread while the
+            # gateway keeps serving on this very event loop.
+            return await loop.run_in_executor(
+                None, http_call, f"{gateway.url}{path}", payload
+            )
+
+        print("== 1. GET /v1/healthz ==")
+        status, _, health = await call("/v1/healthz")
+        print(f"  {status} {health}\n")
+
+        entities = sorted(
+            service.session.entity_repository.entities(),
+            key=lambda e: -e.prominence,
+        )
+        query = entities[0].canonical_name
+
+        print("== 2. POST /v1/query: cold, then cached ==")
+        status, _, cold = await call(
+            "/v1/query", {"query": query, "client_id": "alice"}
+        )
+        print(
+            f"  {status} served_from={cold['served_from']} "
+            f"facts={len(cold['kb']['facts'])} "
+            f"total={cold['timings']['total_seconds'] * 1000:.2f}ms "
+            f"(pipeline {cold['timings']['pipeline_seconds'] * 1000:.2f}ms)"
+        )
+        status, _, hot = await call(
+            "/v1/query", {"query": query, "client_id": "alice"}
+        )
+        print(
+            f"  {status} served_from={hot['served_from']} "
+            f"total={hot['timings']['total_seconds'] * 1000:.3f}ms "
+            f"(request_key {hot['request_key']})\n"
+        )
+
+        print("== 3. Per-client admission control ==")
+        for i in range(3):
+            status, headers, body = await call(
+                "/v1/query", {"query": query, "client_id": "alice"}
+            )
+            if status == 429:
+                print(
+                    f"  alice request {i + 1}: 429 {body['status']} "
+                    f"(Retry-After: {headers.get('Retry-After')}s, "
+                    f"retry_after={body['error']['retry_after']:.2f}s)"
+                )
+            else:
+                print(f"  alice request {i + 1}: {status}")
+        status, _, body = await call(
+            "/v1/query", {"query": query, "client_id": "bob"}
+        )
+        print(
+            f"  bob (own bucket): {status} "
+            f"served_from={body['served_from']}\n"
+        )
+
+        print("== 4. GET /v1/stats ==")
+        status, _, stats = await call("/v1/stats")
+        print(
+            f"  cache hits={stats['cache']['hits']} "
+            f"misses={stats['cache']['misses']}, "
+            f"pipeline_runs={stats['pipeline_runs']}"
+        )
+        print(
+            f"  admission: admitted={stats['admission']['admitted']} "
+            f"rate_limited={stats['admission']['rate_limited']} "
+            f"(clients={stats['admission']['tracked_clients']})"
+        )
+        print(
+            f"  gateway: requests={stats['gateway']['requests']} "
+            f"by status {stats['gateway']['responses_by_status']}"
+        )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

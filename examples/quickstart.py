@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import build_world
-from repro.service import QKBflyService
+from repro.service import QKBflyService, QueryRequest
 
 
 def main() -> None:
@@ -30,10 +30,12 @@ def main() -> None:
     print(f"Query: {actor.name}   Corpus: wikipedia   Size: 1")
     print(f"Corpus version: {service.corpus_version}")
 
-    result = service.query(actor.name, source="wikipedia", num_documents=1)
+    result = service.serve(
+        QueryRequest(query=actor.name, source="wikipedia", num_documents=1)
+    )
     kb = result.kb
     print(f"Served in {result.seconds * 1000:.2f} ms "
-          f"(cache {'hit' if result.cache_hit else 'miss'})")
+          f"(served_from={result.served_from})")
 
     print(f"\nEntities & Mentions ({len(kb.entity_mentions)} linked, "
           f"{len(kb.emerging)} emerging):")
@@ -58,9 +60,11 @@ def main() -> None:
 
     # The same query again: answered from the cache, orders of magnitude
     # faster, byte-identical result.
-    repeat = service.query(actor.name, source="wikipedia", num_documents=1)
+    repeat = service.serve(
+        QueryRequest(query=actor.name, source="wikipedia", num_documents=1)
+    )
     print(f"\nRepeat query served in {repeat.seconds * 1000:.3f} ms "
-          f"(cache {'hit' if repeat.cache_hit else 'miss'})")
+          f"(served_from={repeat.served_from})")
     print(f"Serving stats: {service.stats()['cache']}")
     service.close()
 

@@ -33,6 +33,8 @@ __all__ = [
     "QKBfly",
     "QKBflyConfig",
     "QKBflyService",
+    "QueryRequest",
+    "QueryResult",
     "ServiceConfig",
     "SessionState",
     "World",
@@ -44,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
     from repro.corpus.world import World, WorldConfig, build_world
     from repro.kb.facts import Fact, KnowledgeBase
+    from repro.service.api import QueryRequest, QueryResult
     from repro.service.service import QKBflyService, ServiceConfig
 
 _LAZY = {
@@ -56,6 +59,8 @@ _LAZY = {
     "Fact": ("repro.kb.facts", "Fact"),
     "KnowledgeBase": ("repro.kb.facts", "KnowledgeBase"),
     "QKBflyService": ("repro.service.service", "QKBflyService"),
+    "QueryRequest": ("repro.service.api", "QueryRequest"),
+    "QueryResult": ("repro.service.api", "QueryResult"),
     "ServiceConfig": ("repro.service.service", "ServiceConfig"),
 }
 

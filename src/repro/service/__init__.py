@@ -3,6 +3,11 @@
 Turns the one-shot :class:`repro.core.qkbfly.QKBfly` pipeline into a
 serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
 
+- :mod:`repro.service.api` — the v1 request/response envelope
+  (:class:`QueryRequest` / :class:`QueryResult`), the
+  :class:`QueryStatus` enum, and the typed error taxonomy
+  (:class:`ServiceError`, :class:`RateLimited`, :class:`Overloaded`,
+  :class:`PipelineFailure`) every front end speaks;
 - :mod:`repro.service.cache` — LRU/TTL query cache keyed on
   (normalized query, mode, algorithm, corpus_version);
 - :mod:`repro.service.kb_store` — persistent SQLite (WAL) store for
@@ -17,13 +22,32 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
 - :mod:`repro.service.autoscale` — the thread-vs-process selector
   behind ``ServiceConfig(executor="auto")``: startup choice from the
   CPU count, runtime switching from the observed traffic;
+- :mod:`repro.service.admission` — per-client token-bucket rate
+  limiting and global queue-depth load shedding, enforced identically
+  by every front end;
 - :mod:`repro.service.service` — the sync :class:`QKBflyService`
-  facade (cache warm-up, store compaction, execution tiers);
+  facade (``serve``/``serve_batch`` envelope entry points, cache
+  warm-up, store compaction, execution tiers);
 - :mod:`repro.service.async_service` — the asyncio
   :class:`AsyncQKBflyService` front end (hits on the event loop,
-  misses dispatched to the executors, asyncio-native single-flight).
+  misses dispatched to the executors, asyncio-native single-flight);
+- :mod:`repro.service.gateway` — the stdlib HTTP server
+  (:class:`HttpGateway`) exposing ``POST /v1/query``,
+  ``GET /v1/healthz``, and ``GET /v1/stats`` over the asyncio front
+  end.
 """
 
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.api import (
+    API_VERSION,
+    Overloaded,
+    PipelineFailure,
+    QueryRequest,
+    QueryResult,
+    QueryStatus,
+    RateLimited,
+    ServiceError,
+)
 from repro.service.async_service import AsyncQKBflyService
 from repro.service.autoscale import (
     AutoscalePolicy,
@@ -32,31 +56,42 @@ from repro.service.autoscale import (
 )
 from repro.service.cache import CacheKey, QueryCache, normalize_query
 from repro.service.executor import BatchExecutor
+from repro.service.gateway import HttpGateway
 from repro.service.kb_store import EntrySignature, KbStore
 from repro.service.process_executor import (
     PipelineRequest,
     PipelineResponse,
     ProcessBatchExecutor,
 )
-from repro.service.service import QKBflyService, QueryResult, ServiceConfig
+from repro.service.service import QKBflyService, ServiceConfig
 from repro.service.sharding import ShardedKbStore, shard_index
 
 __all__ = [
+    "API_VERSION",
+    "AdmissionController",
     "AsyncQKBflyService",
     "AutoscalePolicy",
     "BatchExecutor",
     "CacheKey",
     "EntrySignature",
     "ExecutorSelector",
+    "HttpGateway",
     "KbStore",
+    "Overloaded",
+    "PipelineFailure",
     "PipelineRequest",
     "PipelineResponse",
     "ProcessBatchExecutor",
     "QKBflyService",
     "QueryCache",
+    "QueryRequest",
     "QueryResult",
+    "QueryStatus",
+    "RateLimited",
     "ServiceConfig",
+    "ServiceError",
     "ShardedKbStore",
+    "TokenBucket",
     "normalize_query",
     "observed_cpu_count",
     "shard_index",

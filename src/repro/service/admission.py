@@ -1,0 +1,219 @@
+"""Per-client admission control: token buckets + queue-depth shedding.
+
+A serving deployment that accepts every request degrades for everyone
+at once; admission control degrades *selectively* instead, and makes
+the degradation part of the API contract (:mod:`repro.service.api`):
+
+- **per-client rate limiting** — one token bucket per ``client_id``,
+  refilled at ``rate_limit_qps`` with a burst allowance of
+  ``rate_limit_burst`` tokens. A client over budget gets a
+  :class:`~repro.service.api.RateLimited` (HTTP 429) with a
+  ``retry_after`` telling it exactly when its next token lands — other
+  clients are untouched;
+- **global load shedding** — when the executor already has
+  ``max_queue_depth`` distinct computations in flight, *new* cold work
+  is rejected with :class:`~repro.service.api.Overloaded` (HTTP 503)
+  instead of queuing without bound. Requests that join an existing
+  in-flight computation are exempt (they add no work), cache hits
+  never reach this check at all, and a store-servable request is
+  rescued with one read instead of shed — under overload the service
+  keeps answering everything it can answer cheaply.
+
+One :class:`AdmissionController` is shared by every front end (sync,
+asyncio, HTTP), so the budgets hold across entry points. Its critical
+sections are a few dict operations under one lock — microsecond-scale,
+which is what allows the asyncio front end to consult it directly on
+the event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.service.api import Overloaded, RateLimited
+
+#: Idle client buckets are dropped once the table exceeds this, oldest
+#: first — an abusive client id space must not grow memory unboundedly.
+DEFAULT_MAX_TRACKED_CLIENTS = 1024
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Starts full (a fresh client may burst immediately). Time is
+    injectable for deterministic tests.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_acquire(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds to wait.
+
+        The wait is exact: the time until the refill makes a full token
+        available — the value clients receive as ``retry_after``.
+        """
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Shared admission policy for every serving front end.
+
+    Args:
+        rate_limit_qps: Sustained per-client request rate; None
+            disables rate limiting.
+        rate_limit_burst: Bucket capacity (tokens a client may spend
+            instantly); defaults to ``max(1, round(rate_limit_qps))``.
+        max_queue_depth: Distinct in-flight executor computations
+            beyond which new cold work is shed; None disables shedding.
+        overload_retry_after: The ``retry_after`` hint attached to
+            :class:`Overloaded` rejections (queue drain time is not
+            predictable the way a token refill is, so this is a fixed
+            policy value).
+        max_tracked_clients: Bucket-table size bound; the least
+            recently seen buckets are evicted past it (an evicted
+            client simply starts a fresh, full bucket).
+        clock: Injectable monotonic time source for tests.
+    """
+
+    def __init__(
+        self,
+        rate_limit_qps: Optional[float] = None,
+        rate_limit_burst: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
+        overload_retry_after: float = 1.0,
+        max_tracked_clients: int = DEFAULT_MAX_TRACKED_CLIENTS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_limit_qps is not None and rate_limit_qps <= 0:
+            raise ValueError("rate_limit_qps must be positive")
+        if rate_limit_burst is not None and rate_limit_burst < 1:
+            raise ValueError("rate_limit_burst must be at least 1")
+        if rate_limit_burst is not None and rate_limit_qps is None:
+            raise ValueError("rate_limit_burst requires rate_limit_qps")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if overload_retry_after <= 0:
+            raise ValueError("overload_retry_after must be positive")
+        if max_tracked_clients < 1:
+            raise ValueError("max_tracked_clients must be at least 1")
+        self.rate_limit_qps = rate_limit_qps
+        self.rate_limit_burst = (
+            rate_limit_burst
+            if rate_limit_burst is not None
+            else (max(1.0, round(rate_limit_qps)) if rate_limit_qps else None)
+        )
+        self.max_queue_depth = max_queue_depth
+        self.overload_retry_after = overload_retry_after
+        self.max_tracked_clients = max_tracked_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        # Recency-ordered (same pattern as QueryCache): admitting a
+        # client moves its bucket to the end, eviction pops from the
+        # front — O(1) per request, even with attacker-minted ids.
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.admitted = 0
+        self.rate_limited = 0
+        self.overloaded = 0
+
+    # ---- enforcement -------------------------------------------------------
+
+    def admit(self, client_id: str) -> None:
+        """Charge one request to ``client_id``; raises :class:`RateLimited`.
+
+        A no-op (beyond counting) when rate limiting is not configured.
+        """
+        if self.rate_limit_qps is None:
+            with self._lock:
+                self.admitted += 1
+            return
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.rate_limit_qps, self.rate_limit_burst, now
+                )
+                self._buckets[client_id] = bucket
+                self._evict_stale_locked()
+            else:
+                self._buckets.move_to_end(client_id)
+            wait = bucket.try_acquire(now)
+            if wait > 0.0:
+                self.rate_limited += 1
+            else:
+                self.admitted += 1
+        if wait > 0.0:
+            raise RateLimited(
+                f"client {client_id!r} exceeded "
+                f"{self.rate_limit_qps:g} requests/second "
+                f"(burst {self.rate_limit_burst:g})",
+                retry_after=wait,
+            )
+
+    def check_queue(self, depth: int, joining: bool = False) -> None:
+        """Shed new cold work past ``max_queue_depth``; raises
+        :class:`Overloaded`.
+
+        ``joining=True`` marks a request that merges into an existing
+        in-flight computation — always admitted, it adds no queue load.
+        This is a pure *probe*: it never touches the ``overloaded``
+        counter, because the serving layer may still rescue the
+        request from the store; callers report the shed via
+        :meth:`count_overloaded` only when the rejection actually
+        propagates (the counter must measure rejections, not probes).
+        """
+        if self.max_queue_depth is None or joining:
+            return
+        if depth >= self.max_queue_depth:
+            raise Overloaded(
+                f"executor queue is saturated "
+                f"({depth} in flight, limit {self.max_queue_depth})",
+                retry_after=self.overload_retry_after,
+            )
+
+    def count_overloaded(self) -> None:
+        """Record one request actually shed with :class:`Overloaded`."""
+        with self._lock:
+            self.overloaded += 1
+
+    def _evict_stale_locked(self) -> None:
+        """Drop the least recently seen buckets past the table bound."""
+        while len(self._buckets) > self.max_tracked_clients:
+            self._buckets.popitem(last=False)
+
+    # ---- monitoring --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Admission counters for the service's monitoring surface."""
+        with self._lock:
+            return {
+                "rate_limit_qps": self.rate_limit_qps,
+                "rate_limit_burst": self.rate_limit_burst,
+                "max_queue_depth": self.max_queue_depth,
+                "admitted": self.admitted,
+                "rate_limited": self.rate_limited,
+                "overloaded": self.overloaded,
+                "tracked_clients": len(self._buckets),
+            }
+
+
+__all__ = ["AdmissionController", "TokenBucket", "DEFAULT_MAX_TRACKED_CLIENTS"]

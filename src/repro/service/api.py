@@ -1,0 +1,505 @@
+"""The v1 serving API: versioned request/response envelope + errors.
+
+Every front end of the serving layer — the sync
+:class:`~repro.service.service.QKBflyService`, the asyncio
+:class:`~repro.service.async_service.AsyncQKBflyService`, and the HTTP
+:class:`~repro.service.gateway.HttpGateway` — speaks one wire contract,
+defined here and nowhere else:
+
+- :class:`QueryRequest` — a frozen, validated request envelope
+  (``api_version="v1"``): the query plus the variant pins
+  (mode/algorithm), retrieval inputs (source/num_documents), the
+  ``client_id`` admission control meters on, and an optional per-request
+  ``timeout``;
+- :class:`QueryResult` — the response envelope: the KB payload plus a
+  :class:`QueryStatus`, the serving tier that answered
+  (``served_from`` in {cache, store, executor}), the ``corpus_version``
+  the content was built under, the stable ``request_key`` signature, and
+  a wall-time breakdown (total / store / pipeline seconds);
+- the typed error taxonomy — :class:`ServiceError` (base, HTTP 500),
+  :class:`RateLimited` (429), :class:`Overloaded` (503),
+  :class:`PipelineFailure` (500) — raised by the Python front ends and
+  serialized into error envelopes by the HTTP gateway, with
+  ``retry_after`` hints where the client can act on them.
+
+Both envelopes JSON round-trip via ``to_dict``/``from_dict`` (all
+durations stay in seconds on the wire, so a round trip is bit-exact),
+which is what lets the process executor, the gateway, and any future
+transport ship them without bespoke encodings. See ``docs/API.md`` for
+the wire format and curl-level examples.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field, fields
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.kb.facts import KnowledgeBase
+from repro.service.cache import normalize_query
+
+API_VERSION = "v1"
+DEFAULT_CLIENT_ID = "anonymous"
+
+#: The serving tiers a successful result can come from.
+SERVED_FROM_CACHE = "cache"
+SERVED_FROM_STORE = "store"
+SERVED_FROM_EXECUTOR = "executor"
+
+
+class QueryStatus(str, Enum):
+    """Outcome of one served request, as it appears on the wire."""
+
+    OK = "ok"
+    RATE_LIMITED = "rate_limited"
+    OVERLOADED = "overloaded"
+    FAILED = "failed"
+
+
+# ---- error taxonomy --------------------------------------------------------
+
+
+class ServiceError(Exception):
+    """Base of the v1 error taxonomy; serializable to the wire.
+
+    Every serving-layer failure a client can observe is one of these
+    (or a subclass), so front ends map errors to envelopes and HTTP
+    statuses mechanically instead of string-matching messages.
+
+    Args:
+        message: Human-readable explanation (goes on the wire).
+        code: Stable machine-readable error code; subclasses pin their
+            own and callers of the base class may override (e.g.
+            ``"invalid_request"``, ``"timeout"``).
+        http_status: The HTTP status the gateway answers with.
+        retry_after: Seconds after which a retry may succeed; surfaced
+            as the ``Retry-After`` header where set.
+    """
+
+    status = QueryStatus.FAILED
+    code = "internal"
+    http_status = 500
+
+    def __init__(
+        self,
+        message: str,
+        code: Optional[str] = None,
+        http_status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        if code is not None:
+            self.code = code
+        if http_status is not None:
+            self.http_status = http_status
+        self.retry_after = retry_after
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the error (the ``error`` field of an envelope)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "http_status": self.http_status,
+            "retry_after": self.retry_after,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ServiceError":
+        """Rebuild the typed error from its wire form."""
+        code = data.get("code", "internal")
+        cls = _ERROR_CLASSES.get(code, ServiceError)
+        error = cls(str(data.get("message", "")))
+        error.code = code
+        if data.get("http_status") is not None:
+            error.http_status = int(data["http_status"])
+        error.retry_after = data.get("retry_after")
+        return error
+
+
+class RateLimited(ServiceError):
+    """The client exceeded its admission-control budget (HTTP 429)."""
+
+    status = QueryStatus.RATE_LIMITED
+    code = "rate_limited"
+    http_status = 429
+
+
+class Overloaded(ServiceError):
+    """The executor queue is saturated; load was shed (HTTP 503)."""
+
+    status = QueryStatus.OVERLOADED
+    code = "overloaded"
+    http_status = 503
+
+
+class PipelineFailure(ServiceError):
+    """The KB pipeline raised while serving the request (HTTP 500).
+
+    The original exception is chained as ``__cause__`` when the failure
+    happened in-process, so the deprecated ``query()``/``answer()``
+    shims can re-raise exactly what the legacy API raised.
+    """
+
+    status = QueryStatus.FAILED
+    code = "pipeline_failure"
+    http_status = 500
+
+
+_ERROR_CLASSES: Dict[str, type] = {
+    RateLimited.code: RateLimited,
+    Overloaded.code: Overloaded,
+    PipelineFailure.code: PipelineFailure,
+}
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """One pre-v1 deprecation warning, attributed to the shim's caller."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} with a QueryRequest envelope "
+        "(see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def invalid_request(message: str) -> ServiceError:
+    """A malformed or unsupported request envelope (HTTP 400)."""
+    return ServiceError(message, code="invalid_request", http_status=400)
+
+
+def deadline_exceeded(timeout: float) -> ServiceError:
+    """A per-request timeout expired before the result arrived (504).
+
+    The in-flight computation keeps running and will fill the cache —
+    only this caller stops waiting — so an immediate retry is likely to
+    hit, hence the small ``retry_after`` even for long deadlines.
+    """
+    return ServiceError(
+        f"request deadline of {timeout}s exceeded",
+        code="timeout",
+        http_status=504,
+        retry_after=min(timeout, 1.0),
+    )
+
+
+def wrap_failure(
+    request: "QueryRequest", error: BaseException, context: str = "pipeline"
+) -> PipelineFailure:
+    """Wrap a raw exception for ``request`` with the original chained
+    as ``__cause__`` — the one place the wrapping happens, so every
+    front end raises/envelopes identically."""
+    failure = PipelineFailure(
+        f"{context} failed for {request.query!r}: {error}"
+    )
+    failure.__cause__ = error
+    return failure
+
+
+def reraise_original(error: ServiceError):
+    """Pre-v1 shim contract, shared by every deprecated entry point:
+    surface the original exception a :class:`PipelineFailure` wrapped
+    (``__cause__``), or the typed error itself when there is none."""
+    if isinstance(error, PipelineFailure) and error.__cause__ is not None:
+        raise error.__cause__
+    raise error
+
+
+def classify_timeout(
+    request: "QueryRequest",
+    wait_error: BaseException,
+    work_error: Optional[BaseException],
+) -> ServiceError:
+    """One classification for a TimeoutError caught while awaiting
+    shared work, used by every front end (sync, batch, asyncio).
+
+    On 3.11+ the futures/asyncio TimeoutError *is* the builtin
+    TimeoutError, so a timeout raised inside the pipeline (e.g. a
+    retrieval socket timeout) arrives through the same except clause
+    as an expired wait. ``work_error`` is the exception the finished
+    work itself raised (None if it is still pending or succeeded): when
+    set, the failure is the *work's* — wrapped with that original
+    exception chained, never the wait's own TimeoutError. With no
+    deadline configured, a TimeoutError can only have come out of the
+    work. Otherwise the caller's deadline genuinely expired.
+    """
+    if work_error is not None:
+        return wrap_failure(request, work_error)
+    if request.timeout is None:
+        return wrap_failure(request, wait_error)
+    failure = deadline_exceeded(request.timeout)
+    failure.__suppress_context__ = True
+    return failure
+
+
+# ---- request envelope ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One v1 query, validated at construction.
+
+    ``mode``/``algorithm`` are optional *pins*: a deployment serves one
+    pipeline variant, and a request naming a different one is rejected
+    up front (400) instead of silently answered with the wrong system.
+    ``source``/``num_documents`` default to the deployment's
+    :class:`~repro.service.service.ServiceConfig` when omitted, exactly
+    like the legacy ``query()`` arguments they replace.
+
+    Args:
+        query: The entity-centric query string (non-empty).
+        mode: Optional pipeline-mode pin (e.g. ``"joint"``).
+        algorithm: Optional algorithm pin (e.g. ``"greedy"``).
+        source: Optional retrieval channel override.
+        num_documents: Optional retrieved-document count (>= 1).
+        client_id: Admission-control identity; one token bucket per id.
+        timeout: Optional per-request deadline in seconds (> 0).
+        api_version: Must be ``"v1"``.
+    """
+
+    query: str
+    mode: Optional[str] = None
+    algorithm: Optional[str] = None
+    source: Optional[str] = None
+    num_documents: Optional[int] = None
+    client_id: str = DEFAULT_CLIENT_ID
+    timeout: Optional[float] = None
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        if self.api_version != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {self.api_version!r} "
+                f"(this server speaks {API_VERSION!r})"
+            )
+        if not isinstance(self.query, str) or not self.query.strip():
+            raise invalid_request("query must be a non-empty string")
+        for name in ("mode", "algorithm", "source"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                raise invalid_request(f"{name} must be a string")
+        if not isinstance(self.client_id, str) or not self.client_id:
+            raise invalid_request("client_id must be a non-empty string")
+        if self.num_documents is not None and (
+            not isinstance(self.num_documents, int)
+            or isinstance(self.num_documents, bool)
+            or self.num_documents < 1
+        ):
+            raise invalid_request("num_documents must be an integer >= 1")
+        if self.timeout is not None:
+            if (
+                not isinstance(self.timeout, (int, float))
+                or isinstance(self.timeout, bool)
+                or not math.isfinite(self.timeout)
+                or self.timeout <= 0
+            ):
+                raise invalid_request("timeout must be a positive number")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form; omitted optionals travel as explicit nulls."""
+        return {
+            "api_version": self.api_version,
+            "query": self.query,
+            "mode": self.mode,
+            "algorithm": self.algorithm,
+            "source": self.source,
+            "num_documents": self.num_documents,
+            "client_id": self.client_id,
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "QueryRequest":
+        """Parse and validate a wire payload; unknown keys are errors.
+
+        Strictness is deliberate: a misspelled field silently ignored
+        is a client bug served with the wrong defaults.
+        """
+        if not isinstance(data, dict):
+            raise invalid_request("request body must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise invalid_request(
+                f"unknown request field(s): {', '.join(unknown)}"
+            )
+        if "query" not in data:
+            raise invalid_request("request is missing 'query'")
+        kwargs = {key: data[key] for key in data}
+        kwargs.setdefault("api_version", API_VERSION)
+        if kwargs.get("client_id") is None:
+            kwargs["client_id"] = DEFAULT_CLIENT_ID
+        return cls(**kwargs)
+
+
+# ---- response envelope -----------------------------------------------------
+
+
+@dataclass
+class QueryResult:
+    """One served query: the KB plus the full v1 serving metadata.
+
+    This is both the legacy result type (``cache_hit`` / ``store_hit``
+    / ``seconds`` keep their PR-1 meanings, so existing consumers work
+    unchanged) and the v1 response envelope (``status``,
+    ``served_from``, ``request_key``, the timing breakdown, and a typed
+    ``error`` on failures). As served, ``kb`` is ``None`` exactly when
+    ``status`` is not :attr:`QueryStatus.OK`; the one exception is an
+    envelope rebuilt from a metadata-only wire form
+    (``to_dict(include_kb=False)``), where a successful result
+    legitimately carries ``kb=None`` — consumers of such streams must
+    not dereference ``kb``.
+    """
+
+    query: str
+    normalized_query: str
+    kb: Optional[KnowledgeBase]
+    corpus_version: str
+    cache_hit: bool = False
+    store_hit: bool = False
+    #: Total wall seconds observed by this consumer.
+    seconds: float = 0.0
+    status: QueryStatus = QueryStatus.OK
+    client_id: str = DEFAULT_CLIENT_ID
+    #: Stable signature of the cache/store identity this request served
+    #: under (see ``CacheKey.signature``); empty for error envelopes
+    #: rejected before a key was derived.
+    request_key: str = ""
+    #: Seconds spent in the persistent-store lookup (None: not consulted).
+    store_seconds: Optional[float] = None
+    #: Seconds spent inside the pipeline run (None: no pipeline run).
+    pipeline_seconds: Optional[float] = None
+    error: Optional[ServiceError] = field(default=None, repr=False)
+    api_version: str = API_VERSION
+
+    @property
+    def served_from(self) -> Optional[str]:
+        """Which tier answered: cache, store, or executor (None on error)."""
+        if self.status is not QueryStatus.OK:
+            return None
+        if self.cache_hit:
+            return SERVED_FROM_CACHE
+        if self.store_hit:
+            return SERVED_FROM_STORE
+        return SERVED_FROM_EXECUTOR
+
+    @classmethod
+    def failure(
+        cls,
+        request: QueryRequest,
+        error: ServiceError,
+        corpus_version: str = "",
+        request_key: str = "",
+        seconds: float = 0.0,
+    ) -> "QueryResult":
+        """An error envelope for ``request`` (no KB payload)."""
+        return cls(
+            query=request.query,
+            normalized_query=normalize_query(request.query),
+            kb=None,
+            corpus_version=corpus_version,
+            seconds=seconds,
+            status=error.status,
+            client_id=request.client_id,
+            request_key=request_key,
+            error=error,
+        )
+
+    def to_dict(self, include_kb: bool = True) -> Dict[str, Any]:
+        """Wire form of the envelope.
+
+        ``include_kb=False`` drops the (potentially large) KB payload —
+        for logs and metrics surfaces that only need the metadata; the
+        field then travels as ``null`` exactly like an error envelope.
+        """
+        return {
+            "api_version": self.api_version,
+            "status": self.status.value,
+            "query": self.query,
+            "normalized_query": self.normalized_query,
+            "client_id": self.client_id,
+            "request_key": self.request_key,
+            "corpus_version": self.corpus_version,
+            "served_from": self.served_from,
+            "timings": {
+                "total_seconds": self.seconds,
+                "store_seconds": self.store_seconds,
+                "pipeline_seconds": self.pipeline_seconds,
+            },
+            "kb": (
+                self.kb.to_dict() if include_kb and self.kb is not None
+                else None
+            ),
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryResult":
+        """Rebuild an envelope from its wire form.
+
+        The ``served_from`` field is derived state (it re-materializes
+        from status + hit flags), so the wire carries the flags
+        explicitly via the tier string.
+        """
+        if not isinstance(data, dict):
+            raise invalid_request("result payload must be a JSON object")
+        if data.get("api_version") != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {data.get('api_version')!r}"
+            )
+        try:
+            status = QueryStatus(data.get("status", "ok"))
+        except ValueError as error:
+            raise invalid_request(
+                f"unknown status {data.get('status')!r}"
+            ) from error
+        timings = data.get("timings") or {}
+        served_from = data.get("served_from")
+        kb_payload = data.get("kb")
+        error_payload = data.get("error")
+        return cls(
+            query=data.get("query", ""),
+            normalized_query=data.get("normalized_query", ""),
+            kb=(
+                KnowledgeBase.from_dict(kb_payload)
+                if kb_payload is not None
+                else None
+            ),
+            corpus_version=data.get("corpus_version", ""),
+            cache_hit=served_from == SERVED_FROM_CACHE,
+            store_hit=served_from == SERVED_FROM_STORE,
+            seconds=float(timings.get("total_seconds") or 0.0),
+            status=status,
+            client_id=data.get("client_id", DEFAULT_CLIENT_ID),
+            request_key=data.get("request_key", ""),
+            store_seconds=timings.get("store_seconds"),
+            pipeline_seconds=timings.get("pipeline_seconds"),
+            error=(
+                ServiceError.from_dict(error_payload)
+                if error_payload is not None
+                else None
+            ),
+        )
+
+
+__all__ = [
+    "API_VERSION",
+    "DEFAULT_CLIENT_ID",
+    "Overloaded",
+    "PipelineFailure",
+    "QueryRequest",
+    "QueryResult",
+    "QueryStatus",
+    "RateLimited",
+    "SERVED_FROM_CACHE",
+    "SERVED_FROM_EXECUTOR",
+    "SERVED_FROM_STORE",
+    "ServiceError",
+    "classify_timeout",
+    "deadline_exceeded",
+    "invalid_request",
+    "reraise_original",
+    "wrap_failure",
+]

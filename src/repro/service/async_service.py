@@ -34,6 +34,15 @@ end, the sync API, or both.
 One instance belongs to one event loop. All mutable front-end state
 (the in-flight registry, the counters) is touched only from loop
 callbacks, which is what makes the front end lock-free.
+
+Since the v1 API, the primary entry points are the envelope methods
+:meth:`AsyncQKBflyService.serve` / :meth:`AsyncQKBflyService.serve_batch`
+(:class:`~repro.service.api.QueryRequest` in,
+:class:`~repro.service.api.QueryResult` out, admission control and the
+typed error taxonomy enforced exactly like the sync facade); the HTTP
+gateway (:mod:`repro.service.gateway`) is a thin transport over them.
+The pre-v1 ``answer()`` / ``answer_batch()`` signatures remain as thin
+deprecated shims.
 """
 
 from __future__ import annotations
@@ -45,8 +54,18 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.qkbfly import QKBflyConfig, SessionState
 from repro.corpus.world import World
+from repro.service.api import (
+    PipelineFailure,
+    QueryRequest,
+    QueryResult,
+    ServiceError,
+    classify_timeout,
+    reraise_original,
+    warn_deprecated,
+    wrap_failure,
+)
 from repro.service.cache import CacheKey
-from repro.service.service import QKBflyService, QueryResult, ServiceConfig
+from repro.service.service import QKBflyService, ServiceConfig
 
 
 class AsyncQKBflyService:
@@ -147,6 +166,11 @@ class AsyncQKBflyService:
         return self.service.store
 
     @property
+    def admission(self):
+        """The shared admission controller (None when not configured)."""
+        return self.service.admission
+
+    @property
     def session(self) -> SessionState:
         """The shared session state."""
         return self.service.session
@@ -158,53 +182,193 @@ class AsyncQKBflyService:
 
     # ---- serving -----------------------------------------------------------
 
-    async def answer(
-        self,
-        query: str,
-        source: Optional[str] = None,
-        num_documents: Optional[int] = None,
-    ) -> QueryResult:
-        """Serve one query; hits resolve on the loop, misses off it.
+    async def serve(self, request: QueryRequest) -> QueryResult:
+        """Serve one v1 envelope; hits resolve on the loop, misses off it.
 
-        The returned :class:`QueryResult` carries a private KB copy, so
-        callers may mutate it freely (exactly like the sync API).
+        The primary asyncio entry point, the exact event-loop
+        counterpart of :meth:`QKBflyService.serve`: the same admission
+        control (rate limiting before any tier is consulted, queue-depth
+        shedding before a new flight is started), the same typed error
+        taxonomy, the same envelope out. The returned
+        :class:`QueryResult` carries a private KB copy, so callers may
+        mutate it freely.
         """
         loop = self._check_loop()
-        key = self.service.request_key(query, source, num_documents)
+        sync = self.service
         started = time.perf_counter()
+        sync._validate_request(request)
+        if sync.admission is not None:
+            sync.admission.admit(request.client_id)
         self.answered += 1
+        key = sync.request_key(
+            request.query, request.source, request.num_documents
+        )
 
         # Fast path 1: in-memory cache, directly on the loop (the
         # shared helper records for the autoscaler without ever
-        # swapping pools inline).
-        cached = self.service.cache.get(key)
-        if cached is not None:
-            self.loop_cache_hits += 1
-            return self.service.hit_result(query, key, cached, started)
+        # swapping pools inline). Raw tier failures become typed
+        # envelope errors here too — the contract is taxonomy-only.
+        try:
+            cached = sync.cache.get(key)
+            if cached is not None:
+                self.loop_cache_hits += 1
+                return sync.hit_result(request, key, cached, started)
 
-        # Fast path 2: persistent store, only if its lock is free right
-        # now — a writer mid-save must not stall the loop.
-        result = self._try_store_on_loop(query, key, started)
+            # Fast path 2: persistent store, only if its lock is free
+            # right now — a writer mid-save must not stall the loop.
+            result = self._try_store_on_loop(request, key, started)
+        except ServiceError:
+            raise
+        except Exception as error:
+            raise wrap_failure(request, error, "serving") from error
         if result is not None:
             return result
 
         # Slow path: join or start the single flight for this key.
         task = self._in_flight.get(key)
         if task is None:
-            task = loop.create_task(self._dispatch(query, key))
+            # Shed *before* a flight exists; joiners below are exempt
+            # (they add no executor load). This front end's own
+            # registry is passed as the depth: flights wait in the
+            # dispatch pool's queue before they ever reach the
+            # executor, so executor.pending alone would undercount
+            # async load. A store-servable key gets one more
+            # non-blocking probe before being shed — only if a writer
+            # holds the shard lock at both probes can a store hit be
+            # rejected (best-effort, the loop never blocks).
+            try:
+                sync._check_capacity(
+                    key, front_depth=len(self._in_flight)
+                )
+            except ServiceError:
+                try:
+                    result = self._try_store_on_loop(request, key, started)
+                except Exception as error:
+                    raise wrap_failure(request, error, "serving") from error
+                if result is not None:
+                    return result
+                if sync.admission is not None:
+                    sync.admission.count_overloaded()
+                raise
+            task = loop.create_task(self._dispatch(request, key))
             task.add_done_callback(self._make_reaper(key, task))
             self._in_flight[key] = task
             self.dispatched += 1
         else:
             self.deduplicated += 1
+            # Joins feed the executor's deployment-wide dedup counter
+            # too, so stats()["executor"]["deduplicated"] reflects
+            # every front end (the loop-side counter above remains the
+            # async-only view).
+            sync._executor.count_dedup()
         # shield(): a cancelled consumer must not cancel the shared
         # flight out from under its other joiners.
-        shared = await asyncio.shield(task)
+        waiter = asyncio.shield(task)
+        try:
+            if request.timeout is not None:
+                # Absolute deadline from request entry, mirroring the
+                # sync facade: admission and the loop-side fast paths
+                # (including a store read) already consumed budget.
+                remaining = max(
+                    0.0,
+                    request.timeout - (time.perf_counter() - started),
+                )
+                shared = await asyncio.wait_for(waiter, remaining)
+            else:
+                shared = await waiter
+        except asyncio.TimeoutError as error:
+            # Hand over the flight's own exception (if it finished by
+            # raising): the classification must chain the pipeline's
+            # real error, never the wait's TimeoutError.
+            raise classify_timeout(
+                request,
+                error,
+                task.exception()
+                if task.done() and not task.cancelled()
+                else None,
+            )
+        except ServiceError:
+            raise
+        except Exception as error:
+            raise wrap_failure(request, error) from error
         result = QKBflyService._result_copy(
-            shared, seconds=time.perf_counter() - started, query=query
+            shared,
+            seconds=time.perf_counter() - started,
+            query=request.query,
+            client_id=request.client_id,
         )
-        self.service._record_request(key, result.seconds, allow_switch=False)
+        sync._record_request(key, result.seconds, allow_switch=False)
         return result
+
+    async def serve_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResult]:
+        """Serve many envelopes concurrently; results in input order.
+
+        Duplicates within the batch (and against any other in-flight
+        request) collapse onto one pipeline run via the single-flight
+        registry; every result slot still gets its own KB copy. Like
+        the sync :meth:`QKBflyService.serve_batch`, nothing raises:
+        each slot independently carries its status/error envelope.
+        """
+
+        async def serve_one(request: QueryRequest) -> QueryResult:
+            slot_started = time.perf_counter()
+            try:
+                return await self.serve(request)
+            except ServiceError as error:
+                # Mirror the sync batch envelopes: failures past the
+                # admission gate (shed, deadline, pipeline) carry the
+                # derived request key for correlation; validation and
+                # rate-limit rejections happened before a key existed.
+                key = None
+                if error.code in ("overloaded", "timeout", "pipeline_failure"):
+                    key = self.service.request_key(
+                        request.query, request.source, request.num_documents
+                    )
+                return self.service._failure(
+                    request,
+                    error,
+                    key,
+                    seconds=time.perf_counter() - slot_started,
+                )
+            except Exception as error:
+                # Raw infrastructure failures (e.g. a store error on
+                # the loop fast path) poison only their own slot.
+                return self.service._failure(
+                    request,
+                    wrap_failure(request, error, "serving"),
+                    seconds=time.perf_counter() - slot_started,
+                )
+
+        return list(
+            await asyncio.gather(*(serve_one(r) for r in requests))
+        )
+
+    # ---- legacy entry points (deprecated shims) ----------------------------
+
+    async def answer(
+        self,
+        query: str,
+        source: Optional[str] = None,
+        num_documents: Optional[int] = None,
+    ) -> QueryResult:
+        """Pre-v1 entry point; deprecated in favor of :meth:`serve`.
+
+        A thin shim preserving the pre-v1 exception contract: pipeline
+        exceptions propagate raw, not wrapped in
+        :class:`~repro.service.api.PipelineFailure`.
+        """
+        warn_deprecated(
+            "AsyncQKBflyService.answer()", "AsyncQKBflyService.serve()"
+        )
+        request = QueryRequest(
+            query=query, source=source, num_documents=num_documents
+        )
+        try:
+            return await self.serve(request)
+        except PipelineFailure as failure:
+            reraise_original(failure)
 
     async def answer_batch(
         self,
@@ -212,22 +376,27 @@ class AsyncQKBflyService:
         source: Optional[str] = None,
         num_documents: Optional[int] = None,
     ) -> List[QueryResult]:
-        """Serve many queries concurrently; results in input order.
+        """Pre-v1 batch entry point; deprecated: :meth:`serve_batch`.
 
-        Duplicates within the batch (and against any other in-flight
-        request) collapse onto one pipeline run via the single-flight
-        registry; every result slot still gets its own KB copy.
+        A thin shim over the envelope path, preserving the pre-v1
+        contract: the first failed slot raises its original exception
+        instead of returning an error envelope.
         """
-        return list(
-            await asyncio.gather(
-                *(
-                    self.answer(
-                        query, source=source, num_documents=num_documents
-                    )
-                    for query in queries
-                )
-            )
+        warn_deprecated(
+            "AsyncQKBflyService.answer_batch()",
+            "AsyncQKBflyService.serve_batch()",
         )
+        requests = [
+            QueryRequest(
+                query=query, source=source, num_documents=num_documents
+            )
+            for query in queries
+        ]
+        results = await self.serve_batch(requests)
+        for result in results:
+            if result.error is not None:
+                reraise_original(result.error)
+        return results
 
     # ---- internals ---------------------------------------------------------
 
@@ -246,7 +415,7 @@ class AsyncQKBflyService:
         return loop
 
     def _try_store_on_loop(
-        self, query: str, key: CacheKey, started: float
+        self, request: QueryRequest, key: CacheKey, started: float
     ) -> Optional[QueryResult]:
         """Non-blocking store lookup; None when busy, missing, or off.
 
@@ -257,6 +426,7 @@ class AsyncQKBflyService:
         store = self.service.store
         if store is None:
             return None
+        tier_started = time.perf_counter()
         attempted, kb = store.try_load(
             key.query,
             corpus_version=key.corpus_version,
@@ -272,27 +442,26 @@ class AsyncQKBflyService:
         if kb is None:
             return None
         self.loop_store_hits += 1
-        if key.corpus_version == self.service.session.corpus_version:
-            self.service.cache.put(key, kb)
-        result = QueryResult(
-            query=query,
-            normalized_query=key.query,
-            kb=kb.copy(),
-            corpus_version=key.corpus_version,
-            store_hit=True,
-            seconds=time.perf_counter() - started,
+        return self.service.store_hit_result(
+            request,
+            key,
+            kb,
+            started,
+            store_seconds=time.perf_counter() - tier_started,
         )
-        self.service._record_request(key, result.seconds, allow_switch=False)
-        return result
 
-    async def _dispatch(self, query: str, key: CacheKey) -> QueryResult:
+    async def _dispatch(
+        self, request: QueryRequest, key: CacheKey
+    ) -> QueryResult:
         """Run the blocking miss path off the loop; owns one flight."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
-            self._dispatch_pool, self._blocking_serve, query, key
+            self._dispatch_pool, self._blocking_serve, request, key
         )
 
-    def _blocking_serve(self, query: str, key: CacheKey) -> QueryResult:
+    def _blocking_serve(
+        self, request: QueryRequest, key: CacheKey
+    ) -> QueryResult:
         """Dispatch-pool thread: through the sync executor stack.
 
         Submitting to the service's own :class:`BatchExecutor` (rather
@@ -306,7 +475,7 @@ class AsyncQKBflyService:
         loop and may build a process pool without stalling hits.
         """
         result = self.service._executor.submit(
-            key, (query, key, True)
+            key, (request, key, True)
         ).result()
         self.service.autoscale_tick()
         return result
@@ -334,7 +503,17 @@ class AsyncQKBflyService:
     def stats(self) -> Dict[str, Any]:
         """Sync-service counters plus this front end's loop-side view."""
         out = self.service.stats()
-        out["async"] = {
+        out["async"] = self.front_end_stats()
+        return out
+
+    def front_end_stats(self) -> Dict[str, Any]:
+        """Just this front end's loop-confined counters.
+
+        Split out so the gateway can snapshot them *on the loop* while
+        the blocking sync-tier stats run on a worker thread — the
+        counters are only ever touched from loop callbacks.
+        """
+        return {
             "answered": self.answered,
             "loop_cache_hits": self.loop_cache_hits,
             "loop_store_hits": self.loop_store_hits,
@@ -343,7 +522,6 @@ class AsyncQKBflyService:
             "dispatched": self.dispatched,
             "in_flight": len(self._in_flight),
         }
-        return out
 
     async def aclose(self) -> None:
         """Drain in-flight work and shut the front end down.

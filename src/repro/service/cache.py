@@ -18,6 +18,7 @@ what lets the asyncio front end probe it directly on the event loop.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -71,6 +72,27 @@ class CacheKey:
             num_documents=num_documents,
             config_digest=config_digest,
         )
+
+    def signature(self) -> str:
+        """Stable hex signature over every key field.
+
+        This is the ``request_key`` of the v1 envelope: the same
+        identity the cache and store key on, in a form that survives
+        the wire (unlike the builtin ``hash``, it is stable across
+        processes and Python versions).
+        """
+        payload = "\x1f".join(
+            (
+                self.query,
+                self.mode,
+                self.algorithm,
+                self.corpus_version,
+                self.source,
+                str(self.num_documents),
+                self.config_digest,
+            )
+        )
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class QueryCache:

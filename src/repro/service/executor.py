@@ -67,6 +67,39 @@ class BatchExecutor:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
+    # ---- queue visibility --------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Distinct computations currently in flight.
+
+        This is the queue depth admission control sheds on: joiners of
+        an existing flight do not add to it, so it measures real
+        outstanding work, not raw request arrival.
+        """
+        with self._lock:
+            return len(self._in_flight)
+
+    def has_flight(self, key: Hashable) -> bool:
+        """Whether ``key`` currently has an in-flight computation.
+
+        A request whose key is already flying *joins* that flight —
+        load shedding exempts it (see
+        :meth:`repro.service.admission.AdmissionController.check_queue`).
+        The answer is advisory: the flight can land between this check
+        and a subsequent submit, in which case the submit recomputes —
+        admission decisions tolerate that race by design.
+        """
+        with self._lock:
+            return key in self._in_flight
+
+    def count_dedup(self) -> None:
+        """Count one deduplicated request absorbed outside ``submit``
+        (front ends with their own registries report joins through
+        this, keeping one consistent dedup counter per deployment)."""
+        with self._lock:
+            self.deduplicated += 1
+
     # ---- submission --------------------------------------------------------
 
     def submit(self, key: Hashable, request: Any) -> Future:
@@ -148,8 +181,7 @@ class BatchExecutor:
             if key not in futures_by_key:
                 futures_by_key[key] = self.submit(key, request)
             else:
-                with self._lock:
-                    self.deduplicated += 1
+                self.count_dedup()
         return [futures_by_key[key].result() for key in order]
 
 

@@ -40,11 +40,34 @@ from repro.service.executor import BatchExecutor
 @dataclass(frozen=True)
 class PipelineRequest:
     """Picklable envelope for one pipeline run (hashable: it is its own
-    single-flight key)."""
+    single-flight key).
+
+    Like the public v1 envelopes (:mod:`repro.service.api`), it JSON
+    round-trips via ``to_dict``/``from_dict`` — the process tier ships
+    it as a pickle today, but a multi-node transport can reuse the same
+    wire form.
+    """
 
     query: str
     source: str = "wikipedia"
     num_documents: int = 1
+
+    def to_dict(self) -> Dict:
+        """JSON wire form of the envelope."""
+        return {
+            "query": self.query,
+            "source": self.source,
+            "num_documents": self.num_documents,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PipelineRequest":
+        """Rebuild the envelope from its wire form."""
+        return cls(
+            query=data["query"],
+            source=data.get("source", "wikipedia"),
+            num_documents=int(data.get("num_documents", 1)),
+        )
 
 
 @dataclass
@@ -63,6 +86,23 @@ class PipelineResponse:
     def to_kb(self) -> KnowledgeBase:
         """A fresh private KnowledgeBase for one consumer."""
         return KnowledgeBase.from_dict(self.kb_payload)
+
+    def to_dict(self) -> Dict:
+        """JSON wire form of the envelope (the KB payload already is)."""
+        return {
+            "kb_payload": self.kb_payload,
+            "worker_pid": self.worker_pid,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PipelineResponse":
+        """Rebuild the envelope from its wire form."""
+        return cls(
+            kb_payload=data["kb_payload"],
+            worker_pid=int(data.get("worker_pid", 0)),
+            seconds=float(data.get("seconds", 0.0)),
+        )
 
 
 # Per-worker pipeline, set once by the pool initializer. A module-level

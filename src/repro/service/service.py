@@ -22,6 +22,16 @@ workers) or the process tier
 live traffic and swaps tiers at runtime. The asyncio front end
 (:class:`~repro.service.async_service.AsyncQKBflyService`) layers on
 top of this facade and shares all of its tiers.
+
+Since the v1 API (:mod:`repro.service.api`), the primary entry points
+are the envelope methods :meth:`QKBflyService.serve` /
+:meth:`QKBflyService.serve_batch`: one validated
+:class:`~repro.service.api.QueryRequest` in, one
+:class:`~repro.service.api.QueryResult` envelope out (status, serving
+tier, timing breakdown, typed errors), with per-client admission
+control (:mod:`repro.service.admission`) enforced on the way in. The
+pre-v1 ``query()`` / ``batch_query()`` signatures remain as thin
+deprecated shims over the envelope path.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -36,6 +47,19 @@ from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.world import World
 from repro.kb.facts import KnowledgeBase
+from repro.service.admission import AdmissionController
+from repro.service.api import (
+    Overloaded,
+    PipelineFailure,
+    QueryRequest,
+    QueryResult,
+    ServiceError,
+    classify_timeout,
+    invalid_request,
+    reraise_original,
+    warn_deprecated,
+    wrap_failure,
+)
 from repro.service.autoscale import AutoscalePolicy, ExecutorSelector
 from repro.service.cache import CacheKey, QueryCache
 from repro.service.executor import BatchExecutor
@@ -102,19 +126,75 @@ class ServiceConfig:
     store_max_age_seconds: Optional[float] = None
     store_max_entries: Optional[int] = None
     compact_store_on_start: bool = False
+    # Admission control (see repro.service.admission): sustained
+    # per-client request rate and burst allowance (None disables rate
+    # limiting), and the distinct-in-flight executor computations
+    # beyond which new cold work is shed with Overloaded/503 (None
+    # disables shedding). Enforced identically by the sync, asyncio,
+    # and HTTP front ends.
+    rate_limit_qps: Optional[float] = None
+    rate_limit_burst: Optional[float] = None
+    max_queue_depth: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        self.validate()
 
-@dataclass
-class QueryResult:
-    """One served query: the KB plus serving metadata."""
+    def validate(self) -> None:
+        """Reject invalid combinations loudly, at construction.
 
-    query: str
-    normalized_query: str
-    kb: KnowledgeBase
-    corpus_version: str
-    cache_hit: bool = False
-    store_hit: bool = False
-    seconds: float = 0.0
+        Every rule here used to fail deep inside the first query (or
+        silently misconfigure a tier); validating the moment the config
+        exists points the traceback at the actual mistake. The service
+        calls this again at its own construction, so a config mutated
+        after being built (this is a plain mutable dataclass) cannot
+        smuggle an invalid combination past the dataclass hook.
+        """
+        if self.executor not in ("thread", "process", "auto"):
+            raise ValueError(
+                f"unknown executor kind: {self.executor!r} "
+                "(choose 'thread', 'process', or 'auto')"
+            )
+        if self.store_shards < 1:
+            raise ValueError(
+                f"store_shards must be >= 1, got {self.store_shards}"
+            )
+        if self.warm_limit is not None and self.store_path is None:
+            raise ValueError(
+                "warm_limit is set but store_path is not: there is no "
+                "store to warm the cache from"
+            )
+        if self.warm_limit is not None and self.warm_limit < 0:
+            raise ValueError(f"warm_limit must be >= 0, got {self.warm_limit}")
+        if self.cache_size <= 0:
+            raise ValueError(f"cache_size must be > 0, got {self.cache_size}")
+        if self.max_workers <= 0:
+            raise ValueError(f"max_workers must be > 0, got {self.max_workers}")
+        if self.num_documents < 1:
+            raise ValueError(
+                f"num_documents must be >= 1, got {self.num_documents}"
+            )
+        if self.process_workers is not None and self.process_workers <= 0:
+            raise ValueError(
+                f"process_workers must be > 0, got {self.process_workers}"
+            )
+        if (
+            self.cache_ttl_seconds is not None
+            and self.cache_ttl_seconds <= 0
+        ):
+            raise ValueError("cache_ttl_seconds must be positive when set")
+        if (
+            self.rate_limit_qps is not None
+            or self.rate_limit_burst is not None
+            or self.max_queue_depth is not None
+        ):
+            # One authoritative rule set for the admission parameters:
+            # the controller validates its own combination (the service
+            # builds the real one from these same fields).
+            AdmissionController(
+                rate_limit_qps=self.rate_limit_qps,
+                rate_limit_burst=self.rate_limit_burst,
+                max_queue_depth=self.max_queue_depth,
+            )
 
 
 class QKBflyService:
@@ -136,12 +216,11 @@ class QKBflyService:
     ) -> None:
         self.session = session
         self.service_config = service_config or ServiceConfig()
-        if self.service_config.executor not in ("thread", "process", "auto"):
-            # Validate before any pool/store is allocated: raising
-            # later would leak worker threads and SQLite handles.
-            raise ValueError(
-                f"unknown executor kind: {self.service_config.executor!r}"
-            )
+        # Re-validate before any pool/store is allocated (a bad config
+        # must never leak worker threads or SQLite handles): the
+        # dataclass validated itself at construction, but it is
+        # mutable and may have been edited since.
+        self.service_config.validate()
         if self.service_config.executor == "auto":
             self._selector: Optional[ExecutorSelector] = ExecutorSelector(
                 policy=self.service_config.autoscale_policy
@@ -175,6 +254,19 @@ class QKBflyService:
         self._executor = BatchExecutor(
             self._serve, max_workers=self.service_config.max_workers
         )
+        if (
+            self.service_config.rate_limit_qps is not None
+            or self.service_config.max_queue_depth is not None
+        ):
+            self.admission: Optional[AdmissionController] = (
+                AdmissionController(
+                    rate_limit_qps=self.service_config.rate_limit_qps,
+                    rate_limit_burst=self.service_config.rate_limit_burst,
+                    max_queue_depth=self.service_config.max_queue_depth,
+                )
+            )
+        else:
+            self.admission = None
         self._counter_lock = threading.Lock()
         self._autoscale_lock = threading.Lock()
         self._closed = False
@@ -276,14 +368,232 @@ class QKBflyService:
     ) -> KnowledgeBase:
         """Drop-in replacement for :meth:`QKBfly.build_kb`, but cached.
 
-        Omitted arguments fall back to :class:`ServiceConfig`, exactly
-        like :meth:`query` — both entry points serve identical results.
+        Part of the QKBfly-compatible surface (not deprecated): omitted
+        arguments fall back to :class:`ServiceConfig`, and pipeline
+        exceptions propagate raw, exactly like :class:`QKBfly` itself.
+        Admission control, when configured, still applies.
         """
-        return self.query(
-            query, source=source, num_documents=num_documents
-        ).kb
+        request = QueryRequest(
+            query=query, source=source, num_documents=num_documents
+        )
+        return self._serve_unwrapped(request).kb
 
-    # ---- serving -----------------------------------------------------------
+    # ---- serving (v1 envelope) ---------------------------------------------
+
+    def serve(self, request: QueryRequest) -> QueryResult:
+        """Serve one v1 envelope: admission -> cache -> store -> pipeline.
+
+        The primary sync entry point. Cache hits are answered on the
+        calling thread; misses go through the executor, so a burst of
+        concurrent identical requests collapses onto a single pipeline
+        run (single-flight), shared with :meth:`serve_batch` and the
+        asyncio front end.
+
+        Raises the typed taxonomy of :mod:`repro.service.api`:
+        :class:`~repro.service.api.RateLimited` when the client is over
+        its token-bucket budget, :class:`~repro.service.api.Overloaded`
+        when new cold work would exceed ``max_queue_depth``,
+        :class:`~repro.service.api.PipelineFailure` (original exception
+        chained as ``__cause__``) when the pipeline raises, and a
+        ``timeout``-coded :class:`~repro.service.api.ServiceError` when
+        ``request.timeout`` expires first (the in-flight computation
+        keeps running and will still fill the cache).
+        """
+        started = time.perf_counter()
+        self._validate_request(request)
+        if self.admission is not None:
+            self.admission.admit(request.client_id)
+        key = self._key(request.query, request.source, request.num_documents)
+        try:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return self.hit_result(request, key, cached, started)
+            stored = self._admit_cold(request, key, started)
+        except ServiceError:
+            raise
+        except Exception as error:
+            # The contract is the typed taxonomy, fast paths included:
+            # a raw store failure in the overload rescue (or a cache
+            # error) must not escape untyped.
+            raise wrap_failure(request, error, "serving") from error
+        if stored is not None:
+            return stored
+        # The miss was already counted by the lookup above; the
+        # executor's double-check must not count it again.
+        future = self._executor.submit(key, (request, key, True))
+        try:
+            # The deadline is absolute from request entry: time already
+            # spent in admission and the fast paths (e.g. a saturated
+            # store rescue waiting on the store lock) consumes budget.
+            remaining = None
+            if request.timeout is not None:
+                remaining = max(
+                    0.0,
+                    request.timeout - (time.perf_counter() - started),
+                )
+            shared = future.result(timeout=remaining)
+        except FuturesTimeoutError as error:
+            # Only a future that finished *by raising* pins the error
+            # on the pipeline; done-with-a-result means the flight
+            # landed just after the wait expired (still a deadline).
+            raise classify_timeout(
+                request,
+                error,
+                future.exception() if future.done() else None,
+            )
+        except ServiceError:
+            raise
+        except Exception as error:
+            raise wrap_failure(request, error) from error
+        result = self._result_copy(
+            shared,
+            seconds=time.perf_counter() - started,
+            query=request.query,
+            client_id=request.client_id,
+        )
+        self._record_request(key, result.seconds)
+        return result
+
+    def serve_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResult]:
+        """Serve many envelopes concurrently; one envelope per slot.
+
+        Results come back in input order; duplicated requests are
+        computed once, but every result slot gets its own KB copy so no
+        caller's mutation can leak into another slot — including slots
+        of a *different* concurrent batch that joined the same
+        in-flight computation.
+
+        Unlike :meth:`serve`, nothing raises: admission rejections,
+        timeouts, and pipeline failures each become an *error envelope
+        in their own slot* (``status`` set, ``kb=None``), so one
+        over-budget client or one poisoned query cannot void the rest
+        of the batch.
+        """
+        batch_started = time.perf_counter()
+        slots: List[Optional[QueryResult]] = []
+        keys: List[Optional[CacheKey]] = []
+        futures_by_key: Dict[CacheKey, Any] = {}
+        for request in requests:
+            key = None  # derived below; stays None for pre-key failures
+            try:
+                self._validate_request(request)
+                if self.admission is not None:
+                    self.admission.admit(request.client_id)
+                key = self._key(
+                    request.query, request.source, request.num_documents
+                )
+                if key not in futures_by_key:
+                    # Shed only work that would start a new flight: a
+                    # cached key is answered by the executor's cache
+                    # double-check without queueing pipeline work, and
+                    # a store-servable key costs one read — neither is
+                    # ever rejected under overload (same contract as
+                    # serve()).
+                    if key not in self.cache:
+                        stored = self._admit_cold(
+                            request, key, time.perf_counter()
+                        )
+                        if stored is not None:
+                            keys.append(None)
+                            slots.append(stored)
+                            continue
+                    futures_by_key[key] = self._executor.submit(
+                        key, (request, key, False)
+                    )
+                else:
+                    self._executor.count_dedup()
+            except ServiceError as error:
+                keys.append(None)
+                slots.append(
+                    self._failure(
+                        request,
+                        error,
+                        key,
+                        seconds=time.perf_counter() - batch_started,
+                    )
+                )
+                continue
+            except Exception as error:
+                # A raw infrastructure failure (e.g. an SQLite error in
+                # the overload rescue probe) must poison only its own
+                # slot, never the batch — the documented contract.
+                keys.append(None)
+                slots.append(
+                    self._failure(
+                        request,
+                        wrap_failure(request, error, "serving"),
+                        key,
+                        seconds=time.perf_counter() - batch_started,
+                    )
+                )
+                continue
+            keys.append(key)
+            slots.append(None)
+        results: List[QueryResult] = []
+        for request, key, slot in zip(requests, keys, slots):
+            if slot is not None:
+                results.append(slot)
+                continue
+            try:
+                # Deadlines are absolute from batch entry: slots are
+                # collected in order, so a slot's wait budget is what
+                # remains of *its own* timeout, not a fresh clock that
+                # silently extends it by its predecessors' waits.
+                remaining = None
+                if request.timeout is not None:
+                    remaining = max(
+                        0.0,
+                        request.timeout
+                        - (time.perf_counter() - batch_started),
+                    )
+                shared = futures_by_key[key].result(timeout=remaining)
+            except FuturesTimeoutError as error:
+                shared_future = futures_by_key[key]
+                results.append(
+                    self._failure(
+                        request,
+                        classify_timeout(
+                            request,
+                            error,
+                            shared_future.exception()
+                            if shared_future.done()
+                            else None,
+                        ),
+                        key,
+                        seconds=time.perf_counter() - batch_started,
+                    )
+                )
+                continue
+            except ServiceError as error:
+                results.append(
+                    self._failure(
+                        request,
+                        error,
+                        key,
+                        seconds=time.perf_counter() - batch_started,
+                    )
+                )
+                continue
+            except Exception as error:
+                results.append(
+                    self._failure(
+                        request,
+                        wrap_failure(request, error),
+                        key,
+                        seconds=time.perf_counter() - batch_started,
+                    )
+                )
+                continue
+            result = self._result_copy(
+                shared, query=request.query, client_id=request.client_id
+            )
+            self._record_request(key, result.seconds)
+            results.append(result)
+        return results
+
+    # ---- legacy entry points (deprecated shims) ----------------------------
 
     def query(
         self,
@@ -291,26 +601,19 @@ class QKBflyService:
         source: Optional[str] = None,
         num_documents: Optional[int] = None,
     ) -> QueryResult:
-        """Serve one query through cache -> store -> pipeline.
+        """Pre-v1 entry point; deprecated in favor of :meth:`serve`.
 
-        Cache hits are answered on the calling thread; misses go
-        through the executor, so a burst of concurrent identical
-        queries collapses onto a single pipeline run (single-flight),
-        just like :meth:`batch_query`.
+        A thin shim: builds the v1 :class:`QueryRequest` and serves it,
+        preserving the pre-v1 exception contract (pipeline exceptions
+        propagate raw, not wrapped in
+        :class:`~repro.service.api.PipelineFailure`).
         """
-        key = self._key(query, source, num_documents)
-        started = time.perf_counter()
-        cached = self.cache.get(key)
-        if cached is not None:
-            return self.hit_result(query, key, cached, started)
-        # The miss was already counted by the lookup above; the
-        # executor's double-check must not count it again.
-        shared = self._executor.submit(key, (query, key, True)).result()
-        result = self._result_copy(
-            shared, seconds=time.perf_counter() - started, query=query
+        warn_deprecated("QKBflyService.query()", "QKBflyService.serve()")
+        return self._serve_unwrapped(
+            QueryRequest(
+                query=query, source=source, num_documents=num_documents
+            )
         )
-        self._record_request(key, result.seconds)
-        return result
 
     def batch_query(
         self,
@@ -318,33 +621,44 @@ class QKBflyService:
         source: Optional[str] = None,
         num_documents: Optional[int] = None,
     ) -> List[QueryResult]:
-        """Serve many queries concurrently, deduplicating identical ones.
+        """Pre-v1 batch entry point; deprecated: :meth:`serve_batch`.
 
-        Results come back in input order; duplicated queries are
-        computed once, but every result slot gets its own KB copy so no
-        caller's mutation can leak into another slot — including slots
-        of a *different* concurrent batch that joined the same
-        in-flight computation.
+        A thin shim over the envelope path, preserving the pre-v1
+        contract: the first failed slot raises its original exception
+        instead of returning an error envelope.
         """
+        warn_deprecated(
+            "QKBflyService.batch_query()", "QKBflyService.serve_batch()"
+        )
         requests = [
-            (query, self._key(query, source, num_documents), False)
+            QueryRequest(
+                query=query, source=source, num_documents=num_documents
+            )
             for query in queries
         ]
-        shared = self._executor.run_batch(
-            requests, key_fn=lambda request: request[1]
-        )
-        results = [
-            self._result_copy(result, query=request[0])
-            for request, result in zip(requests, shared)
-        ]
-        for request, result in zip(requests, results):
-            self._record_request(request[1], result.seconds)
+        results = self.serve_batch(requests)
+        for result in results:
+            if result.error is not None:
+                reraise_original(result.error)
         return results
 
+    def _serve_unwrapped(self, request: QueryRequest) -> QueryResult:
+        """:meth:`serve`, re-raising a wrapped pipeline failure's
+        original exception — the contract of the pre-v1 API (and of
+        :class:`QKBfly` itself, which ``build_kb`` stands in for)."""
+        try:
+            return self.serve(request)
+        except PipelineFailure as failure:
+            reraise_original(failure)
+
     def hit_result(
-        self, query: str, key: CacheKey, kb: KnowledgeBase, started: float
+        self,
+        request: QueryRequest,
+        key: CacheKey,
+        kb: KnowledgeBase,
+        started: float,
     ) -> QueryResult:
-        """Per-consumer result for a cache hit, shared by both front
+        """Per-consumer envelope for a cache hit, shared by both front
         ends (sync thread and event loop).
 
         Records the request for the autoscaler but never swaps
@@ -354,12 +668,14 @@ class QKBflyService:
         :meth:`autoscale_tick`.
         """
         result = QueryResult(
-            query=query,
+            query=request.query,
             normalized_query=key.query,
             kb=kb.copy(),
             corpus_version=key.corpus_version,
             cache_hit=True,
             seconds=time.perf_counter() - started,
+            client_id=request.client_id,
+            request_key=key.signature(),
         )
         self._record_request(key, result.seconds, allow_switch=False)
         return result
@@ -369,11 +685,13 @@ class QKBflyService:
         shared: QueryResult,
         seconds: Optional[float] = None,
         query: Optional[str] = None,
+        client_id: Optional[str] = None,
     ) -> QueryResult:
         """Per-consumer view of a possibly shared in-flight result.
 
-        ``query`` restores the caller's own raw query string — a shared
-        result carries whichever spelling happened to compute it.
+        ``query`` and ``client_id`` restore the caller's own raw query
+        string and identity — a shared result carries whichever caller
+        happened to compute it.
         """
         return QueryResult(
             query=shared.query if query is None else query,
@@ -383,39 +701,199 @@ class QKBflyService:
             cache_hit=shared.cache_hit,
             store_hit=shared.store_hit,
             seconds=shared.seconds if seconds is None else seconds,
+            status=shared.status,
+            client_id=shared.client_id if client_id is None else client_id,
+            request_key=shared.request_key,
+            store_seconds=shared.store_seconds,
+            pipeline_seconds=shared.pipeline_seconds,
         )
 
-    def _serve(self, request) -> QueryResult:
-        """Executor entry point for one (query, key) request.
+    def _failure(
+        self,
+        request: QueryRequest,
+        error: ServiceError,
+        key: Optional[CacheKey] = None,
+        seconds: float = 0.0,
+    ) -> QueryResult:
+        """An error envelope for ``request``, stamped with this
+        deployment's corpus version, the elapsed wall time, and the
+        request key (if one was derived before the failure)."""
+        return QueryResult.failure(
+            request,
+            error,
+            corpus_version=self.session.corpus_version,
+            request_key=key.signature() if key is not None else "",
+            seconds=seconds,
+        )
+
+    def _validate_request(self, request: QueryRequest) -> None:
+        """Reject variant pins this deployment cannot honor.
+
+        A request naming a different mode/algorithm than the served
+        pipeline config would be answered by the wrong system variant —
+        an *invalid request* (HTTP 400), not a different answer.
+        """
+        config = self.qkbfly.config
+        if request.mode is not None and request.mode != config.mode:
+            raise invalid_request(
+                f"this deployment serves mode={config.mode!r}, "
+                f"not {request.mode!r}"
+            )
+        if (
+            request.algorithm is not None
+            and request.algorithm != config.algorithm
+        ):
+            raise invalid_request(
+                f"this deployment serves algorithm={config.algorithm!r}, "
+                f"not {request.algorithm!r}"
+            )
+
+    def _check_capacity(self, key: CacheKey, front_depth: int = 0) -> None:
+        """Queue-depth load shedding for new cold work.
+
+        Requests whose key is already in flight join that computation
+        and add no load, so they are exempt — under saturation the
+        service keeps absorbing repeats while shedding *new* work.
+        ``front_depth`` is a front end's own in-flight count: the
+        asyncio facade holds flights in its registry (and the dispatch
+        pool's queue) before they ever reach the executor, so the
+        executor's ``pending`` alone would undercount its load; the
+        max of the two views is used because flights that already
+        reached the executor appear in both.
+        """
+        if self.admission is None:
+            return
+        self.admission.check_queue(
+            max(self._executor.pending, front_depth),
+            joining=self._executor.has_flight(key),
+        )
+
+    def _admit_cold(
+        self, request: QueryRequest, key: CacheKey, started: float
+    ) -> Optional[QueryResult]:
+        """Capacity gate for a cache-missed request.
+
+        Returns None when the request may queue executor work. When the
+        queue is saturated, the store gets one last word before the
+        request is shed: a store-servable key costs a single read, not
+        a pipeline run, so it is answered directly — hits are never
+        shed, on any front end. Only a genuine cold miss raises
+        :class:`Overloaded`.
+        """
+        try:
+            self._check_capacity(key)
+            return None
+        except Overloaded:
+            stored = self._load_from_store(request, key, started)
+            if stored is None:
+                if self.admission is not None:
+                    self.admission.count_overloaded()
+                raise
+            return stored
+
+    def _load_from_store(
+        self, request: QueryRequest, key: CacheKey, started: float
+    ) -> Optional[QueryResult]:
+        """Blocking store-only lookup (the sync twin of the async
+        front end's ``_try_store_on_loop``): on a hit, fills the cache
+        and returns a per-consumer envelope; None on miss or no store.
+        """
+        if self.store is None:
+            return None
+        tier_started = time.perf_counter()
+        kb = self.store.load(
+            key.query,
+            corpus_version=key.corpus_version,
+            mode=key.mode,
+            algorithm=key.algorithm,
+            source=key.source,
+            num_documents=key.num_documents,
+            config_digest=key.config_digest,
+        )
+        if kb is None:
+            return None
+        return self.store_hit_result(
+            request,
+            key,
+            kb,
+            started,
+            store_seconds=time.perf_counter() - tier_started,
+        )
+
+    def store_hit_result(
+        self,
+        request: QueryRequest,
+        key: CacheKey,
+        kb: KnowledgeBase,
+        started: float,
+        store_seconds: Optional[float] = None,
+    ) -> QueryResult:
+        """Per-consumer envelope for a store hit, shared by every
+        probe (the sync saturation rescue and the event-loop fast
+        path): fills the cache for the next repeat — unless a
+        concurrent corpus refresh made the key stale — and records the
+        request for the autoscaler without ever swapping pools inline.
+        """
+        if key.corpus_version == self.session.corpus_version:
+            self.cache.put(key, kb)
+        result = QueryResult(
+            query=request.query,
+            normalized_query=key.query,
+            kb=kb.copy(),
+            corpus_version=key.corpus_version,
+            store_hit=True,
+            seconds=time.perf_counter() - started,
+            client_id=request.client_id,
+            request_key=key.signature(),
+            store_seconds=store_seconds,
+        )
+        self._record_request(key, result.seconds, allow_switch=False)
+        return result
+
+    def _serve(self, request_tuple) -> QueryResult:
+        """Executor entry point for one (request, key, precounted) tuple.
 
         Returns the *canonical* ``KnowledgeBase`` (also held by the
         cache); the result may be shared by every caller that joined
-        this in-flight computation, so ``query``/``batch_query`` wrap
+        this in-flight computation, so ``serve``/``serve_batch`` wrap
         it in a per-consumer copy via :meth:`_result_copy` — merging or
         mutating a served KB (as the QA system does) must never write
         through into the cache or another caller's result.
         """
-        query, key, precounted = request
+        request, key, precounted = request_tuple
         started = time.perf_counter()
         cached = self.cache.get(key, count=not precounted)
         if cached is not None:
             return QueryResult(
-                query=query,
+                query=request.query,
                 normalized_query=key.query,
                 kb=cached,
                 corpus_version=key.corpus_version,
                 cache_hit=True,
                 seconds=time.perf_counter() - started,
+                request_key=key.signature(),
             )
-        result = self._serve_key(query, key)
+        result = self._serve_key(request, key)
         result.seconds = time.perf_counter() - started
         return result
 
-    def _serve_key(self, query: str, key: CacheKey) -> QueryResult:
-        """Cache-miss path: consult the store, else run the pipeline."""
+    def _serve_key(
+        self, request: QueryRequest, key: CacheKey
+    ) -> QueryResult:
+        """Cache-miss path: consult the store, else run the pipeline.
+
+        Times each tier separately so the envelope can report where the
+        wall time went (``store_seconds`` covers the lookup whether it
+        hit or missed; ``pipeline_seconds`` covers the pipeline stage
+        as observed from the facade, including executor-tier dispatch).
+        """
+        query = request.query
         store_hit = False
+        store_seconds: Optional[float] = None
+        pipeline_seconds: Optional[float] = None
         kb = None
         if self.store is not None:
+            tier_started = time.perf_counter()
             kb = self.store.load(
                 key.query,
                 corpus_version=key.corpus_version,
@@ -425,11 +903,14 @@ class QKBflyService:
                 num_documents=key.num_documents,
                 config_digest=key.config_digest,
             )
+            store_seconds = time.perf_counter() - tier_started
             store_hit = kb is not None
         if kb is None:
+            tier_started = time.perf_counter()
             kb = self._run_pipeline(
                 query, source=key.source, num_documents=key.num_documents
             )
+            pipeline_seconds = time.perf_counter() - tier_started
             with self._counter_lock:
                 self.pipeline_runs += 1
             # Don't persist results keyed under a corpus version that a
@@ -466,6 +947,10 @@ class QKBflyService:
             kb=kb,
             corpus_version=built_under,
             store_hit=store_hit,
+            client_id=request.client_id,
+            request_key=key.signature(),
+            store_seconds=store_seconds,
+            pipeline_seconds=pipeline_seconds,
         )
 
     def _run_pipeline(
@@ -752,6 +1237,7 @@ class QKBflyService:
             "executor": {
                 "submitted": self._executor.submitted,
                 "deduplicated": self._executor.deduplicated,
+                "pending": self._executor.pending,
             },
         }
         if self._selector is not None:
@@ -762,6 +1248,8 @@ class QKBflyService:
             out["pipeline_executor"] = self._pipeline_executor.stats()
         if self.store is not None:
             out["store"] = self.store.stats()
+        if self.admission is not None:
+            out["admission"] = self.admission.stats()
         return out
 
     def close(self) -> None:
@@ -790,4 +1278,4 @@ class QKBflyService:
         self.close()
 
 
-__all__ = ["QKBflyService", "QueryResult", "ServiceConfig"]
+__all__ = ["QKBflyService", "QueryRequest", "QueryResult", "ServiceConfig"]
