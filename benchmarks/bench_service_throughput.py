@@ -28,7 +28,17 @@ measures seven regimes over one shared session:
   traffic as direct event-loop envelope calls and then over real
   loopback HTTP through ``HttpGateway`` (keep-alive, full JSON
   envelopes). Gated on correctness (every response 200, every hit from
-  the cache); the HTTP-vs-direct overhead ratio is informational.
+  the cache); the HTTP-vs-direct overhead ratio is informational;
+- **cost admission** — the load-management check for cost budgeting: a
+  well-behaved client's cache-hit p50 is measured alone and again
+  while an adversarial client hammers the service with expensive
+  distinct multi-document cold queries under a tiny
+  ``cost_budget_per_second``. The budget must actually shed the
+  adversary (at least one ``CostLimited``/429, the reader never
+  rejected — gated absolutely) and the reader's hit p50 must stay flat
+  (same ±10% acceptance as the async scenario): cost-aware shedding is
+  what keeps adversarially expensive cold traffic from bleeding into
+  hit latency.
 
 Emits ``BENCH_service.json`` when run as a script; CI gates on the
 *relative* metrics (speedups, hit/parity/dedup rates — stable across
@@ -86,6 +96,18 @@ ASYNC_ISOLATION_EPSILON_MS = 0.01
 # Gateway scenario: cache hits measured per transport (direct envelope
 # calls on the loop vs. loopback HTTP through HttpGateway).
 GATEWAY_HITS = 300
+# Cost-admission scenario: a reader's cache hits vs. an adversarial
+# client issuing expensive distinct cold queries (this many documents
+# each) under a deliberately tiny cost budget. The adversary runs until
+# the budget has demonstrably shed it (COST_MIN_REJECTIONS) or the
+# request cap is reached; the reader keeps hitting for the duration.
+COST_BUDGET_PER_SECOND = 0.05
+COST_BUDGET_BURST = 0.25
+COST_COLD_DOCUMENTS = 3
+COST_MIN_REJECTIONS = 5
+COST_MAX_REQUESTS = 200
+COST_ALONE_HITS = 300
+COST_MAX_HITS = 5000
 # Speedups are capped before gating: beyond this they only measure timer
 # noise on near-instant cache hits, not serving-layer health.
 GATE_CAP = 20.0
@@ -530,6 +552,133 @@ def run_gateway_benchmark(
     }
 
 
+def run_cost_admission_benchmark(
+    session: SessionState,
+    alone_hits: int = COST_ALONE_HITS,
+) -> Dict[str, float]:
+    """Cache-hit p50 under adversarially expensive cold traffic, with
+    cost-aware admission shedding the adversary.
+
+    One service, two clients, one tiny cost budget
+    (``COST_BUDGET_PER_SECOND`` pipeline-seconds/second, burst
+    ``COST_BUDGET_BURST``s). The *reader* serves one query cold, then
+    hammers it as cache hits — first alone (baseline p50), then for the
+    whole lifetime of an *adversary* thread issuing distinct
+    ``COST_COLD_DOCUMENTS``-document cold queries (each run is ~3x the
+    1-document pipeline cost). The adversary's spend drains its bucket
+    within a few requests, after which its traffic is rejected with
+    ``CostLimited`` in microseconds instead of occupying the pipeline —
+    which is exactly why the reader's p50 must stay inside the same
+    ±10% band the async-isolation scenario enforces.
+
+    Gated absolutely: the adversary sees at least one cost rejection
+    and the reader sees none (``gate_cost_budget_enforced``); gated
+    relatively: the alone/during p50 ratio
+    (``gate_cost_hit_isolation``). The shed rate and absolute
+    latencies are informational (they measure the host and the chosen
+    budget, not serving-layer health).
+    """
+    import threading
+
+    from repro.service.api import CostLimited, RateLimited
+
+    queries = _queries(session, 24)
+    hot, cold_pool = queries[0], queries[1:]
+    config = ServiceConfig(
+        max_workers=MAX_WORKERS,
+        cost_budget_per_second=COST_BUDGET_PER_SECOND,
+        cost_budget_burst=COST_BUDGET_BURST,
+    )
+    counters = {"admitted": 0, "rejected": 0, "requests": 0}
+
+    def adversary(service: QKBflyService) -> None:
+        i = 0
+        while (
+            counters["rejected"] < COST_MIN_REJECTIONS
+            and counters["requests"] < COST_MAX_REQUESTS
+        ):
+            # Fresh (query, num_documents) pairs each pass, so the
+            # traffic stays genuinely cold — a repeated key would be a
+            # cache hit, refunded as free.
+            query = cold_pool[i % len(cold_pool)]
+            documents = COST_COLD_DOCUMENTS + i // len(cold_pool)
+            i += 1
+            counters["requests"] += 1
+            try:
+                service.serve(
+                    QueryRequest(
+                        query=query,
+                        num_documents=documents,
+                        client_id="adversary",
+                    )
+                )
+                counters["admitted"] += 1
+            except (CostLimited, RateLimited):
+                counters["rejected"] += 1
+
+    reader_rejections = 0
+    with QKBflyService(session, service_config=config) as service:
+        request = QueryRequest(query=hot, client_id="reader")
+        warm = service.serve(request)
+        assert warm.served_from == "executor"
+
+        def hit_once() -> float:
+            t0 = time.perf_counter()
+            result = service.serve(request)
+            assert result.cache_hit, "hot query fell out of the cache"
+            return time.perf_counter() - t0
+
+        alone = [hit_once() for _ in range(alone_hits)]
+        attacker = threading.Thread(target=adversary, args=(service,))
+        attacker.start()
+        during: List[float] = []
+        while attacker.is_alive() and len(during) < COST_MAX_HITS:
+            try:
+                during.append(hit_once())
+            except (CostLimited, RateLimited):
+                reader_rejections += 1
+        attacker.join(timeout=120)
+        # Degenerate overlap (the attacker can finish almost instantly
+        # once rejections dominate): top up so p50 stays meaningful.
+        while len(during) < ASYNC_MIN_OVERLAP_HITS:
+            during.append(hit_once())
+        spend = service.stats()["admission"]["client_spend"]
+
+    p50_alone_ms = _percentile(alone, 0.50) * 1000
+    p50_during_ms = _percentile(during, 0.50) * 1000
+    isolation = min(
+        (p50_alone_ms + ASYNC_ISOLATION_EPSILON_MS)
+        / max(p50_during_ms, 1e-9),
+        1.0,
+    )
+    enforced = (
+        1.0
+        if counters["rejected"] >= 1 and reader_rejections == 0
+        else 0.0
+    )
+    return {
+        "cost_budget_per_second": COST_BUDGET_PER_SECOND,
+        "cost_budget_burst": COST_BUDGET_BURST,
+        "cost_adversary_requests": counters["requests"],
+        "cost_adversary_admitted": counters["admitted"],
+        "cost_adversary_rejected": counters["rejected"],
+        "cost_shed_rate": round(
+            counters["rejected"] / max(1, counters["requests"]), 4
+        ),
+        "cost_reader_rejections": reader_rejections,
+        "cost_adversary_spend_seconds": round(
+            spend.get("adversary", 0.0), 4
+        ),
+        "cost_hit_p50_alone_ms": round(p50_alone_ms, 4),
+        "cost_hit_p50_during_ms": round(p50_during_ms, 4),
+        "cost_isolation_ratio": round(
+            p50_during_ms / p50_alone_ms if p50_alone_ms else 1.0, 4
+        ),
+        "gate_cost_hit_isolation": round(isolation, 4),
+        "gate_cost_budget_enforced": enforced,
+    }
+
+
 def run_full_benchmark(world: World) -> Dict[str, float]:
     """All scenarios over one shared session, merged into one dict."""
     session = SessionState.from_world(world)
@@ -538,6 +687,7 @@ def run_full_benchmark(world: World) -> Dict[str, float]:
     metrics.update(run_process_executor_benchmark(session))
     metrics.update(run_async_front_end_benchmark(session))
     metrics.update(run_gateway_benchmark(session))
+    metrics.update(run_cost_admission_benchmark(session))
     return metrics
 
 
@@ -581,6 +731,19 @@ def _assert_scaleout_metrics(metrics: Dict[str, float]) -> None:
         f"async cache-hit p50 degraded beyond ±10% under concurrent "
         f"cold queries: alone={metrics['async_hit_p50_alone_ms']}ms, "
         f"during={metrics['async_hit_p50_during_cold_ms']}ms"
+    )
+    assert metrics["gate_cost_budget_enforced"] == 1.0, (
+        "the cost budget must shed the adversary "
+        f"({metrics['cost_adversary_rejected']} rejections over "
+        f"{metrics['cost_adversary_requests']} requests) without ever "
+        f"rejecting the reader "
+        f"({metrics['cost_reader_rejections']} rejections)"
+    )
+    assert metrics["gate_cost_hit_isolation"] >= round(floor, 4), (
+        f"cache-hit p50 degraded beyond ±10% under adversarially "
+        f"expensive cold traffic despite cost shedding: "
+        f"alone={metrics['cost_hit_p50_alone_ms']}ms, "
+        f"during={metrics['cost_hit_p50_during_ms']}ms"
     )
     if metrics["cpu_count"] >= 2 and metrics["process_executor_kind"] == "process":
         # The whole point of the process tier: distinct-query QPS beats

@@ -47,6 +47,18 @@ INFORMATIONAL = (
     "gateway_hit_p50_ms",
     "gateway_hit_p95_ms",
     "gateway_overhead_ratio",
+    # Cost-admission scenario: the shed rate and absolute hit latencies
+    # depend on the host's pipeline speed against the fixed bench
+    # budget; the gated forms are gate_cost_budget_enforced (binary)
+    # and gate_cost_hit_isolation (the alone/during p50 ratio).
+    "cost_adversary_requests",
+    "cost_adversary_admitted",
+    "cost_adversary_rejected",
+    "cost_shed_rate",
+    "cost_adversary_spend_seconds",
+    "cost_hit_p50_alone_ms",
+    "cost_hit_p50_during_ms",
+    "cost_isolation_ratio",
 )
 
 

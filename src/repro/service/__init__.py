@@ -19,12 +19,15 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
   single-flight deduplication over shared session state;
 - :mod:`repro.service.process_executor` — the same pipeline stages on
   a multiprocessing pool, escaping the GIL for distinct-query traffic;
-- :mod:`repro.service.autoscale` — the thread-vs-process selector
-  behind ``ServiceConfig(executor="auto")``: startup choice from the
-  CPU count, runtime switching from the observed traffic;
+- :mod:`repro.service.autoscale` — the autoscaler behind
+  ``ServiceConfig(executor="auto")``: thread-vs-process tier choice
+  (startup from the CPU count, runtime from the observed traffic) and
+  queue-fed worker-pool sizing with hysteresis;
 - :mod:`repro.service.admission` — per-client token-bucket rate
-  limiting and global queue-depth load shedding, enforced identically
-  by every front end;
+  limiting, per-client *cost* budgeting (pipeline-seconds, with an
+  EWMA admit-time estimator), and global queue-depth load shedding
+  whose Retry-After comes from the measured queue-wait window —
+  enforced identically by every front end;
 - :mod:`repro.service.service` — the sync :class:`QKBflyService`
   facade (``serve``/``serve_batch`` envelope entry points, cache
   warm-up, store compaction, execution tiers);
@@ -37,9 +40,17 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
   end.
 """
 
-from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.admission import (
+    AdmissionController,
+    CostBucket,
+    CostCharge,
+    QueueWaitWindow,
+    TokenBucket,
+    cost_shape,
+)
 from repro.service.api import (
     API_VERSION,
+    CostLimited,
     Overloaded,
     PipelineFailure,
     QueryRequest,
@@ -47,6 +58,7 @@ from repro.service.api import (
     QueryStatus,
     RateLimited,
     ServiceError,
+    backend_seconds,
 )
 from repro.service.async_service import AsyncQKBflyService
 from repro.service.autoscale import (
@@ -73,11 +85,15 @@ __all__ = [
     "AutoscalePolicy",
     "BatchExecutor",
     "CacheKey",
+    "CostBucket",
+    "CostCharge",
+    "CostLimited",
     "EntrySignature",
     "ExecutorSelector",
     "HttpGateway",
     "KbStore",
     "Overloaded",
+    "QueueWaitWindow",
     "PipelineFailure",
     "PipelineRequest",
     "PipelineResponse",
@@ -92,6 +108,8 @@ __all__ = [
     "ServiceError",
     "ShardedKbStore",
     "TokenBucket",
+    "backend_seconds",
+    "cost_shape",
     "normalize_query",
     "observed_cpu_count",
     "shard_index",

@@ -59,6 +59,7 @@ from repro.service.api import (
     QueryRequest,
     QueryResult,
     ServiceError,
+    backend_seconds,
     classify_timeout,
     reraise_original,
     warn_deprecated,
@@ -187,19 +188,45 @@ class AsyncQKBflyService:
 
         The primary asyncio entry point, the exact event-loop
         counterpart of :meth:`QKBflyService.serve`: the same admission
-        control (rate limiting before any tier is consulted, queue-depth
-        shedding before a new flight is started), the same typed error
-        taxonomy, the same envelope out. The returned
-        :class:`QueryResult` carries a private KB copy, so callers may
-        mutate it freely.
+        control (rate *and* cost budgets checked before any tier is
+        consulted, queue-depth shedding before a new flight is
+        started), the same typed error taxonomy, the same envelope out.
+        The returned :class:`QueryResult` carries a private KB copy, so
+        callers may mutate it freely.
         """
         loop = self._check_loop()
         sync = self.service
         started = time.perf_counter()
         sync._validate_request(request)
+        charge = None
         if sync.admission is not None:
-            sync.admission.admit(request.client_id)
+            charge = sync.admission.admit(
+                request.client_id, sync._cost_shape(request)
+            )
         self.answered += 1
+        try:
+            result = await self._serve_admitted(request, started, loop)
+        except BaseException:
+            # Measured cost unknown (shed, deadline, pipeline failure):
+            # the estimated reservation stays charged — identical to
+            # the sync facade's settle discipline.
+            if charge is not None:
+                sync.admission.settle(charge)
+            raise
+        if charge is not None:
+            sync.admission.settle(charge, actual=backend_seconds(result))
+        return result
+
+    async def _serve_admitted(
+        self,
+        request: QueryRequest,
+        started: float,
+        loop: asyncio.AbstractEventLoop,
+    ) -> QueryResult:
+        """:meth:`serve` past the admission gate: loop-side fast paths,
+        then the single-flight slow path, deadline counted from
+        ``started`` (request entry)."""
+        sync = self.service
         key = sync.request_key(
             request.query, request.source, request.num_documents
         )

@@ -1,4 +1,4 @@
-"""Runtime thread-vs-process executor selection.
+"""Runtime executor autoscaling: tier selection and pool sizing.
 
 The serving layer has two execution tiers with opposite sweet spots
 (see :mod:`repro.service.process_executor`): the thread tier wins on
@@ -18,12 +18,24 @@ operators to guess, :class:`ExecutorSelector` observes it:
   pipeline-bound rather than served from cache) — and recommends
   switching tier when the traffic crosses the policy thresholds, with
   hysteresis (two thresholds plus a cooldown) so oscillating traffic
-  does not thrash the pool.
+  does not thrash the pool;
+- also at runtime, it **sizes the pool** (:meth:`ExecutorSelector.
+  decide_pool_size`): fed the executor's live ``pending`` depth (the
+  distinct computations currently in flight — see
+  :attr:`~repro.service.executor.BatchExecutor.pending` /
+  :attr:`~repro.service.process_executor.ProcessBatchExecutor.pending`)
+  and the measured queue-wait distribution
+  (:class:`~repro.service.admission.QueueWaitWindow`), it recommends
+  growing the worker pool while work is genuinely backing up and
+  shrinking it once the backlog is gone — again with a hysteresis band
+  (grow and shrink thresholds far apart) and its own cooldown, so a
+  bursty minute cannot see-saw the pool.
 
 The selector only *recommends*; :class:`~repro.service.service.
 QKBflyService` (with ``ServiceConfig(executor="auto")``) performs the
-actual pool swap. All methods are thread-safe and non-blocking, so the
-asyncio front end may record observations directly on the event loop.
+actual pool swap or resize. All methods are thread-safe and
+non-blocking, so the asyncio front end may record observations
+directly on the event loop.
 """
 
 from __future__ import annotations
@@ -73,6 +85,36 @@ class AutoscalePolicy:
             the session), so decisions are rate-limited.
         min_cpus_for_process: Hosts with fewer usable CPUs than this
             are pinned to the thread tier outright.
+        pool_min_workers: Floor on the recommended pool size — the
+            pool never shrinks below this many workers.
+        pool_max_workers: Ceiling on the recommended pool size — the
+            pool never grows past this many workers, however deep the
+            backlog (protects the host from unbounded thread/process
+            creation under attack traffic).
+        pool_grow_backlog: Grow threshold, in *pending computations
+            per worker*: with ``pending >= workers * pool_grow_backlog``
+            the queue is outrunning the pool and a grow step is
+            recommended (subject to the queue-wait corroboration and
+            cooldown below).
+        pool_shrink_backlog: Shrink threshold, same unit: with
+            ``pending <= workers * pool_shrink_backlog`` the pool is
+            mostly idle and a shrink step is recommended. Keeping
+            ``pool_shrink_backlog < pool_grow_backlog`` creates the
+            hysteresis band in between, where the current size is kept
+            — the two defaults (2.0 and 0.25) put an 8x ratio between
+            the triggers, so backlog noise cannot see-saw the pool.
+        pool_grow_wait_seconds: Queue-wait corroboration for growth:
+            when the measured wait window has samples, a grow step
+            additionally requires its p95 to reach this many seconds —
+            a momentary burst of ``pending`` whose work starts
+            instantly is not a capacity problem. (An *empty* window —
+            cold start — does not block growth: backlog alone decides.)
+        pool_step: Workers added or removed per resize decision.
+        pool_cooldown_seconds: Minimum time between recommended
+            resizes — a resize retires and rebuilds worker pools, so
+            decisions are rate-limited independently of the tier
+            cooldown (sizing reacts on a faster timescale than tier
+            switching, hence the lower default).
     """
 
     window: int = 64
@@ -82,10 +124,26 @@ class AutoscalePolicy:
     min_pipeline_ms: float = 1.0
     cooldown_seconds: float = 30.0
     min_cpus_for_process: int = 2
+    pool_min_workers: int = 1
+    pool_max_workers: int = 16
+    pool_grow_backlog: float = 2.0
+    pool_shrink_backlog: float = 0.25
+    pool_grow_wait_seconds: float = 0.05
+    pool_step: int = 1
+    pool_cooldown_seconds: float = 10.0
 
 
 class ExecutorSelector:
-    """Observe request traffic; recommend a thread or process tier.
+    """Observe request traffic; recommend an execution tier and a pool
+    size.
+
+    Two independent control loops over one policy object:
+    :meth:`decide` picks thread-vs-process from the traffic window
+    (distinct ratio + latency), :meth:`decide_pool_size` grows or
+    shrinks the worker pool from the live queue state (pending depth +
+    measured waits). Each has its own hysteresis and cooldown, so a
+    tier switch and a resize can never feed back into each other
+    through shared rate limiting.
 
     Args:
         policy: Decision thresholds (defaults are deliberately
@@ -111,6 +169,20 @@ class ExecutorSelector:
             raise ValueError("min_samples must not exceed window")
         if not self.policy.distinct_low <= self.policy.distinct_high:
             raise ValueError("distinct_low must not exceed distinct_high")
+        if self.policy.pool_min_workers < 1:
+            raise ValueError("pool_min_workers must be at least 1")
+        if self.policy.pool_max_workers < self.policy.pool_min_workers:
+            raise ValueError(
+                "pool_max_workers must not be below pool_min_workers"
+            )
+        if not self.policy.pool_shrink_backlog < self.policy.pool_grow_backlog:
+            # Equal thresholds leave no hysteresis band at all: every
+            # decision point would be both a grow and a shrink trigger.
+            raise ValueError(
+                "pool_shrink_backlog must be below pool_grow_backlog"
+            )
+        if self.policy.pool_step < 1:
+            raise ValueError("pool_step must be at least 1")
         self.cpu_count = (
             cpu_count if cpu_count is not None else observed_cpu_count()
         )
@@ -120,9 +192,11 @@ class ExecutorSelector:
             maxlen=self.policy.window
         )
         self._last_switch_at: Optional[float] = None
+        self._last_resize_at: Optional[float] = None
         self.pinned_thread_reason: Optional[str] = None
         self.recorded = 0
         self.switches_recommended = 0
+        self.resizes_recommended = 0
 
     def pin_to_thread(self, reason: str) -> None:
         """Permanently rule out the process tier for this deployment.
@@ -242,6 +316,92 @@ class ExecutorSelector:
             self.switches_recommended += 1
         return kind
 
+    def decide_pool_size(
+        self,
+        current_workers: int,
+        pending: int,
+        queue_wait: Optional[Any] = None,
+    ) -> Optional[int]:
+        """Recommend a new worker count, or None to keep the pool.
+
+        Args:
+            current_workers: The pool's current size.
+            pending: Distinct computations in flight right now — the
+                executor's live queue depth (take the max over the
+                request executor and the pipeline-tier pool; a flight
+                appears in both while dispatched).
+            queue_wait: The deployment's
+                :class:`~repro.service.admission.QueueWaitWindow`
+                (optional) — growth corroboration, see
+                :attr:`AutoscalePolicy.pool_grow_wait_seconds`.
+
+        The rules, in order (units and thresholds documented on
+        :class:`AutoscalePolicy`):
+
+        1. still inside ``pool_cooldown_seconds`` of the last resize:
+           no change;
+        2. ``pending >= current * pool_grow_backlog``, the pool is
+           below ``pool_max_workers``, *and* the measured queue-wait
+           p95 corroborates (or nothing has been measured yet):
+           recommend ``current + pool_step`` (clamped to the ceiling);
+        3. ``pending <= current * pool_shrink_backlog`` and the pool
+           is above ``pool_min_workers``: recommend
+           ``current - pool_step`` (clamped to the floor) — backlog
+           alone decides, because the wait window may still hold
+           samples from the busy period that just ended;
+        4. otherwise (the hysteresis band): no change.
+
+        A non-None return stamps the resize cooldown, so callers
+        should treat it as a commitment and actually resize.
+        """
+        policy = self.policy
+        if current_workers < 1:
+            raise ValueError("current_workers must be positive")
+        # The wait percentile takes the window's own lock; read it
+        # before taking ours (nothing acquires them in the other
+        # order, but keeping the scopes disjoint makes that obvious).
+        wait_p95 = (
+            queue_wait.percentile(0.95)
+            if queue_wait is not None and len(queue_wait)
+            else None
+        )
+        now = self._clock()
+        with self._lock:
+            # Check and stamp under one lock acquisition: two callers
+            # racing past an expired cooldown must not both commit a
+            # resize step inside the same window.
+            if (
+                self._last_resize_at is not None
+                and now - self._last_resize_at < policy.pool_cooldown_seconds
+            ):
+                return None
+            target: Optional[int] = None
+            if (
+                pending >= current_workers * policy.pool_grow_backlog
+                and current_workers < policy.pool_max_workers
+            ):
+                if (
+                    wait_p95 is None
+                    or wait_p95 >= policy.pool_grow_wait_seconds
+                ):
+                    target = min(
+                        policy.pool_max_workers,
+                        current_workers + policy.pool_step,
+                    )
+            elif (
+                pending <= current_workers * policy.pool_shrink_backlog
+                and current_workers > policy.pool_min_workers
+            ):
+                target = max(
+                    policy.pool_min_workers,
+                    current_workers - policy.pool_step,
+                )
+            if target is None or target == current_workers:
+                return None
+            self._last_resize_at = now
+            self.resizes_recommended += 1
+        return target
+
     # ---- monitoring --------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
@@ -253,6 +413,7 @@ class ExecutorSelector:
             "distinct_ratio": round(self.distinct_ratio(), 4),
             "mean_latency_ms": round(self.mean_latency_ms(), 3),
             "switches_recommended": self.switches_recommended,
+            "resizes_recommended": self.resizes_recommended,
             "pinned_thread_reason": self.pinned_thread_reason,
         }
 

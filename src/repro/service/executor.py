@@ -16,8 +16,9 @@ order, and duplicated inputs receive the same result object.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Hashable, List, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 
 class BatchExecutor:
@@ -36,6 +37,17 @@ class BatchExecutor:
             reuses the single-flight machinery over a process pool.
             Must provide ``submit``/``shutdown``; ownership transfers
             to this instance.
+        queue_wait_hook: Optional callable receiving each computation's
+            measured queue wait — the seconds between ``submit()`` and
+            the moment ``run_fn`` actually starts on a worker. The
+            serving layer wires this to its
+            :class:`~repro.service.admission.QueueWaitWindow` so
+            Retry-After hints and pool-sizing decisions see live wait
+            data. Only usable with in-process pools: the timing wrapper
+            closes over the hook, so it cannot cross a process
+            boundary (:class:`~repro.service.process_executor.
+            ProcessBatchExecutor` leaves it unset and ships the bare
+            ``run_fn`` instead).
     """
 
     def __init__(
@@ -43,13 +55,17 @@ class BatchExecutor:
         run_fn: Callable[[Any], Any],
         max_workers: int = 4,
         pool: Any = None,
+        queue_wait_hook: Optional[Callable[[float], None]] = None,
     ) -> None:
         if max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self._run_fn = run_fn
+        self._owns_pool = pool is None
+        self.max_workers = max_workers
         self._pool = pool or ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="qkbfly"
         )
+        self.queue_wait_hook = queue_wait_hook
         self._lock = threading.Lock()
         self._in_flight: Dict[Hashable, Future] = {}
         self.deduplicated = 0
@@ -60,6 +76,34 @@ class BatchExecutor:
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker pool."""
         self._pool.shutdown(wait=wait)
+
+    def resize(self, max_workers: int) -> None:
+        """Swap the owned thread pool for one with ``max_workers``.
+
+        The single-flight table, counters, and wait hook all survive:
+        only the inner pool is replaced, so in-flight computations
+        complete on the old pool (its already-submitted work keeps
+        running under ``shutdown(wait=False)``) while new submissions
+        land on the new one — the same publish-then-retire discipline
+        as the service's executor-tier swaps. Refused when the pool was
+        supplied externally (a process pool resizes by being rebuilt,
+        which requires re-pickling the session — the owner's job).
+        """
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if not self._owns_pool:
+            raise RuntimeError(
+                "cannot resize an externally supplied pool"
+            )
+        with self._lock:
+            if max_workers == self.max_workers:
+                return
+            old = self._pool
+            self._pool = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="qkbfly"
+            )
+            self.max_workers = max_workers
+        old.shutdown(wait=False)
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -135,14 +179,40 @@ class BatchExecutor:
             shared.set_running_or_notify_cancel()
             self._in_flight[key] = shared
             self.submitted += 1
-        try:
-            inner = self._pool.submit(self._run_fn, request)
-        except BaseException as error:
-            with self._lock:
-                if self._in_flight.get(key) is shared:
-                    del self._in_flight[key]
-            shared.set_exception(error)
-            return shared
+        if self.queue_wait_hook is not None:
+            # Measure entry->start so the serving layer sees how long
+            # work sits queued before a worker picks it up. The wrapper
+            # closes over the hook, which is why it only exists when a
+            # hook is set (a process pool could not pickle it).
+            entered = time.monotonic()
+
+            def work(request: Any = request, entered: float = entered) -> Any:
+                hook = self.queue_wait_hook
+                if hook is not None:
+                    hook(max(0.0, time.monotonic() - entered))
+                return self._run_fn(request)
+        else:
+            work = None
+        while True:
+            pool = self._pool
+            try:
+                if work is not None:
+                    inner = pool.submit(work)
+                else:
+                    inner = pool.submit(self._run_fn, request)
+                break
+            except BaseException as error:
+                if self._pool is not pool:
+                    # A concurrent resize() retired the pool between
+                    # the snapshot and the submit; retry on whatever
+                    # pool is current (same discipline as the service's
+                    # pipeline-tier swap).
+                    continue
+                with self._lock:
+                    if self._in_flight.get(key) is shared:
+                        del self._in_flight[key]
+                shared.set_exception(error)
+                return shared
 
         def _settle(done: Future, key: Hashable = key) -> None:
             # Order matters: unpublish the key first, then complete the

@@ -96,6 +96,13 @@ class HttpGateway:
             between requests before the gateway closes it.
     """
 
+    #: Bind address; rewritten to the actually bound address by
+    #: :meth:`start`.
+    host: str
+    #: Bound TCP port (meaningful after :meth:`start` when constructed
+    #: with ``port=0``).
+    port: int
+
     def __init__(
         self,
         service: AsyncQKBflyService,

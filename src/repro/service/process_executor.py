@@ -262,6 +262,20 @@ class ProcessBatchExecutor:
     # ---- monitoring --------------------------------------------------------
 
     @property
+    def pending(self) -> int:
+        """Distinct pipeline envelopes currently in flight on the pool.
+
+        The process-tier twin of
+        :attr:`~repro.service.executor.BatchExecutor.pending` — the
+        autoscaler reads it (alongside the request executor's own
+        depth) when sizing the pool, and admission control sheds on the
+        combined view. Queue *waits* are not measured here (the timing
+        wrapper cannot cross the process boundary); the request
+        executor in front of this pool measures them instead.
+        """
+        return self._batch.pending
+
+    @property
     def submitted(self) -> int:
         """Distinct worker tasks actually dispatched."""
         return self._batch.submitted

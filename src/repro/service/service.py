@@ -47,13 +47,20 @@ from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.world import World
 from repro.kb.facts import KnowledgeBase
-from repro.service.admission import AdmissionController
+from repro.service.admission import (
+    AdmissionController,
+    CostCharge,
+    QueueWaitWindow,
+    cost_shape,
+)
 from repro.service.api import (
     Overloaded,
     PipelineFailure,
     QueryRequest,
     QueryResult,
+    QueryStatus,
     ServiceError,
+    backend_seconds,
     classify_timeout,
     invalid_request,
     reraise_original,
@@ -135,6 +142,18 @@ class ServiceConfig:
     rate_limit_qps: Optional[float] = None
     rate_limit_burst: Optional[float] = None
     max_queue_depth: Optional[int] = None
+    # Per-client *cost* budgeting: pipeline wall-seconds a client may
+    # consume per wall second (None disables), and the instant burst
+    # ceiling in seconds (defaults to max(1.0, cost_budget_per_second)).
+    # Buckets drain by the measured store+pipeline seconds fed back
+    # from each result envelope; admit-time reservations use an EWMA
+    # estimate per query shape. Over budget -> CostLimited/429.
+    cost_budget_per_second: Optional[float] = None
+    cost_budget_burst: Optional[float] = None
+    # Sample capacity of the queue-wait window (executor entry->start
+    # latencies) that feeds Overloaded Retry-After hints and the
+    # autoscaler's pool-sizing decisions.
+    queue_wait_window: int = 256
 
     def __post_init__(self) -> None:
         self.validate()
@@ -182,9 +201,15 @@ class ServiceConfig:
             and self.cache_ttl_seconds <= 0
         ):
             raise ValueError("cache_ttl_seconds must be positive when set")
+        if self.queue_wait_window < 1:
+            raise ValueError(
+                f"queue_wait_window must be >= 1, got {self.queue_wait_window}"
+            )
         if (
             self.rate_limit_qps is not None
             or self.rate_limit_burst is not None
+            or self.cost_budget_per_second is not None
+            or self.cost_budget_burst is not None
             or self.max_queue_depth is not None
         ):
             # One authoritative rule set for the admission parameters:
@@ -193,6 +218,8 @@ class ServiceConfig:
             AdmissionController(
                 rate_limit_qps=self.rate_limit_qps,
                 rate_limit_burst=self.rate_limit_burst,
+                cost_budget_per_second=self.cost_budget_per_second,
+                cost_budget_burst=self.cost_budget_burst,
                 max_queue_depth=self.max_queue_depth,
             )
 
@@ -251,18 +278,35 @@ class QKBflyService:
                 if stored_version:
                     self.store.delete_stale(session.corpus_version)
                 self.store.set_corpus_version(session.corpus_version)
+        # The queue-wait window is owned by the service (not by any
+        # executor) so the wait distribution survives live pool swaps
+        # and resizes; every pool this service ever builds feeds it.
+        self.queue_wait = QueueWaitWindow(
+            size=self.service_config.queue_wait_window
+        )
+        # Current worker-pool width; the autoscaler (executor="auto")
+        # may resize it at runtime between the policy's floor/ceiling.
+        self.pool_workers = self.service_config.max_workers
         self._executor = BatchExecutor(
-            self._serve, max_workers=self.service_config.max_workers
+            self._serve,
+            max_workers=self.service_config.max_workers,
+            queue_wait_hook=self.queue_wait.record,
         )
         if (
             self.service_config.rate_limit_qps is not None
+            or self.service_config.cost_budget_per_second is not None
             or self.service_config.max_queue_depth is not None
         ):
             self.admission: Optional[AdmissionController] = (
                 AdmissionController(
                     rate_limit_qps=self.service_config.rate_limit_qps,
                     rate_limit_burst=self.service_config.rate_limit_burst,
+                    cost_budget_per_second=(
+                        self.service_config.cost_budget_per_second
+                    ),
+                    cost_budget_burst=self.service_config.cost_budget_burst,
                     max_queue_depth=self.service_config.max_queue_depth,
+                    queue_wait=self.queue_wait,
                 )
             )
         else:
@@ -273,6 +317,7 @@ class QKBflyService:
         self._config_digest = _config_digest(self.qkbfly.config)
         self.pipeline_runs = 0
         self.executor_switches = 0
+        self.pool_resizes = 0
         self._pipeline_executor = self._build_pipeline_executor()
         if self.service_config.compact_store_on_start:
             self.compact_store()
@@ -296,9 +341,11 @@ class QKBflyService:
         executor = ProcessBatchExecutor(
             self.session,
             config=self.qkbfly.config,
+            # An explicit process_workers is an operator pin; otherwise
+            # the pool follows the autoscaled width (pool_workers
+            # starts at max_workers and only moves under "auto").
             max_workers=(
-                self.service_config.process_workers
-                or self.service_config.max_workers
+                self.service_config.process_workers or self.pool_workers
             ),
             mp_context=self.service_config.process_start_method,
         )
@@ -391,8 +438,10 @@ class QKBflyService:
 
         Raises the typed taxonomy of :mod:`repro.service.api`:
         :class:`~repro.service.api.RateLimited` when the client is over
-        its token-bucket budget, :class:`~repro.service.api.Overloaded`
-        when new cold work would exceed ``max_queue_depth``,
+        its token-bucket budget, :class:`~repro.service.api.CostLimited`
+        when its cost budget cannot cover the request's estimated
+        pipeline seconds, :class:`~repro.service.api.Overloaded` when
+        new cold work would exceed ``max_queue_depth``,
         :class:`~repro.service.api.PipelineFailure` (original exception
         chained as ``__cause__``) when the pipeline raises, and a
         ``timeout``-coded :class:`~repro.service.api.ServiceError` when
@@ -401,8 +450,29 @@ class QKBflyService:
         """
         started = time.perf_counter()
         self._validate_request(request)
+        charge: Optional[CostCharge] = None
         if self.admission is not None:
-            self.admission.admit(request.client_id)
+            charge = self.admission.admit(
+                request.client_id, self._cost_shape(request)
+            )
+        try:
+            result = self._serve_admitted(request, started)
+        except BaseException:
+            # The measured cost is unknown (a shed, a timeout with the
+            # work still running, a pipeline failure): the estimated
+            # reservation stays charged.
+            if charge is not None:
+                self.admission.settle(charge)
+            raise
+        if charge is not None:
+            self.admission.settle(charge, actual=backend_seconds(result))
+        return result
+
+    def _serve_admitted(
+        self, request: QueryRequest, started: float
+    ) -> QueryResult:
+        """:meth:`serve` past the admission gate: cache -> store ->
+        pipeline, deadline counted from ``started`` (request entry)."""
         key = self._key(request.query, request.source, request.num_documents)
         try:
             cached = self.cache.get(key)
@@ -474,13 +544,17 @@ class QKBflyService:
         batch_started = time.perf_counter()
         slots: List[Optional[QueryResult]] = []
         keys: List[Optional[CacheKey]] = []
+        charges: List[Optional[CostCharge]] = []
         futures_by_key: Dict[CacheKey, Any] = {}
         for request in requests:
             key = None  # derived below; stays None for pre-key failures
+            charge = None
             try:
                 self._validate_request(request)
                 if self.admission is not None:
-                    self.admission.admit(request.client_id)
+                    charge = self.admission.admit(
+                        request.client_id, self._cost_shape(request)
+                    )
                 key = self._key(
                     request.query, request.source, request.num_documents
                 )
@@ -529,6 +603,12 @@ class QKBflyService:
                     )
                 )
                 continue
+            finally:
+                # Exactly one charge slot per request, whatever path
+                # the admission phase took (reserved, rejected, or
+                # cost budgeting off) — the settle loop below zips it
+                # against the results.
+                charges.append(charge)
             keys.append(key)
             slots.append(None)
         results: List[QueryResult] = []
@@ -591,6 +671,21 @@ class QKBflyService:
             )
             self._record_request(key, result.seconds)
             results.append(result)
+        if self.admission is not None:
+            # Reconcile every reservation against the measured cost:
+            # successful slots refund down to their observed
+            # store+pipeline seconds; failed slots keep the estimate
+            # charged (their true cost is unknown or still accruing).
+            for result, charge in zip(results, charges):
+                if charge is not None:
+                    self.admission.settle(
+                        charge,
+                        actual=(
+                            backend_seconds(result)
+                            if result.status is QueryStatus.OK
+                            else None
+                        ),
+                    )
         return results
 
     # ---- legacy entry points (deprecated shims) ----------------------------
@@ -1005,40 +1100,92 @@ class QKBflyService:
         self._selector.record(key, seconds)
         if not allow_switch:
             return
-        decision = self._selector.decide(self.executor_kind)
-        if decision is not None:
-            self._switch_executor(decision)
+        self._apply_autoscale()
 
     def autoscale_tick(self) -> Optional[str]:
         """Apply any pending autoscale decision; returns the new kind.
 
-        No-op (returning None) on the fixed tiers or when the selector
-        recommends staying put. The asyncio front end calls this from
-        its dispatch threads so pool swaps — which can take hundreds of
-        milliseconds for a process bootstrap — never run on the event
-        loop; it is equally safe to call from a maintenance cron.
+        Covers both control loops: the thread-vs-process tier decision
+        (whose outcome is the return value, None when staying put or on
+        the fixed tiers) and the pool-*size* decision (observable via
+        :attr:`pool_workers` / ``stats()``). The asyncio front end
+        calls this from its dispatch threads so pool swaps — which can
+        take hundreds of milliseconds for a process bootstrap — never
+        run on the event loop; it is equally safe to call from a
+        maintenance cron.
         """
         if self._selector is None:
             return None
+        return self._apply_autoscale()
+
+    def _apply_autoscale(self) -> Optional[str]:
+        """Ask the selector for tier and pool-size decisions; apply both.
+
+        The pool-size decision is fed the live queue state: the deeper
+        of the request executor's and the pipeline pool's ``pending``
+        views (a dispatched flight appears in both), plus the measured
+        queue-wait window.
+        """
         decision = self._selector.decide(self.executor_kind)
         if decision is not None:
             self._switch_executor(decision)
+        pending = self._executor.pending
+        pipeline_executor = self._pipeline_executor
+        if pipeline_executor is not None:
+            # getattr: a flight dispatched to the pipeline pool is
+            # already counted by the request executor above, so a
+            # pool stand-in without the `pending` surface (tests,
+            # custom tiers) degrades to that view instead of failing.
+            pending = max(pending, getattr(pipeline_executor, "pending", 0))
+        size = self._selector.decide_pool_size(
+            self.pool_workers, pending=pending, queue_wait=self.queue_wait
+        )
+        if size is not None:
+            self._switch_executor(None, workers=size)
         return decision
 
-    def _switch_executor(self, kind: str) -> None:
-        """Swap the pipeline execution tier to ``kind`` at runtime.
+    def _switch_executor(
+        self, kind: Optional[str], workers: Optional[int] = None
+    ) -> None:
+        """Swap the execution tier and/or resize the pools at runtime.
 
-        The new pool is built and published before the old one is shut
+        ``kind=None`` keeps the current tier, resolved *under the
+        autoscale lock* — a resize decision must never carry a stale
+        tier snapshot across a concurrent switch and silently revert
+        it. ``workers`` (None keeps the current width) resizes the
+        request executor in place (its single-flight table, counters,
+        and queue-wait hook survive — only the inner thread pool is
+        replaced) and, when a process pool is live and not pinned by an
+        explicit ``process_workers``, rebuilds it at the new width.
+        Any new pool is built and published before the old one is shut
         down (``wait=False``), so requests in flight on the old tier
         complete on it while new requests already land on the new tier.
         """
+        old = None
         with self._autoscale_lock:
-            if self._closed or kind == self.executor_kind:
-                return  # closed, or another thread won the same decision
-            old = self._pipeline_executor
+            if self._closed:
+                return
+            if kind is None:
+                kind = self.executor_kind
+            switching = kind != self.executor_kind
+            resizing = workers is not None and workers != self.pool_workers
+            if not switching and not resizing:
+                return  # another thread won the same decision
+            if resizing:
+                self.pool_workers = workers
+                self._executor.resize(workers)
+                self.pool_resizes += 1
             self.executor_kind = kind
-            self._pipeline_executor = self._build_pipeline_executor()
-            self.executor_switches += 1
+            rebuild_pipeline = switching or (
+                resizing
+                and self._pipeline_executor is not None
+                and self.service_config.process_workers is None
+            )
+            if rebuild_pipeline:
+                old = self._pipeline_executor
+                self._pipeline_executor = self._build_pipeline_executor()
+            if switching:
+                self.executor_switches += 1
         if old is not None:
             old.shutdown(wait=False)
 
@@ -1057,6 +1204,21 @@ class QKBflyService:
         :class:`ServiceConfig` defaults exactly like :meth:`query`.
         """
         return self._key(query, source, num_documents)
+
+    def _cost_shape(self, request: QueryRequest):
+        """The query-shape key cost estimation buckets ``request`` on
+        (source and document count resolved against the config
+        defaults, exactly like :meth:`_key` resolves them — see
+        :func:`repro.service.admission.cost_shape` for why the query
+        string is excluded)."""
+        return cost_shape(
+            request.source
+            if request.source is not None
+            else self.service_config.source,
+            request.num_documents
+            if request.num_documents is not None
+            else self.service_config.num_documents,
+        )
 
     def _key(
         self,
@@ -1233,16 +1395,21 @@ class QKBflyService:
             "corpus_version": self.session.corpus_version,
             "pipeline_runs": self.pipeline_runs,
             "executor_kind": self.executor_kind,
+            "pool_workers": self.pool_workers,
             "cache": self.cache.stats(),
             "executor": {
                 "submitted": self._executor.submitted,
                 "deduplicated": self._executor.deduplicated,
                 "pending": self._executor.pending,
+                "max_workers": self._executor.max_workers,
             },
+            "queue_wait": self.queue_wait.stats(),
         }
         if self._selector is not None:
             autoscale = self._selector.stats()
             autoscale["executor_switches"] = self.executor_switches
+            autoscale["pool_workers"] = self.pool_workers
+            autoscale["pool_resizes"] = self.pool_resizes
             out["autoscale"] = autoscale
         if self._pipeline_executor is not None:
             out["pipeline_executor"] = self._pipeline_executor.stats()
@@ -1255,17 +1422,17 @@ class QKBflyService:
     def close(self) -> None:
         """Shut down the executors and close the store.
 
-        Takes the autoscale lock for the pipeline-executor handoff and
-        marks the service closed, so a tier switch racing the shutdown
-        can neither publish a fresh pool after it (leaked worker
-        processes) nor hand this method a pool that is about to be
-        replaced.
+        Marks the service closed under the autoscale lock *before*
+        any pool is shut down, so a tier switch or live resize racing
+        the shutdown can neither publish a fresh pool after it (leaked
+        worker threads/processes) nor hand this method a pool that is
+        about to be replaced.
         """
-        self._executor.shutdown()
         with self._autoscale_lock:
             self._closed = True
             pipeline_executor = self._pipeline_executor
             self._pipeline_executor = None
+        self._executor.shutdown()
         if pipeline_executor is not None:
             pipeline_executor.shutdown()
         if self.store is not None:

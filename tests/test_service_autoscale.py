@@ -350,3 +350,173 @@ def test_batch_query_records_traffic(service_session, monkeypatch):
         service.batch_query([names[0], names[1], names[0]])
     # One observation per *request*, before dedup collapses repeats.
     assert len(recorded) == 3
+
+
+# ---- pool sizing -----------------------------------------------------------
+
+
+def _pool_selector(clock=None, **policy_kwargs):
+    policy_kwargs.setdefault("pool_min_workers", 1)
+    policy_kwargs.setdefault("pool_max_workers", 8)
+    policy_kwargs.setdefault("pool_grow_backlog", 2.0)
+    policy_kwargs.setdefault("pool_shrink_backlog", 0.25)
+    policy_kwargs.setdefault("pool_cooldown_seconds", 0.0)
+    return _selector(clock=clock, **policy_kwargs)
+
+
+def test_backlog_grows_pool_by_one_step():
+    selector = _pool_selector()
+    # 4 workers, 8 pending: at the grow threshold (2.0 per worker).
+    assert selector.decide_pool_size(4, pending=8) == 5
+    assert selector.resizes_recommended == 1
+
+
+def test_idle_pool_shrinks_by_one_step():
+    selector = _pool_selector()
+    # 4 workers, 1 pending: at the shrink threshold (0.25 per worker).
+    assert selector.decide_pool_size(4, pending=1) == 3
+
+
+def test_hysteresis_band_keeps_pool_size():
+    selector = _pool_selector()
+    # Between 0.25 and 2.0 pending per worker: no decision either way.
+    assert selector.decide_pool_size(4, pending=4) is None
+    assert selector.decide_pool_size(4, pending=2) is None
+    assert selector.resizes_recommended == 0
+
+
+def test_pool_respects_floor_and_ceiling():
+    selector = _pool_selector(pool_max_workers=4)
+    assert selector.decide_pool_size(4, pending=100) is None  # at ceiling
+    assert selector.decide_pool_size(1, pending=0) is None  # at floor
+    big_step = _pool_selector(pool_max_workers=4, pool_step=10)
+    assert big_step.decide_pool_size(3, pending=100) == 4  # clamped
+    assert big_step.decide_pool_size(2, pending=0) == 1  # clamped
+
+
+def test_pool_cooldown_rate_limits_resizes():
+    clock = FakeClock()
+    selector = _pool_selector(clock=clock, pool_cooldown_seconds=10.0)
+    assert selector.decide_pool_size(2, pending=10) == 3
+    # Still cooling down: even a deep backlog changes nothing.
+    assert selector.decide_pool_size(3, pending=50) is None
+    clock.now += 10.0
+    assert selector.decide_pool_size(3, pending=50) == 4
+    assert selector.resizes_recommended == 2
+
+
+def test_queue_wait_corroboration_gates_growth():
+    """Backlog alone does not grow the pool when measured waits say
+    work starts promptly; an empty (cold) window does not block."""
+    from repro.service.admission import QueueWaitWindow
+
+    selector = _pool_selector(pool_grow_wait_seconds=0.1)
+    fast = QueueWaitWindow(size=8)
+    for _ in range(8):
+        fast.record(0.001)  # work starts in a millisecond
+    assert selector.decide_pool_size(2, pending=10, queue_wait=fast) is None
+    slow = QueueWaitWindow(size=8)
+    for _ in range(8):
+        slow.record(0.5)
+    assert selector.decide_pool_size(2, pending=10, queue_wait=slow) == 3
+    cold = QueueWaitWindow(size=8)  # no samples: backlog decides alone
+    selector2 = _pool_selector(pool_grow_wait_seconds=0.1)
+    assert selector2.decide_pool_size(2, pending=10, queue_wait=cold) == 3
+
+
+def test_shrink_ignores_stale_wait_samples():
+    """The wait window may still hold samples from the busy period
+    that just ended; shrink is backlog-only by design."""
+    from repro.service.admission import QueueWaitWindow
+
+    selector = _pool_selector()
+    stale = QueueWaitWindow(size=8)
+    for _ in range(8):
+        stale.record(2.0)
+    assert selector.decide_pool_size(4, pending=0, queue_wait=stale) == 3
+
+
+def test_pool_policy_validation():
+    with pytest.raises(ValueError, match="pool_min_workers"):
+        _selector(pool_min_workers=0)
+    with pytest.raises(ValueError, match="pool_max_workers"):
+        _selector(pool_min_workers=4, pool_max_workers=2)
+    with pytest.raises(ValueError, match="pool_shrink_backlog"):
+        _selector(pool_grow_backlog=1.0, pool_shrink_backlog=1.0)
+    with pytest.raises(ValueError, match="pool_step"):
+        _selector(pool_step=0)
+    with pytest.raises(ValueError):
+        _pool_selector().decide_pool_size(0, pending=0)
+
+
+def test_service_applies_pool_decision_on_tick(service_session, monkeypatch):
+    """autoscale_tick drives *both* control loops: the tier decision
+    and the pool-size decision, resizing the live request executor."""
+    monkeypatch.setattr(
+        "repro.service.service.ExecutorSelector",
+        lambda policy=None: ExecutorSelector(
+            AutoscalePolicy(
+                window=4,
+                min_samples=2,
+                pool_cooldown_seconds=0.0,
+                pool_grow_backlog=0.5,
+                pool_shrink_backlog=0.1,
+                pool_grow_wait_seconds=0.0,
+            ),
+            cpu_count=1,  # pins the thread tier: isolates pool sizing
+        ),
+    )
+    config = ServiceConfig(executor="auto", max_workers=2)
+    with QKBflyService(service_session, service_config=config) as service:
+        assert service.pool_workers == 2
+
+        real_executor = service._executor
+
+        class Backlogged:
+            pending = 4  # 2 per worker: above the 0.5 grow threshold
+
+            def __getattr__(self, name):
+                return getattr(real_executor, name)
+
+        service._executor = Backlogged()
+        try:
+            assert service.autoscale_tick() is None  # tier stays put
+        finally:
+            service._executor = real_executor
+        assert service.pool_workers == 3
+        assert service.pool_resizes == 1
+        assert service._executor.max_workers == 3
+        stats = service.stats()
+        assert stats["autoscale"]["pool_workers"] == 3
+        assert stats["autoscale"]["pool_resizes"] == 1
+        assert stats["autoscale"]["resizes_recommended"] == 1
+        # Idle again: the next tick shrinks back toward the floor.
+        assert service.autoscale_tick() is None
+        assert service.pool_workers == 2
+
+
+def test_fixed_tier_never_resizes(service_session):
+    config = ServiceConfig(executor="thread", max_workers=2)
+    names = _query_names(service_session, 3)
+    with QKBflyService(service_session, service_config=config) as service:
+        for name in names:
+            service.serve_batch([])  # no-op, just exercise the surface
+            service.query(name)
+        assert service.pool_workers == 2
+        assert service.pool_resizes == 0
+        assert "autoscale" not in service.stats()
+
+
+def test_explicit_process_workers_pins_pipeline_pool(
+    service_session, monkeypatch
+):
+    """An operator-pinned process_workers keeps the pipeline pool out
+    of resize decisions: only the request executor follows
+    pool_workers."""
+    config = ServiceConfig(executor="thread", max_workers=2, process_workers=2)
+    with QKBflyService(service_session, service_config=config) as service:
+        before = service._pipeline_executor  # None on the thread tier
+        service._switch_executor("thread", workers=4)
+        assert service.pool_workers == 4
+        assert service._executor.max_workers == 4
+        assert service._pipeline_executor is before
