@@ -29,6 +29,15 @@ measures seven regimes over one shared session:
   loopback HTTP through ``HttpGateway`` (keep-alive, full JSON
   envelopes). Gated on correctness (every response 200, every hit from
   the cache); the HTTP-vs-direct overhead ratio is informational;
+- **stage cache** — the partial-reuse check for stage-level pipeline
+  caching (docs/PIPELINE.md): distinct-but-overlapping queries ("X",
+  then "X spouse") hit different query-cache keys but retrieve the
+  same documents, so the NLP/extraction stage products must be reused.
+  Gated on the deterministic stage-cache reuse ratio over the
+  base+variant workload and on bit-parity of every stage-cached KB
+  against an uncached sequential run; the cold/overlap p50s and the
+  speedup over a stage-cache-disabled control are informational (they
+  measure the host);
 - **cost admission** — the load-management check for cost budgeting: a
   well-behaved client's cache-hit p50 is measured alone and again
   while an adversarial client hammers the service with expensive
@@ -108,6 +117,10 @@ COST_MIN_REJECTIONS = 5
 COST_MAX_REQUESTS = 200
 COST_ALONE_HITS = 300
 COST_MAX_HITS = 5000
+# Stage-cache scenario: base queries plus an overlapping variant per
+# base query ("<name> spouse" retrieves the same documents under a
+# different query-cache key, so only the stage cache can help).
+STAGE_UNIQUE_QUERIES = 8
 # Speedups are capped before gating: beyond this they only measure timer
 # noise on near-instant cache hits, not serving-layer health.
 GATE_CAP = 20.0
@@ -679,6 +692,115 @@ def run_cost_admission_benchmark(
     }
 
 
+def run_stage_cache_benchmark(
+    session: SessionState,
+    num_queries: int = STAGE_UNIQUE_QUERIES,
+) -> Dict[str, float]:
+    """Partial reuse across overlapping queries via the stage cache.
+
+    The workload is ``num_queries`` base queries plus one variant per
+    base ("<name> spouse"): every variant is a *distinct* query-cache
+    key, so the result tiers cannot help — but it retrieves the same
+    documents, so the stage cache serves its NLP annotation and clause
+    extraction from memory and only the graph stages re-run.
+
+    Three passes over the same workload:
+
+    1. an uncached sequential ``QKBfly`` run (the parity reference —
+       also what every pre-stage-cache release produced);
+    2. a *control* service with ``stage_cache_enabled=False``: the
+       overlap pass at full pipeline cost;
+    3. the benched service with a fresh stage cache: a cold base pass
+       (fills the stage tiers) and the overlap pass (reuses them).
+
+    Gated deterministically: ``gate_overlap_reuse`` is the stage
+    cache's hit ratio over the workload (pure lookup counts — BM25,
+    annotation, and extraction are deterministic, so this number is
+    machine-independent) and ``gate_stage_cold_parity`` is the
+    fraction of stage-cached results bit-identical to the uncached
+    reference. The p50s and the control speedup are informational.
+    """
+    base = _queries(session, num_queries)
+    variants = [f"{query} spouse" for query in base]
+
+    # Reference: no stage cache anywhere. Earlier scenarios in a full
+    # run installed one on the shared session (it is the default), so
+    # it is explicitly removed — this scenario must build its own cold
+    # cache to measure honestly.
+    session.stage_cache = None
+    reference = QKBfly.from_session(session)
+    expected = {
+        query: reference.build_kb(
+            query, source="wikipedia", num_documents=1
+        ).to_dict()
+        for query in base + variants
+    }
+
+    # Control: stage caching off, overlap pass at full pipeline cost.
+    control_config = ServiceConfig(
+        max_workers=MAX_WORKERS, stage_cache_enabled=False
+    )
+    with QKBflyService(session, service_config=control_config) as control:
+        for query in base:
+            control.serve(QueryRequest(query=query))
+        control_latencies = [
+            control.serve(QueryRequest(query=query)).seconds
+            for query in variants
+        ]
+    assert session.stage_cache is None, (
+        "a stage_cache_enabled=False service must not install a cache"
+    )
+
+    # Benched: a fresh stage cache, installed by the service itself.
+    config = ServiceConfig(max_workers=MAX_WORKERS)
+    with QKBflyService(session, service_config=config) as service:
+        assert session.stage_cache is not None
+        cold_results = [
+            service.serve(QueryRequest(query=query)) for query in base
+        ]
+        overlap_results = [
+            service.serve(QueryRequest(query=query)) for query in variants
+        ]
+        assert not any(
+            r.cache_hit or r.store_hit
+            for r in cold_results + overlap_results
+        ), "stage-cache workload leaked into the result tiers"
+        stage_stats = service.stats()["stage_cache"]
+
+    matched = sum(
+        1
+        for query, result in zip(
+            base + variants, cold_results + overlap_results
+        )
+        if result.kb.to_dict() == expected[query]
+    )
+    parity = matched / len(expected)
+    cold_latencies = [r.seconds for r in cold_results]
+    overlap_latencies = [r.seconds for r in overlap_results]
+    control_p50_ms = _percentile(control_latencies, 0.50) * 1000
+    overlap_p50_ms = _percentile(overlap_latencies, 0.50) * 1000
+    return {
+        "stage_queries": len(base),
+        "stage_workload_size": len(expected),
+        "stage_cold_p50_ms": round(
+            _percentile(cold_latencies, 0.50) * 1000, 3
+        ),
+        "stage_overlap_p50_ms": round(overlap_p50_ms, 3),
+        "stage_nocache_overlap_p50_ms": round(control_p50_ms, 3),
+        # How much the overlap pass gains over the uncached control;
+        # informational (graph/densify still run, and on a loaded host
+        # the two timed passes see different noise).
+        "stage_overlap_speedup": round(
+            control_p50_ms / overlap_p50_ms if overlap_p50_ms else 1.0, 2
+        ),
+        "stage_cache_hits": stage_stats["hits"],
+        "stage_cache_misses": stage_stats["misses"],
+        # Deterministic lookup-count ratio over the whole workload.
+        "gate_overlap_reuse": round(stage_stats["reuse_ratio"], 4),
+        "gate_stage_cold_parity": round(parity, 4),
+    }
+
+
 def run_full_benchmark(world: World) -> Dict[str, float]:
     """All scenarios over one shared session, merged into one dict."""
     session = SessionState.from_world(world)
@@ -688,6 +810,7 @@ def run_full_benchmark(world: World) -> Dict[str, float]:
     metrics.update(run_async_front_end_benchmark(session))
     metrics.update(run_gateway_benchmark(session))
     metrics.update(run_cost_admission_benchmark(session))
+    metrics.update(run_stage_cache_benchmark(session))
     return metrics
 
 
@@ -744,6 +867,12 @@ def _assert_scaleout_metrics(metrics: Dict[str, float]) -> None:
         f"expensive cold traffic despite cost shedding: "
         f"alone={metrics['cost_hit_p50_alone_ms']}ms, "
         f"during={metrics['cost_hit_p50_during_ms']}ms"
+    )
+    assert metrics["gate_stage_cold_parity"] == 1.0, (
+        "stage-cached KBs must be byte-identical to uncached runs"
+    )
+    assert metrics["gate_overlap_reuse"] > 0.0, (
+        "overlapping queries produced no stage-cache reuse at all"
     )
     if metrics["cpu_count"] >= 2 and metrics["process_executor_kind"] == "process":
         # The whole point of the process tier: distinct-query QPS beats

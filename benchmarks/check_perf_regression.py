@@ -59,6 +59,16 @@ INFORMATIONAL = (
     "cost_hit_p50_alone_ms",
     "cost_hit_p50_during_ms",
     "cost_isolation_ratio",
+    # Stage-cache scenario: absolute p50s and the overlap speedup
+    # measure host speed and load; the gated forms are the
+    # deterministic lookup-count ratio (gate_overlap_reuse) and the
+    # bit-parity fraction (gate_stage_cold_parity).
+    "stage_cold_p50_ms",
+    "stage_overlap_p50_ms",
+    "stage_nocache_overlap_p50_ms",
+    "stage_overlap_speedup",
+    "stage_cache_hits",
+    "stage_cache_misses",
 )
 
 

@@ -58,13 +58,35 @@ _SYMBOL_RE = re.compile(
 # Last components that mark a file path, not a code symbol.
 _FILE_SUFFIXES = {"json", "md", "py", "sqlite", "txt", "yml", "yaml", "toml"}
 
+# Documents that must exist: other docs (and code docstrings) link to
+# them by name, so deleting or renaming one is rot even before any
+# inbound link is scanned. `check_links` reports a missing entry.
+REQUIRED_DOCS = (
+    "API.md",
+    "ARCHITECTURE.md",
+    "BENCHMARKS.md",
+    "OPERATIONS.md",
+    "PIPELINE.md",
+)
+
 
 def iter_markdown_files(root: Path):
-    """The markdown surface this check guards."""
+    """The markdown surface this check guards.
+
+    Required docs are yielded whether or not they exist (a missing one
+    must fail, not silently shrink the surface); any extra docs/*.md
+    are picked up by the glob.
+    """
     yield root / "README.md"
     docs = root / "docs"
+    seen = set()
+    for name in REQUIRED_DOCS:
+        seen.add(name)
+        yield docs / name
     if docs.is_dir():
-        yield from sorted(docs.glob("*.md"))
+        for md_file in sorted(docs.glob("*.md")):
+            if md_file.name not in seen:
+                yield md_file
 
 
 def check_links(root: Path) -> list:

@@ -23,10 +23,11 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.canonicalize import Canonicalizer, CanonicalizerConfig
 from repro.corpus.background import build_background_corpus
+from repro.corpus.realizer import RealizedDocument
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.statistics import BackgroundStatistics
 from repro.corpus.world import World
@@ -39,6 +40,24 @@ from repro.kb.facts import Fact, KnowledgeBase
 from repro.kb.pattern_repository import PatternRepository
 from repro.nlp.pipeline import NlpPipeline, PipelineConfig
 from repro.nlp.tokens import Document
+from repro.openie.clausie import EXTRACTOR_VERSION
+from repro.openie.clauses import Clause
+
+if TYPE_CHECKING:  # typing only; the runtime import would be circular
+    from repro.service.stage_cache import StageCache
+
+
+def _stage_signature(*parts: str) -> str:
+    """Forward to :func:`repro.service.stage_cache.stage_signature`.
+
+    Imported lazily at call time: ``repro.service`` imports this module
+    at package init, so a module-level import here would be circular.
+    By the time a signature is computed (inside a query), both packages
+    are fully initialized.
+    """
+    from repro.service.stage_cache import stage_signature
+
+    return stage_signature(*parts)
 
 
 @dataclass
@@ -108,6 +127,7 @@ class SessionState:
         nlp: Optional[NlpPipeline] = None,
         parser: str = "greedy",
         corpus_version: str = "",
+        stage_cache: Optional["StageCache"] = None,
     ) -> None:
         self.entity_repository = entity_repository
         self.pattern_repository = pattern_repository
@@ -116,6 +136,23 @@ class SessionState:
         self.parser = parser
         self._corpus_version = corpus_version
         self._nlp = nlp
+        self._stage_cache = stage_cache
+
+    @property
+    def stage_cache(self) -> Optional["StageCache"]:
+        """The shared stage-level cache, or None when disabled.
+
+        Installed by the serving layer
+        (:class:`~repro.service.service.ServiceConfig` stage-cache
+        knobs) and shared by every :class:`QKBfly` and service over
+        this session; see :mod:`repro.service.stage_cache` and
+        ``docs/PIPELINE.md``.
+        """
+        return self._stage_cache
+
+    @stage_cache.setter
+    def stage_cache(self, cache: Optional["StageCache"]) -> None:
+        self._stage_cache = cache
 
     @property
     def nlp(self) -> NlpPipeline:
@@ -136,7 +173,19 @@ class SessionState:
     def __getstate__(self) -> Dict:
         state = self.__dict__.copy()
         state["_nlp"] = None  # derived; rebuilt lazily after unpickling
+        cache = state.get("_stage_cache")
+        if cache is not None:
+            # Entries are process-local (and potentially large); only
+            # the eviction policy crosses the pickle boundary, so every
+            # process-pool worker rebuilds an empty cache with the same
+            # limits.
+            state["_stage_cache"] = cache.spec()
         return state
+
+    def __setstate__(self, state: Dict) -> None:
+        spec = state.pop("_stage_cache", None)
+        self.__dict__.update(state)
+        self._stage_cache = spec.build() if spec is not None else None
 
     @property
     def corpus_version(self) -> str:
@@ -264,6 +313,10 @@ class QKBfly:
                 )
             )
         self.builder = GraphBuilder(session.entity_repository)
+        # Memoized NLP-stage configuration digest (parser + entity-
+        # repository fingerprint); computed on first staged build. A
+        # corpus refresh rebinds a fresh QKBfly, which recomputes it.
+        self._nlp_stage_digest_memo: Optional[str] = None
         self.canonicalizer = Canonicalizer(
             session.pattern_repository,
             session.entity_repository,
@@ -297,21 +350,172 @@ class QKBfly:
     # Query-driven entry point
     # ------------------------------------------------------------------
 
+    @property
+    def stage_cache(self) -> Optional["StageCache"]:
+        """The session's stage-level cache (None when disabled).
+
+        Read dynamically from the session so a cache installed by the
+        serving layer after this instance was built is still used.
+        """
+        return self.session.stage_cache
+
     def build_kb(
         self,
         query: str,
         source: str = "wikipedia",
         num_documents: int = 1,
     ) -> KnowledgeBase:
-        """Retrieve documents for ``query`` and build the on-the-fly KB."""
+        """Retrieve documents for ``query`` and build the on-the-fly KB.
+
+        The build runs as explicit stages — retrieval → NLP annotation
+        → clause extraction → graph/densify/canonicalize — and when the
+        session carries a :class:`~repro.service.stage_cache.StageCache`
+        the upstream stages are served from it under content-addressed
+        signatures, so overlapping queries (same documents, different
+        query strings) only re-run the per-query graph stage. Output is
+        bit-identical with and without the cache (see
+        ``docs/PIPELINE.md``).
+        """
         if self.search_engine is None:
             raise RuntimeError("QKBfly was constructed without a search engine")
-        documents = self.search_engine.search(query, source=source, k=num_documents)
+        documents = self._retrieval_stage(query, source, num_documents)
         kb = KnowledgeBase()
         for document in documents:
-            fragment, _ = self.process_text(document.text, doc_id=document.doc_id)
+            annotated, nlp_signature = self._nlp_stage(document)
+            clauses = self._extraction_stage(annotated, nlp_signature)
+            fragment, _, _ = self.process_document(annotated, clauses=clauses)
             kb.merge(fragment)
         return kb
+
+    # ------------------------------------------------------------------
+    # Cacheable upstream stages
+    # ------------------------------------------------------------------
+
+    def _retrieval_stage(
+        self, query: str, source: str, num_documents: int
+    ) -> List[RealizedDocument]:
+        """Stage 0: ranked documents for ``query`` on one channel.
+
+        The cached product is the ranked *doc-id list* (documents
+        themselves live in the search engine), keyed on the corpus
+        version, the channel, the result count, and the normalized
+        query text — a corpus bump changes the version and therefore
+        every signature, so stale rankings are unreachable. Ids that no
+        longer resolve (an engine swapped without a version bump, which
+        the session contract forbids but a cache must survive) fall
+        back to a fresh search.
+        """
+        cache = self.stage_cache
+        if cache is None:
+            return self.search_engine.search(
+                query, source=source, k=num_documents
+            )
+        signature = _stage_signature(
+            "retrieval",
+            self.session.corpus_version,
+            source,
+            str(num_documents),
+            " ".join(query.lower().split()),
+        )
+        doc_ids = cache.get("retrieval", signature)
+        if doc_ids is not None:
+            documents = self._resolve_documents(doc_ids, source)
+            if documents is not None:
+                return documents
+        documents = self.search_engine.search(
+            query, source=source, k=num_documents
+        )
+        cache.put(
+            "retrieval",
+            signature,
+            [document.doc_id for document in documents],
+        )
+        return documents
+
+    def _resolve_documents(
+        self, doc_ids: Sequence[str], source: str
+    ) -> Optional[List[RealizedDocument]]:
+        """Map cached doc ids back to documents; None if any is gone."""
+        if source == "wikipedia":
+            table = self.search_engine.wikipedia_docs
+        elif source == "news":
+            table = self.search_engine.news_docs
+        else:  # unknown channel: let search() raise its own error
+            return None
+        documents = []
+        for doc_id in doc_ids:
+            document = table.get(doc_id)
+            if document is None:
+                return None
+            documents.append(document)
+        return documents
+
+    def _nlp_stage(
+        self, document: RealizedDocument
+    ) -> Tuple[Document, str]:
+        """Stage 1: the annotated document, plus its stage signature.
+
+        Content-addressed on the document's id, title, and text plus
+        the annotation configuration (parser name and the entity-
+        repository fingerprint, which determines the NER gazetteer) —
+        deliberately *not* on the corpus version, so a corpus bump that
+        leaves a document unchanged leaves its annotation reusable.
+        Returns an empty signature when caching is off.
+        """
+        cache = self.stage_cache
+        if cache is None:
+            return (
+                self.nlp.annotate_text(document.text, doc_id=document.doc_id),
+                "",
+            )
+        signature = _stage_signature(
+            "nlp",
+            self._nlp_stage_digest(),
+            _stage_signature(
+                "doc", document.doc_id, document.title, document.text
+            ),
+        )
+        annotated = cache.get("nlp", signature)
+        if annotated is None:
+            annotated = self.nlp.annotate_text(
+                document.text, doc_id=document.doc_id
+            )
+            cache.put("nlp", signature, annotated)
+        return annotated, signature
+
+    def _extraction_stage(
+        self, annotated: Document, nlp_signature: str
+    ) -> Optional[List[List[Clause]]]:
+        """Stage 2: per-sentence ClausIE clause lists for the document.
+
+        Keyed on the extractor version and the upstream NLP signature —
+        extraction is deterministic over the annotation, so the chained
+        signature is its complete identity. Returns None when caching
+        is off, letting :meth:`GraphBuilder.build` extract inline.
+        """
+        cache = self.stage_cache
+        if cache is None or not nlp_signature:
+            return None
+        signature = _stage_signature(
+            "extract", EXTRACTOR_VERSION, nlp_signature
+        )
+        clauses = cache.get("extract", signature)
+        if clauses is None:
+            clauses = [
+                self.builder.clausie.extract(sentence)
+                for sentence in annotated.sentences
+            ]
+            cache.put("extract", signature, clauses)
+        return clauses
+
+    def _nlp_stage_digest(self) -> str:
+        if self._nlp_stage_digest_memo is None:
+            self._nlp_stage_digest_memo = _stage_signature(
+                "nlp-config",
+                self.config.parser,
+                self.entity_repository.fingerprint(),
+            )
+        return self._nlp_stage_digest_memo
 
     # ------------------------------------------------------------------
     # Document processing
@@ -332,11 +536,16 @@ class QKBfly:
         self,
         annotated: Document,
         trace: Optional[DocumentTrace] = None,
+        clauses: Optional[List[List[Clause]]] = None,
     ) -> Tuple[KnowledgeBase, SemanticGraph, DensifyResult]:
-        """Stages 1-3 over a pre-annotated document."""
+        """Stages 1-3 over a pre-annotated document.
+
+        ``clauses`` optionally injects precomputed (possibly cached)
+        per-sentence clause lists; extraction runs inline when omitted.
+        """
         trace = trace or DocumentTrace(doc_id=annotated.doc_id)
         t0 = time.perf_counter()
-        graph = self.builder.build(annotated)
+        graph = self.builder.build(annotated, clauses=clauses)
         if self.config.mode == "noun":
             self._drop_pronouns(graph)
         if self.config.mode == "pipeline":

@@ -54,11 +54,27 @@ class GraphBuilder:
         self.possessive_heuristic = possessive_heuristic
         self.copula_same_as = copula_same_as
 
-    def build(self, document: Document) -> SemanticGraph:
-        """Build the document-level semantic graph."""
+    def build(
+        self,
+        document: Document,
+        clauses: Optional[List[List[Clause]]] = None,
+    ) -> SemanticGraph:
+        """Build the document-level semantic graph.
+
+        ``clauses`` optionally supplies precomputed per-sentence clause
+        lists (one list per sentence, in order) so the extraction stage
+        can be cached independently of graph construction — see
+        :mod:`repro.service.stage_cache`; the lists are treated as
+        read-only and must come from :attr:`clausie` over these exact
+        sentences. When omitted, clauses are extracted inline.
+        """
         graph = SemanticGraph()
-        for sentence in document.sentences:
-            self._add_sentence(graph, sentence)
+        for index, sentence in enumerate(document.sentences):
+            self._add_sentence(
+                graph,
+                sentence,
+                clauses[index] if clauses is not None else None,
+            )
         initialize_same_as(graph)
         self._add_means_edges(graph)
         return graph
@@ -67,8 +83,14 @@ class GraphBuilder:
     # Sentence-level construction
     # ------------------------------------------------------------------
 
-    def _add_sentence(self, graph: SemanticGraph, sentence: Sentence) -> None:
-        clauses = self.clausie.extract(sentence)
+    def _add_sentence(
+        self,
+        graph: SemanticGraph,
+        sentence: Sentence,
+        clauses: Optional[List[Clause]] = None,
+    ) -> None:
+        if clauses is None:
+            clauses = self.clausie.extract(sentence)
         clause_ids: List[str] = []
         for clause in clauses:
             clause_id = clause_node_id(sentence.index, clause.verb_span.end - 1)

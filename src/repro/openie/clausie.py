@@ -16,6 +16,14 @@ from repro.nlp.dependency import ROOT, coarse
 from repro.nlp.tokens import Sentence, Span, Token
 from repro.openie.clauses import Clause, Constituent, Proposition
 
+#: Version stamp of the extraction algorithm, folded into the stage
+#: cache's content-addressed signatures (docs/PIPELINE.md): the
+#: detector is stateless and configuration-free, so this constant is
+#: its entire configuration digest. Bump it whenever a change here (or
+#: in repro.openie.clauses) alters extraction output, or cached clause
+#: lists from the old algorithm would be served as if current.
+EXTRACTOR_VERSION = "clausie-1"
+
 _COPULAS = {"be"}
 _NOMINAL = {"NN", "NNS", "NNP", "NNPS", "CD", "PRP"}
 # Labels whose subtrees are *not* part of an argument span: they carry
@@ -408,4 +416,4 @@ def _argument_span(
     return Span(start, end)
 
 
-__all__ = ["ClausIE"]
+__all__ = ["ClausIE", "EXTRACTOR_VERSION"]

@@ -10,6 +10,10 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
   :class:`PipelineFailure`) every front end speaks;
 - :mod:`repro.service.cache` — LRU/TTL query cache keyed on
   (normalized query, mode, algorithm, corpus_version);
+- :mod:`repro.service.stage_cache` — content-addressed caching of the
+  pipeline's *intermediate* stages (retrieval / NLP annotation /
+  clause extraction) under chained signatures, so overlapping queries
+  reuse each other's upstream work (see ``docs/PIPELINE.md``);
 - :mod:`repro.service.kb_store` — persistent SQLite (WAL) store for
   built KBs with full provenance, TTL/size compaction, and a
   non-blocking ``try_load`` accessor for the event-loop fast path;
@@ -51,6 +55,7 @@ from repro.service.admission import (
 from repro.service.api import (
     API_VERSION,
     CostLimited,
+    DeadlineUnmet,
     Overloaded,
     PipelineFailure,
     QueryRequest,
@@ -77,6 +82,12 @@ from repro.service.process_executor import (
 )
 from repro.service.service import QKBflyService, ServiceConfig
 from repro.service.sharding import ShardedKbStore, shard_index
+from repro.service.stage_cache import (
+    StageCache,
+    StageCacheSpec,
+    StagePolicy,
+    stage_signature,
+)
 
 __all__ = [
     "API_VERSION",
@@ -88,6 +99,7 @@ __all__ = [
     "CostBucket",
     "CostCharge",
     "CostLimited",
+    "DeadlineUnmet",
     "EntrySignature",
     "ExecutorSelector",
     "HttpGateway",
@@ -107,10 +119,14 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ShardedKbStore",
+    "StageCache",
+    "StageCacheSpec",
+    "StagePolicy",
     "TokenBucket",
     "backend_seconds",
     "cost_shape",
     "normalize_query",
     "observed_cpu_count",
     "shard_index",
+    "stage_signature",
 ]

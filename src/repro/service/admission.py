@@ -44,6 +44,13 @@ Three independent mechanisms compose, each optional:
   *actually* waiting right now (falling back to the configured
   ``overload_retry_after`` only while the window is empty).
 
+A fourth, derived mechanism rides on the measured queue waits:
+**queue-wait-aware deadline admission**
+(:meth:`AdmissionController.check_deadline`) rejects a request whose
+per-request ``timeout`` cannot survive the p95 of recently measured
+queue waits — a fast :class:`~repro.service.api.DeadlineUnmet` (504)
+at admission instead of a doomed enqueue whose result nobody collects.
+
 One :class:`AdmissionController` is shared by every front end (sync,
 asyncio, HTTP), so the budgets hold across entry points. Its critical
 sections are a few dict operations under one lock — microsecond-scale,
@@ -59,7 +66,12 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Hashable, Optional, Tuple
 
-from repro.service.api import CostLimited, Overloaded, RateLimited
+from repro.service.api import (
+    CostLimited,
+    Overloaded,
+    RateLimited,
+    deadline_unmet,
+)
 
 #: Idle client buckets are dropped once the table exceeds this, oldest
 #: first — an abusive client id space must not grow memory unboundedly.
@@ -422,6 +434,7 @@ class AdmissionController:
         self.rate_limited = 0
         self.cost_limited = 0
         self.overloaded = 0
+        self.deadline_rejected = 0
 
     # ---- enforcement -------------------------------------------------------
 
@@ -593,6 +606,49 @@ class AdmissionController:
         with self._lock:
             self.overloaded += 1
 
+    def check_deadline(
+        self, remaining: Optional[float], joining: bool = False
+    ) -> None:
+        """Reject a request whose remaining timeout cannot survive the
+        measured queue wait; raises
+        :class:`~repro.service.api.DeadlineUnmet` (HTTP 504).
+
+        ``remaining`` is the request's timeout budget left at the
+        moment it would enqueue executor work (None: no deadline, never
+        rejected). When the p95 of the shared :class:`QueueWaitWindow`
+        already exceeds it, the enqueue is doomed — the caller will
+        stop waiting before a worker even *starts* the computation —
+        so the request gets a fast 504 at admission instead of burning
+        a worker slot on an uncollected result. ``joining=True`` marks
+        a request merging into an existing in-flight computation: it
+        pays no queue wait (the flight is already running), so it is
+        exempt, exactly like :meth:`check_queue`.
+
+        Conservatively inactive until waits have been measured (an
+        empty window rejects nothing), and a pure *probe* like
+        :meth:`check_queue`: the serving layer may still rescue the
+        request from the store, and reports an actual rejection via
+        :meth:`count_deadline_rejected`. The attached ``retry_after``
+        is the measured queue drain estimate
+        (:meth:`QueueWaitWindow.suggest_retry_after`).
+        """
+        if remaining is None or joining or self.queue_wait is None:
+            return
+        p95 = self.queue_wait.p95()
+        if p95 is None or p95 <= max(0.0, remaining):
+            return
+        raise deadline_unmet(
+            remaining,
+            p95,
+            self.queue_wait.suggest_retry_after(self.overload_retry_after),
+        )
+
+    def count_deadline_rejected(self) -> None:
+        """Record one request actually rejected with
+        :class:`~repro.service.api.DeadlineUnmet`."""
+        with self._lock:
+            self.deadline_rejected += 1
+
     def _evict_stale_locked(self) -> None:
         """Drop the least recently seen buckets past the table bound."""
         while len(self._buckets) > self.max_tracked_clients:
@@ -636,6 +692,7 @@ class AdmissionController:
                 "rate_limited": self.rate_limited,
                 "cost_limited": self.cost_limited,
                 "overloaded": self.overloaded,
+                "deadline_rejected": self.deadline_rejected,
                 "tracked_clients": len(self._buckets),
             }
             if self.cost_budget_per_second is not None:

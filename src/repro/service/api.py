@@ -152,6 +152,29 @@ class Overloaded(ServiceError):
     http_status = 503
 
 
+class DeadlineUnmet(ServiceError):
+    """The request's timeout cannot survive the measured queue wait
+    (HTTP 504).
+
+    Raised *at admission*, before any work is queued: when the p95 of
+    recently measured executor queue waits already exceeds the
+    request's remaining timeout budget, enqueueing it would burn a
+    worker slot on a result no one will collect — so the request is
+    rejected immediately instead (see
+    :meth:`~repro.service.admission.AdmissionController.check_deadline`).
+    Same HTTP status as an expired deadline (504), but the distinct
+    ``deadline_unmet`` code tells the client its deadline never had a
+    chance: retry after ``retry_after`` (the measured queue drain
+    estimate) or with a larger ``timeout``. Requests joining an
+    existing in-flight computation, and requests the store can answer,
+    are never rejected by this check.
+    """
+
+    status = QueryStatus.FAILED
+    code = "deadline_unmet"
+    http_status = 504
+
+
 class PipelineFailure(ServiceError):
     """The KB pipeline raised while serving the request (HTTP 500).
 
@@ -169,6 +192,7 @@ _ERROR_CLASSES: Dict[str, type] = {
     RateLimited.code: RateLimited,
     CostLimited.code: CostLimited,
     Overloaded.code: Overloaded,
+    DeadlineUnmet.code: DeadlineUnmet,
     PipelineFailure.code: PipelineFailure,
 }
 
@@ -200,6 +224,20 @@ def deadline_exceeded(timeout: float) -> ServiceError:
         code="timeout",
         http_status=504,
         retry_after=min(timeout, 1.0),
+    )
+
+
+def deadline_unmet(
+    remaining: float, expected_wait: float, retry_after: float
+) -> DeadlineUnmet:
+    """A doomed-enqueue rejection: the measured queue wait already
+    exceeds the request's remaining timeout budget (HTTP 504, at
+    admission — the fast twin of :func:`deadline_exceeded`)."""
+    return DeadlineUnmet(
+        f"remaining timeout of {max(0.0, remaining):.3f}s cannot survive "
+        f"the measured p95 queue wait of {expected_wait:.3f}s; retry with "
+        "a larger timeout or after the queue drains",
+        retry_after=retry_after,
     )
 
 
@@ -521,6 +559,7 @@ __all__ = [
     "API_VERSION",
     "CostLimited",
     "DEFAULT_CLIENT_ID",
+    "DeadlineUnmet",
     "Overloaded",
     "PipelineFailure",
     "QueryRequest",
@@ -534,6 +573,7 @@ __all__ = [
     "backend_seconds",
     "classify_timeout",
     "deadline_exceeded",
+    "deadline_unmet",
     "invalid_request",
     "reraise_original",
     "wrap_failure",

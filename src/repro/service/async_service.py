@@ -55,6 +55,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.qkbfly import QKBflyConfig, SessionState
 from repro.corpus.world import World
 from repro.service.api import (
+    DeadlineUnmet,
     PipelineFailure,
     QueryRequest,
     QueryResult,
@@ -86,7 +87,12 @@ class AsyncQKBflyService:
             loop to the blocking executor API; one is occupied per
             *distinct* in-flight cold query (the single-flight registry
             guarantees that bound). Defaults to the service's
-            ``max_workers``.
+            ``max_workers``; an explicit value is an operator pin.
+            When defaulted, the pool *follows* the sync service's
+            autoscaled ``pool_workers`` at runtime, so a widened
+            worker pool is not bottlenecked behind a fixed-width
+            dispatch bridge (and a narrowed one stops being hidden by
+            excess dispatch threads).
     """
 
     def __init__(
@@ -104,6 +110,11 @@ class AsyncQKBflyService:
         )
         if workers <= 0:
             raise ValueError("dispatch_workers must be positive")
+        # An explicit dispatch_workers pins the pool width; otherwise
+        # _sync_dispatch_pool follows the sync service's autoscaled
+        # pool_workers (loop-confined, like every front-end mutation).
+        self._dispatch_pinned = dispatch_workers is not None
+        self._dispatch_workers = workers
         self._dispatch_pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="qkbfly-async"
         )
@@ -117,6 +128,7 @@ class AsyncQKBflyService:
         self.store_busy_fallthroughs = 0
         self.deduplicated = 0
         self.dispatched = 0
+        self.dispatch_resizes = 0
 
     @classmethod
     def from_world(
@@ -267,7 +279,8 @@ class AsyncQKBflyService:
                 sync._check_capacity(
                     key, front_depth=len(self._in_flight)
                 )
-            except ServiceError:
+                sync._check_deadline(request, key, started)
+            except ServiceError as rejection:
                 try:
                     result = self._try_store_on_loop(request, key, started)
                 except Exception as error:
@@ -275,8 +288,12 @@ class AsyncQKBflyService:
                 if result is not None:
                     return result
                 if sync.admission is not None:
-                    sync.admission.count_overloaded()
+                    if isinstance(rejection, DeadlineUnmet):
+                        sync.admission.count_deadline_rejected()
+                    else:
+                        sync.admission.count_overloaded()
                 raise
+            self._sync_dispatch_pool()
             task = loop.create_task(self._dispatch(request, key))
             task.add_done_callback(self._make_reaper(key, task))
             self._in_flight[key] = task
@@ -349,7 +366,12 @@ class AsyncQKBflyService:
                 # derived request key for correlation; validation and
                 # rate-limit rejections happened before a key existed.
                 key = None
-                if error.code in ("overloaded", "timeout", "pipeline_failure"):
+                if error.code in (
+                    "overloaded",
+                    "deadline_unmet",
+                    "timeout",
+                    "pipeline_failure",
+                ):
                     key = self.service.request_key(
                         request.query, request.source, request.num_documents
                     )
@@ -477,6 +499,29 @@ class AsyncQKBflyService:
             store_seconds=time.perf_counter() - tier_started,
         )
 
+    def _sync_dispatch_pool(self) -> None:
+        """Follow the sync service's autoscaled pool width.
+
+        Called on the loop just before a new flight is dispatched, so
+        the bridge resizes at most once per cold query and only from
+        loop callbacks (no lock needed). A pinned pool (explicit
+        ``dispatch_workers``) never moves. The old pool is shut down
+        without waiting: its queued flights finish on its existing
+        threads, while new flights land on the new pool.
+        """
+        if self._dispatch_pinned:
+            return
+        target = self.service.pool_workers
+        if target <= 0 or target == self._dispatch_workers:
+            return
+        old = self._dispatch_pool
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=target, thread_name_prefix="qkbfly-async"
+        )
+        self._dispatch_workers = target
+        self.dispatch_resizes += 1
+        old.shutdown(wait=False)
+
     async def _dispatch(
         self, request: QueryRequest, key: CacheKey
     ) -> QueryResult:
@@ -547,6 +592,8 @@ class AsyncQKBflyService:
             "store_busy_fallthroughs": self.store_busy_fallthroughs,
             "deduplicated": self.deduplicated,
             "dispatched": self.dispatched,
+            "dispatch_workers": self._dispatch_workers,
+            "dispatch_resizes": self.dispatch_resizes,
             "in_flight": len(self._in_flight),
         }
 

@@ -12,7 +12,11 @@ A query falls through cache -> store -> full pipeline; every tier it
 misses is filled on the way back. All tiers key on the query signature
 including the session's ``corpus_version``, so advancing the corpus
 (:meth:`QKBflyService.refresh_corpus`) atomically invalidates both the
-cache and the stale store rows.
+cache and the stale store rows. Below the result tiers, a
+:class:`~repro.service.stage_cache.StageCache` (installed on the
+shared session; ``ServiceConfig.stage_cache_enabled``) lets *distinct*
+queries that overlap in their retrieved documents reuse the expensive
+retrieval/NLP/extraction stage products — see ``docs/PIPELINE.md``.
 
 Pipeline execution runs on the thread tier (inline on the request
 workers) or the process tier
@@ -54,6 +58,7 @@ from repro.service.admission import (
     cost_shape,
 )
 from repro.service.api import (
+    DeadlineUnmet,
     Overloaded,
     PipelineFailure,
     QueryRequest,
@@ -73,6 +78,11 @@ from repro.service.executor import BatchExecutor
 from repro.service.kb_store import KbStore
 from repro.service.process_executor import ProcessBatchExecutor
 from repro.service.sharding import ShardedKbStore
+from repro.service.stage_cache import (
+    STAGE_RETRIEVAL,
+    StageCache,
+    StagePolicy,
+)
 
 
 def _config_digest(config: QKBflyConfig) -> str:
@@ -154,6 +164,28 @@ class ServiceConfig:
     # latencies) that feeds Overloaded Retry-After hints and the
     # autoscaler's pool-sizing decisions.
     queue_wait_window: int = 256
+    # Stage-level pipeline caching (docs/PIPELINE.md): content-
+    # addressed reuse of retrieval/NLP/extraction products across
+    # overlapping queries. The cache is installed on the shared
+    # SessionState, so every service, front end, and QKBfly over one
+    # session shares it (a session that already carries one keeps it).
+    stage_cache_enabled: bool = True
+    # Per-stage entry ceiling, optional wall-clock TTL, and per-stage
+    # byte budget (None disables the respective bound); see
+    # StagePolicy and the tuning chapter in docs/OPERATIONS.md.
+    stage_cache_entries: int = 512
+    stage_cache_ttl_seconds: Optional[float] = None
+    stage_cache_max_bytes: Optional[int] = 64 * 1024 * 1024
+    # Optional per-stage policy overrides ({"nlp": StagePolicy(...)});
+    # stages not named fall back to the three knobs above.
+    stage_cache_policies: Optional[Dict[str, StagePolicy]] = None
+    # Queue-wait-aware deadline admission (docs/API.md): reject a
+    # request whose remaining `timeout` cannot survive the measured
+    # p95 queue wait with a fast 504 at admission instead of a doomed
+    # enqueue. Active only when an AdmissionController is configured
+    # (any of the knobs above); joiners and store-servable keys are
+    # never rejected.
+    deadline_admission: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -205,6 +237,22 @@ class ServiceConfig:
             raise ValueError(
                 f"queue_wait_window must be >= 1, got {self.queue_wait_window}"
             )
+        if self.stage_cache_enabled:
+            # One authoritative rule set for the stage-cache bounds:
+            # StagePolicy validates its own combination (the service
+            # builds the real StageCache from these same fields).
+            StagePolicy(
+                max_entries=self.stage_cache_entries,
+                ttl_seconds=self.stage_cache_ttl_seconds,
+                max_bytes=self.stage_cache_max_bytes,
+            )
+            if self.stage_cache_policies:
+                for stage, override in self.stage_cache_policies.items():
+                    if not isinstance(override, StagePolicy):
+                        raise ValueError(
+                            "stage_cache_policies values must be "
+                            f"StagePolicy, got {override!r} for {stage!r}"
+                        )
         if (
             self.rate_limit_qps is not None
             or self.rate_limit_burst is not None
@@ -257,6 +305,24 @@ class QKBflyService:
             self._selector = None
             self.executor_kind = self.service_config.executor
         self.qkbfly = QKBfly.from_session(session, config=config)
+        # Stage-level pipeline cache (docs/PIPELINE.md): installed on
+        # the *session*, so every QKBfly bound to it — including the
+        # rebind in refresh_corpus and the pickled copies shipped to
+        # process-pool workers — shares one policy. A session that
+        # already carries a cache keeps it (the operator installed it
+        # deliberately, possibly shared across services).
+        if (
+            self.service_config.stage_cache_enabled
+            and session.stage_cache is None
+        ):
+            session.stage_cache = StageCache(
+                policy=StagePolicy(
+                    max_entries=self.service_config.stage_cache_entries,
+                    ttl_seconds=self.service_config.stage_cache_ttl_seconds,
+                    max_bytes=self.service_config.stage_cache_max_bytes,
+                ),
+                overrides=self.service_config.stage_cache_policies,
+            )
         self.cache = cache or QueryCache(
             max_size=self.service_config.cache_size,
             ttl_seconds=self.service_config.cache_ttl_seconds,
@@ -442,6 +508,10 @@ class QKBflyService:
         when its cost budget cannot cover the request's estimated
         pipeline seconds, :class:`~repro.service.api.Overloaded` when
         new cold work would exceed ``max_queue_depth``,
+        :class:`~repro.service.api.DeadlineUnmet` when the request's
+        remaining ``timeout`` cannot survive the measured p95 queue
+        wait (a fast 504 at admission; see
+        ``ServiceConfig.deadline_admission``),
         :class:`~repro.service.api.PipelineFailure` (original exception
         chained as ``__cause__``) when the pipeline raises, and a
         ``timeout``-coded :class:`~repro.service.api.ServiceError` when
@@ -863,26 +933,57 @@ class QKBflyService:
             joining=self._executor.has_flight(key),
         )
 
+    def _check_deadline(
+        self, request: QueryRequest, key: CacheKey, started: float
+    ) -> None:
+        """Queue-wait-aware deadline admission (fast 504).
+
+        A request whose remaining ``timeout`` budget cannot survive the
+        measured p95 queue wait is overwhelmingly likely to expire in
+        the queue — admitting it burns a worker slot on an answer
+        nobody will receive. Rejecting at admission returns the 504 in
+        microseconds instead of after ``timeout`` seconds and keeps the
+        doomed work out of the queue entirely. Joiners are exempt
+        (they add no queue load and may be answered early by the
+        shared flight); requests without a timeout never reject.
+        """
+        if (
+            self.admission is None
+            or not self.service_config.deadline_admission
+            or request.timeout is None
+        ):
+            return
+        remaining = request.timeout - (time.perf_counter() - started)
+        self.admission.check_deadline(
+            remaining, joining=self._executor.has_flight(key)
+        )
+
     def _admit_cold(
         self, request: QueryRequest, key: CacheKey, started: float
     ) -> Optional[QueryResult]:
-        """Capacity gate for a cache-missed request.
+        """Capacity and deadline gates for a cache-missed request.
 
         Returns None when the request may queue executor work. When the
-        queue is saturated, the store gets one last word before the
-        request is shed: a store-servable key costs a single read, not
-        a pipeline run, so it is answered directly — hits are never
-        shed, on any front end. Only a genuine cold miss raises
-        :class:`Overloaded`.
+        queue is saturated (or the request's deadline cannot survive
+        the measured queue wait), the store gets one last word before
+        the request is shed: a store-servable key costs a single read,
+        not a pipeline run, so it is answered directly — hits are
+        never shed, on any front end. Only a genuine cold miss raises
+        :class:`Overloaded` (queue depth) or :class:`DeadlineUnmet`
+        (queue wait vs. remaining timeout).
         """
         try:
             self._check_capacity(key)
+            self._check_deadline(request, key, started)
             return None
-        except Overloaded:
+        except (Overloaded, DeadlineUnmet) as error:
             stored = self._load_from_store(request, key, started)
             if stored is None:
                 if self.admission is not None:
-                    self.admission.count_overloaded()
+                    if isinstance(error, DeadlineUnmet):
+                        self.admission.count_deadline_rejected()
+                    else:
+                        self.admission.count_overloaded()
                 raise
             return stored
 
@@ -1281,6 +1382,14 @@ class QKBflyService:
         if self.store is not None:
             self.store.delete_stale(self.session.corpus_version)
             self.store.set_corpus_version(self.session.corpus_version)
+        # Stage-cache hygiene after the version bump: retrieval entries
+        # are keyed on the old corpus version, so they are unreachable
+        # dead weight — reclaim them. NLP/extract entries are keyed on
+        # document *content* (not the version), so annotations of
+        # unchanged documents deliberately survive the refresh; see
+        # docs/PIPELINE.md.
+        if self.session.stage_cache is not None:
+            self.session.stage_cache.clear(STAGE_RETRIEVAL)
         # Worker processes bootstrapped from the *old* session pickle;
         # rebuild the pool so they serve the new corpus. The swap takes
         # the autoscale lock so a concurrent tier switch cannot orphan
@@ -1417,6 +1526,9 @@ class QKBflyService:
             out["store"] = self.store.stats()
         if self.admission is not None:
             out["admission"] = self.admission.stats()
+        stage_cache = self.session.stage_cache
+        if stage_cache is not None:
+            out["stage_cache"] = stage_cache.stats()
         return out
 
     def close(self) -> None:

@@ -630,3 +630,208 @@ def test_async_queue_shedding_spares_joiners(service_session):
     first, joined, deduplicated = asyncio.run(scenario())
     assert first.kb.to_dict() == joined.kb.to_dict()
     assert deduplicated == 1
+
+
+# ---- queue-wait-aware deadline admission -----------------------------------
+
+
+def test_check_deadline_probe_semantics():
+    from repro.service.admission import QueueWaitWindow
+    from repro.service.api import DeadlineUnmet
+
+    window = QueueWaitWindow(size=16)
+    controller = AdmissionController(
+        max_queue_depth=8, queue_wait=window
+    )
+    # Conservatively inactive: nothing measured yet.
+    controller.check_deadline(0.001)
+    # No deadline: never rejected, whatever the waits look like.
+    for _ in range(16):
+        window.record(5.0)
+    controller.check_deadline(None)
+    # Plenty of remaining budget: admitted.
+    controller.check_deadline(10.0)
+    # Doomed: p95 (5s) exceeds the remaining 0.5s budget.
+    with pytest.raises(DeadlineUnmet) as excinfo:
+        controller.check_deadline(0.5)
+    assert excinfo.value.http_status == 504
+    assert excinfo.value.code == "deadline_unmet"
+    assert excinfo.value.retry_after == 5.0
+    # Joining an in-flight computation pays no queue wait: exempt.
+    controller.check_deadline(0.5, joining=True)
+    # A probe, like check_queue: nothing counted until the serving
+    # layer reports the rejection actually propagated.
+    assert controller.stats()["deadline_rejected"] == 0
+    controller.count_deadline_rejected()
+    assert controller.stats()["deadline_rejected"] == 1
+
+
+def test_check_deadline_without_window_is_inactive():
+    controller = AdmissionController(max_queue_depth=8)
+    controller.check_deadline(0.0)  # no window wired in: no-op
+
+
+def test_sync_deadline_rejects_doomed_requests_fast(service_session):
+    """A request whose timeout cannot survive the measured p95 queue
+    wait gets its 504 at admission, in microseconds — not after its
+    full timeout expires in the queue."""
+    import time as time_module
+
+    from repro.service.api import DeadlineUnmet
+
+    config = ServiceConfig(max_queue_depth=8, max_workers=2)
+    with QKBflyService(service_session, service_config=config) as service:
+        names = _top_queries(service_session, 2)
+        service.serve(QueryRequest(query=names[0]))  # cached below
+        for _ in range(20):
+            service.queue_wait.record(5.0)
+        t0 = time_module.perf_counter()
+        with pytest.raises(DeadlineUnmet) as excinfo:
+            service.serve(QueryRequest(query=names[1], timeout=0.2))
+        elapsed = time_module.perf_counter() - t0
+        assert elapsed < 1.0  # rejected at admission, not after 0.2s+
+        assert excinfo.value.retry_after == 5.0
+        assert service.stats()["admission"]["deadline_rejected"] == 1
+        # A cache hit never reaches the deadline gate: served even
+        # with a hopeless timeout.
+        hit = service.serve(QueryRequest(query=names[0], timeout=0.2))
+        assert hit.served_from == "cache"
+        # No timeout means no deadline to miss.
+        ok = service.serve(QueryRequest(query=names[1]))
+        assert ok.status.value == "ok"
+
+
+def test_deadline_admission_can_be_disabled(service_session):
+    config = ServiceConfig(
+        max_queue_depth=8, max_workers=2, deadline_admission=False
+    )
+    with QKBflyService(service_session, service_config=config) as service:
+        name = _top_queries(service_session, 1)[0]
+        for _ in range(20):
+            service.queue_wait.record(5.0)
+        # The window predicts doom, but the flag is off and the queue
+        # is actually idle: the request completes within its timeout.
+        result = service.serve(QueryRequest(query=name, timeout=30.0))
+        assert result.status.value == "ok"
+        assert service.stats()["admission"]["deadline_rejected"] == 0
+
+
+def test_deadline_rejection_is_rescued_by_the_store(
+    service_session, tmp_path
+):
+    """The store gets the same last word as under queue saturation: a
+    store-servable key is answered, not 504'd, and the rejection
+    counter stays honest."""
+    config = ServiceConfig(
+        max_queue_depth=8,
+        max_workers=2,
+        store_path=str(tmp_path / "store.sqlite"),
+    )
+    with QKBflyService(service_session, service_config=config) as service:
+        name = _top_queries(service_session, 1)[0]
+        service.serve(QueryRequest(query=name))  # persisted
+        service.cache.clear()
+        for _ in range(20):
+            service.queue_wait.record(5.0)
+        rescued = service.serve(QueryRequest(query=name, timeout=0.2))
+        assert rescued.served_from == "store"
+        assert service.stats()["admission"]["deadline_rejected"] == 0
+
+
+def test_deadline_joiners_are_exempt(service_session):
+    """A request merging into an in-flight flight pays no queue wait,
+    so a pessimistic window must not reject it."""
+    config = ServiceConfig(max_queue_depth=8, max_workers=4)
+    with QKBflyService(service_session, service_config=config) as service:
+        names = _top_queries(service_session, 2)
+        for _ in range(20):
+            service.queue_wait.record(5.0)
+        release = threading.Event()
+        entered = threading.Event()
+        original = service._run_pipeline
+
+        def gated(query, source, num_documents):
+            entered.set()
+            release.wait(timeout=30)
+            return original(query, source=source, num_documents=num_documents)
+
+        service._run_pipeline = gated
+        try:
+            blocker = threading.Thread(
+                target=service.serve, args=(QueryRequest(query=names[1]),)
+            )
+            blocker.start()
+            assert entered.wait(timeout=30)
+            joined: list = []
+            joiner = threading.Thread(
+                target=lambda: joined.append(
+                    service.serve(
+                        QueryRequest(query=names[1], timeout=30.0)
+                    )
+                )
+            )
+            joiner.start()
+            release.set()
+            blocker.join(timeout=30)
+            joiner.join(timeout=30)
+        finally:
+            release.set()
+            service._run_pipeline = original
+        assert joined and joined[0].status.value == "ok"
+        assert service.stats()["admission"]["deadline_rejected"] == 0
+
+
+def test_serve_batch_deadline_rejection_is_an_envelope(service_session):
+    config = ServiceConfig(max_queue_depth=8, max_workers=2)
+    with QKBflyService(service_session, service_config=config) as service:
+        names = _top_queries(service_session, 2)
+        service.serve(QueryRequest(query=names[0]))  # cached below
+        for _ in range(20):
+            service.queue_wait.record(5.0)
+        cached, doomed = service.serve_batch(
+            [
+                QueryRequest(query=names[0], timeout=0.2),
+                QueryRequest(query=names[1], timeout=0.2),
+            ]
+        )
+        assert cached.served_from == "cache"
+        assert doomed.status.value == "failed"
+        assert doomed.error.code == "deadline_unmet"
+        assert doomed.error.http_status == 504
+        assert service.stats()["admission"]["deadline_rejected"] == 1
+
+
+def test_async_deadline_rejection_and_batch_envelope(service_session):
+    from repro.service.api import DeadlineUnmet
+
+    async def scenario():
+        sync_service = QKBflyService(
+            service_session,
+            service_config=ServiceConfig(max_queue_depth=8, max_workers=2),
+        )
+        async with AsyncQKBflyService(
+            sync_service, own_service=True
+        ) as service:
+            names = _top_queries(service_session, 2)
+            await service.serve(QueryRequest(query=names[0]))
+            for _ in range(20):
+                sync_service.queue_wait.record(5.0)
+            with pytest.raises(DeadlineUnmet):
+                await service.serve(
+                    QueryRequest(query=names[1], timeout=0.2)
+                )
+            # Cache hits skip the gate on the async path too.
+            hit = await service.serve(
+                QueryRequest(query=names[0], timeout=0.2)
+            )
+            (doomed,) = await service.serve_batch(
+                [QueryRequest(query=names[1], timeout=0.2)]
+            )
+            return hit, doomed, service.service.stats()["admission"]
+
+    hit, doomed, admission = asyncio.run(scenario())
+    assert hit.served_from == "cache"
+    assert doomed.status.value == "failed"
+    assert doomed.error.code == "deadline_unmet"
+    assert doomed.request_key != ""  # post-admission: key correlated
+    assert admission["deadline_rejected"] == 2

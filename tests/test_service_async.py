@@ -13,6 +13,7 @@ import time
 import pytest
 
 from repro.core.qkbfly import QKBfly
+from repro.service.api import QueryRequest
 from repro.service.async_service import AsyncQKBflyService
 from repro.service.service import QKBflyService, ServiceConfig
 
@@ -330,3 +331,54 @@ def test_cache_hits_never_wait_on_a_slow_cold_query(service_session):
     # Every hit resolved while the cold pipeline was still held open;
     # the generous ceiling only guards against seconds-scale stalls.
     assert max(hit_latencies) < 1.0
+
+
+# ---- dispatch pool follows the autoscaled worker width ---------------------
+
+
+def test_dispatch_pool_follows_pool_workers(service_session):
+    """The loop->executor bridge must track decide_pool_size resizes:
+    a widened worker pool behind a fixed-width dispatch pool would
+    still serve at the old concurrency."""
+
+    async def scenario():
+        sync_service = _service(service_session, max_workers=2)
+        async with AsyncQKBflyService(
+            sync_service, own_service=True
+        ) as service:
+            names = _query_names(service_session, 2)
+            assert service.front_end_stats()["dispatch_workers"] == 2
+            # An autoscaler decision lands (simulated): the next cold
+            # dispatch rebuilds the bridge at the new width.
+            sync_service.pool_workers = 5
+            result = await service.serve(QueryRequest(query=names[0]))
+            stats = service.front_end_stats()
+            assert result.status.value == "ok"
+            assert stats["dispatch_workers"] == 5
+            assert stats["dispatch_resizes"] == 1
+            # Stable width: no churn on the next cold query.
+            await service.serve(QueryRequest(query=names[1]))
+            assert service.front_end_stats()["dispatch_resizes"] == 1
+            return service.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["async"]["dispatch_workers"] == 5
+
+
+def test_pinned_dispatch_pool_never_resizes(service_session):
+    """An explicit dispatch_workers is an operator pin, exactly like
+    process_workers on the sync side."""
+
+    async def scenario():
+        sync_service = _service(service_session, max_workers=2)
+        async with AsyncQKBflyService(
+            sync_service, own_service=True, dispatch_workers=3
+        ) as service:
+            name = _query_names(service_session, 1)[0]
+            sync_service.pool_workers = 8
+            await service.serve(QueryRequest(query=name))
+            return service.front_end_stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["dispatch_workers"] == 3
+    assert stats["dispatch_resizes"] == 0

@@ -54,6 +54,22 @@ def _top_queries(service_session, count: int):
     return [e.canonical_name for e in entities[:count]]
 
 
+@pytest.fixture()
+def full_price_session(service_session):
+    """The shared session with its stage cache detached.
+
+    Tests that drain a deliberately tiny cost budget need every cold
+    query to pay the *full* pipeline price; a stage cache warmed by an
+    earlier test (the session fixture is session-scoped) would serve
+    annotation/extraction from memory and shrink the measured spend
+    below the budget. Detach it for the duration and restore after.
+    """
+    saved = service_session.stage_cache
+    service_session.stage_cache = None
+    yield service_session
+    service_session.stage_cache = saved
+
+
 # ---- cost bucket -----------------------------------------------------------
 
 
@@ -377,12 +393,14 @@ def test_executor_measures_queue_waits(service_session):
 # ---- integration: cost budgets through the front ends ----------------------
 
 
-def test_sync_cost_budget_rejects_after_expensive_work(service_session):
+def test_sync_cost_budget_rejects_after_expensive_work(full_price_session):
     config = ServiceConfig(
-        cost_budget_per_second=0.0001, cost_budget_burst=0.01
+        cost_budget_per_second=0.0001,
+        cost_budget_burst=0.01,
+        stage_cache_enabled=False,
     )
-    with QKBflyService(service_session, service_config=config) as service:
-        names = _top_queries(service_session, 4)
+    with QKBflyService(full_price_session, service_config=config) as service:
+        names = _top_queries(full_price_session, 4)
         # Run cold pipelines until the measured spend busts the tiny
         # budget; distinct queries keep the work real.
         rejected = None
@@ -441,16 +459,18 @@ def test_serve_batch_settles_cost_per_slot(service_session):
         assert spend >= max(r.pipeline_seconds for r in runs)
 
 
-def test_async_cost_budget_enforced_on_loop(service_session):
+def test_async_cost_budget_enforced_on_loop(full_price_session):
     async def scenario():
         config = ServiceConfig(
-            cost_budget_per_second=0.0001, cost_budget_burst=0.01
+            cost_budget_per_second=0.0001,
+            cost_budget_burst=0.01,
+            stage_cache_enabled=False,
         )
         async with AsyncQKBflyService(
-            QKBflyService(service_session, service_config=config),
+            QKBflyService(full_price_session, service_config=config),
             own_service=True,
         ) as service:
-            names = _top_queries(service_session, 4)
+            names = _top_queries(full_price_session, 4)
             rejected = None
             for query in names:
                 try:
@@ -471,16 +491,18 @@ def test_async_cost_budget_enforced_on_loop(service_session):
     assert admission["cost_limited"] >= 1
 
 
-def test_async_batch_cost_rejections_become_envelopes(service_session):
+def test_async_batch_cost_rejections_become_envelopes(full_price_session):
     async def scenario():
         config = ServiceConfig(
-            cost_budget_per_second=0.0001, cost_budget_burst=0.005
+            cost_budget_per_second=0.0001,
+            cost_budget_burst=0.005,
+            stage_cache_enabled=False,
         )
         async with AsyncQKBflyService(
-            QKBflyService(service_session, service_config=config),
+            QKBflyService(full_price_session, service_config=config),
             own_service=True,
         ) as service:
-            names = _top_queries(service_session, 6)
+            names = _top_queries(full_price_session, 6)
             # Seed the shape EWMA (and bust the tiny budget) with one
             # completed cold run — a batch of first-ever shapes would
             # be admitted optimistically at estimate 0.

@@ -1,0 +1,323 @@
+"""Stage-level pipeline caching: signatures, policy, reuse correctness.
+
+Three layers of coverage:
+
+1. unit — `stage_signature` stability/separation and the `StageCache`
+   container semantics (LRU, TTL with an injected clock, byte budgets,
+   clear, stats) with no pipeline in sight;
+2. integration — a `QKBfly` over a session with a stage cache must
+   produce *bit-identical* KBs to an uncached run (the cache is a pure
+   memoization layer), reuse NLP/extraction across overlapping
+   queries, and react to a corpus bump exactly as documented in
+   docs/PIPELINE.md (retrieval keys rotate, content-addressed NLP
+   entries keep hitting for unchanged documents);
+3. concurrency — a hammer over one small cache must never corrupt the
+   LRU bookkeeping (the cache is shared by every worker thread of a
+   deployment).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.qkbfly import QKBfly, SessionState
+from repro.corpus.retrieval import SearchEngine
+from repro.service.stage_cache import (
+    STAGE_EXTRACT,
+    STAGE_NLP,
+    STAGE_RETRIEVAL,
+    StageCache,
+    StageCacheSpec,
+    StagePolicy,
+    normalized_query_text,
+    stage_signature,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def stage_session(tiny_world, background) -> SessionState:
+    """A private session per test: stage-cache tests mutate session
+    state (corpus_version, the installed cache), which must never leak
+    into the shared session-scoped fixtures."""
+    return SessionState(
+        entity_repository=tiny_world.entity_repository,
+        pattern_repository=tiny_world.pattern_repository,
+        statistics=background.statistics,
+        search_engine=SearchEngine.from_world(
+            tiny_world, background.documents
+        ),
+    )
+
+
+def _query_names(session, count: int):
+    entities = sorted(
+        session.entity_repository.entities(),
+        key=lambda e: -e.prominence,
+    )
+    return [e.canonical_name for e in entities[:count]]
+
+
+# ---- signatures ------------------------------------------------------------
+
+
+def test_stage_signature_is_stable_and_separates_parts():
+    a = stage_signature("nlp", "config", "doc")
+    assert a == stage_signature("nlp", "config", "doc")
+    assert len(a) == 16 and int(a, 16) >= 0
+    # Different stage, same parts: different namespace.
+    assert a != stage_signature("extract", "config", "doc")
+    # Any part change changes the signature.
+    assert a != stage_signature("nlp", "config2", "doc")
+    # Parts cannot collide into their neighbors ("ab"+"c" vs "a"+"bc").
+    assert stage_signature("s", "ab", "c") != stage_signature("s", "a", "bc")
+
+
+def test_normalized_query_text_folds_case_and_whitespace():
+    assert normalized_query_text("  Brad   PITT \n") == "brad pitt"
+    assert normalized_query_text("brad pitt") == "brad pitt"
+
+
+def test_stage_policy_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        StagePolicy(max_entries=0)
+    with pytest.raises(ValueError):
+        StagePolicy(ttl_seconds=0)
+    with pytest.raises(ValueError):
+        StagePolicy(max_bytes=0)
+    # None disables the optional bounds rather than failing.
+    StagePolicy(ttl_seconds=None, max_bytes=None)
+
+
+# ---- container semantics ---------------------------------------------------
+
+
+def test_lru_eviction_prefers_recently_used():
+    cache = StageCache(policy=StagePolicy(max_entries=2))
+    cache.put("nlp", "a", 1, size_bytes=1)
+    cache.put("nlp", "b", 2, size_bytes=1)
+    assert cache.get("nlp", "a") == 1  # refreshes a's recency
+    cache.put("nlp", "c", 3, size_bytes=1)  # evicts b, the LRU
+    assert cache.get("nlp", "b") is None
+    assert cache.get("nlp", "a") == 1
+    assert cache.get("nlp", "c") == 3
+    assert cache.stats()["stages"]["nlp"]["evictions"] == 1
+
+
+def test_ttl_expires_lazily_on_lookup():
+    clock = FakeClock()
+    cache = StageCache(
+        policy=StagePolicy(ttl_seconds=10.0), clock=clock
+    )
+    cache.put("retrieval", "sig", ["d1"], size_bytes=8)
+    clock.advance(9.0)
+    assert cache.get("retrieval", "sig") == ["d1"]
+    clock.advance(2.0)  # 11s after insertion: expired
+    assert cache.get("retrieval", "sig") is None
+    stats = cache.stats()["stages"]["retrieval"]
+    assert stats["expirations"] == 1
+    assert stats["entries"] == 0
+    # An expired lookup is also a miss (reuse_ratio stays honest).
+    assert stats["misses"] == 1 and stats["hits"] == 1
+
+
+def test_byte_budget_evicts_and_rejects_oversized_values():
+    cache = StageCache(
+        policy=StagePolicy(max_entries=100, max_bytes=100)
+    )
+    cache.put("nlp", "a", "x", size_bytes=60)
+    cache.put("nlp", "b", "y", size_bytes=60)  # 120 > 100: evicts a
+    assert cache.get("nlp", "a") is None
+    assert cache.get("nlp", "b") == "y"
+    # A single value larger than the whole budget must not flush the
+    # shard; it is rejected outright.
+    cache.put("nlp", "c", "huge", size_bytes=500)
+    assert cache.get("nlp", "c") is None
+    assert cache.get("nlp", "b") == "y"
+    stats = cache.stats()["stages"]["nlp"]
+    assert stats["rejected"] == 1
+    assert stats["bytes"] == 60
+
+
+def test_per_stage_policy_overrides():
+    cache = StageCache(
+        policy=StagePolicy(max_entries=100),
+        overrides={"retrieval": StagePolicy(max_entries=1)},
+    )
+    assert cache.policy_for("retrieval").max_entries == 1
+    assert cache.policy_for("nlp").max_entries == 100
+    cache.put("retrieval", "a", 1, size_bytes=1)
+    cache.put("retrieval", "b", 2, size_bytes=1)
+    assert cache.get("retrieval", "a") is None  # evicted at 1 entry
+
+
+def test_clear_reclaims_entries_but_keeps_counters():
+    cache = StageCache()
+    cache.put("nlp", "a", 1, size_bytes=4)
+    cache.put("extract", "b", 2, size_bytes=4)
+    assert cache.get("nlp", "a") == 1
+    assert cache.clear("retrieval") == 0  # untouched stage: no-op
+    assert cache.clear("nlp") == 1
+    assert cache.get("nlp", "a") is None
+    stats = cache.stats()
+    assert stats["stages"]["nlp"]["hits"] == 1  # counters survive
+    assert stats["stages"]["extract"]["entries"] == 1
+    assert cache.clear() == 1  # all stages
+    assert cache.stats()["entries"] == 0
+
+
+def test_stats_totals_and_reuse_ratio():
+    cache = StageCache()
+    assert cache.reuse_ratio == 0.0  # idle, not a division error
+    cache.put("nlp", "a", 1, size_bytes=4)
+    cache.get("nlp", "a")
+    cache.get("nlp", "missing")
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["puts"] == 1 and stats["bytes"] == 4
+    assert stats["reuse_ratio"] == pytest.approx(1 / 2)
+    assert cache.reuse_ratio == pytest.approx(1 / 2)
+
+
+def test_spec_round_trip_and_session_pickle(stage_session):
+    policy = StagePolicy(max_entries=7, ttl_seconds=30.0, max_bytes=1000)
+    cache = StageCache(
+        policy=policy, overrides={"nlp": StagePolicy(max_entries=3)}
+    )
+    cache.put("nlp", "sig", "payload", size_bytes=10)
+    spec = cache.spec()
+    assert isinstance(spec, StageCacheSpec)
+    rebuilt = pickle.loads(pickle.dumps(spec)).build()
+    # Same policies, empty entries: what a process-pool worker gets.
+    assert rebuilt.policy_for("retrieval") == policy
+    assert rebuilt.policy_for("nlp").max_entries == 3
+    assert rebuilt.get("nlp", "sig") is None
+
+    stage_session.stage_cache = cache
+    revived = pickle.loads(pickle.dumps(stage_session))
+    assert revived.stage_cache is not None
+    assert revived.stage_cache.policy_for("nlp").max_entries == 3
+    assert revived.stage_cache.stats()["entries"] == 0
+
+    stage_session.stage_cache = None
+    bare = pickle.loads(pickle.dumps(stage_session))
+    assert bare.stage_cache is None
+
+
+# ---- pipeline integration --------------------------------------------------
+
+
+def test_cross_query_reuse_is_bit_identical(stage_session):
+    names = _query_names(stage_session, 2)
+    queries = [names[0], f"{names[0]} spouse", names[1]]
+
+    stage_session.stage_cache = None
+    reference = QKBfly.from_session(stage_session)
+    expected = [reference.build_kb(q).to_dict() for q in queries]
+
+    stage_session.stage_cache = StageCache()
+    cached_run = QKBfly.from_session(stage_session)
+    # Two passes: the second is served almost entirely from the cache.
+    for _ in range(2):
+        actual = [cached_run.build_kb(q).to_dict() for q in queries]
+        assert actual == expected
+    stats = stage_session.stage_cache.stats()
+    # The overlapping query pair shares its document's NLP and
+    # extraction products; the second pass reuses everything.
+    assert stats["stages"][STAGE_NLP]["hits"] > 0
+    assert stats["stages"][STAGE_EXTRACT]["hits"] > 0
+    assert stats["stages"][STAGE_RETRIEVAL]["hits"] > 0
+    assert stage_session.stage_cache.reuse_ratio > 0.0
+
+
+def test_corpus_bump_rotates_retrieval_keys_but_not_nlp(stage_session):
+    stage_session.stage_cache = StageCache()
+    qkbfly = QKBfly.from_session(stage_session)
+    name = _query_names(stage_session, 1)[0]
+    first = qkbfly.build_kb(name).to_dict()
+    stats = stage_session.stage_cache.stats()["stages"]
+    assert stats[STAGE_RETRIEVAL]["misses"] == 1
+
+    # Bump the version without changing any document content: the
+    # retrieval signature rotates (a fresh miss), but the NLP stage is
+    # keyed on document *content*, so the annotation still hits.
+    stage_session.corpus_version = "bumped-version"
+    second = qkbfly.build_kb(name).to_dict()
+    stats = stage_session.stage_cache.stats()["stages"]
+    assert stats[STAGE_RETRIEVAL]["misses"] == 2
+    assert stats[STAGE_RETRIEVAL]["hits"] == 0
+    assert stats[STAGE_NLP]["hits"] == 1
+    assert stats[STAGE_EXTRACT]["hits"] == 1
+    assert second == first  # unchanged corpus content, unchanged KB
+
+
+def test_uncached_session_never_touches_a_cache(stage_session):
+    stage_session.stage_cache = None
+    qkbfly = QKBfly.from_session(stage_session)
+    name = _query_names(stage_session, 1)[0]
+    assert qkbfly.build_kb(name).facts  # runs clean with no cache
+
+
+def test_retrieval_entries_resolve_against_live_search(stage_session):
+    """A retrieval hit replays *document ids*, not documents: the
+    realized docs come from the live search engine, so a cached id
+    that no longer resolves falls back to a fresh search."""
+    stage_session.stage_cache = StageCache()
+    qkbfly = QKBfly.from_session(stage_session)
+    name = _query_names(stage_session, 1)[0]
+    qkbfly.build_kb(name)
+    before = stage_session.stage_cache.stats()["stages"][STAGE_RETRIEVAL]
+    assert before["puts"] == 1
+    # Same query again: the id list hits and resolves.
+    qkbfly.build_kb(name)
+    after = stage_session.stage_cache.stats()["stages"][STAGE_RETRIEVAL]
+    assert after["hits"] == 1
+
+
+# ---- concurrency -----------------------------------------------------------
+
+
+def test_thread_safety_hammer_keeps_bookkeeping_consistent():
+    cache = StageCache(
+        policy=StagePolicy(max_entries=8, max_bytes=200)
+    )
+    errors = []
+
+    def hammer(worker: int) -> None:
+        try:
+            for i in range(300):
+                sig = stage_signature("nlp", str((worker * 7 + i) % 24))
+                if i % 3 == 0:
+                    cache.put("nlp", sig, i, size_bytes=10)
+                else:
+                    cache.get("nlp", sig)
+                if i % 50 == 0:
+                    cache.clear("nlp")
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(w,)) for w in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    shard = cache._shards["nlp"]
+    assert len(shard.entries) <= 8
+    assert shard.total_bytes == sum(shard.sizes.values())
+    assert set(shard.entries) == set(shard.inserted_at) == set(shard.sizes)
