@@ -67,6 +67,7 @@ REQUIRED_DOCS = (
     "BENCHMARKS.md",
     "OPERATIONS.md",
     "PIPELINE.md",
+    "TESTING.md",
 )
 
 

@@ -1,0 +1,103 @@
+"""Fault-injection sweep driver: seeded, replayable, self-minimizing.
+
+Runs the end-to-end scenario of :mod:`repro.faultinject.harness` under
+randomized fault schedules. Every schedule is a pure function of its
+integer seed, so the one thing a red CI run needs to print is the seed:
+
+    PYTHONPATH=src python scripts/run_faultinject.py --seed 1234
+
+reproduces the identical schedule, interleaving constraints, and
+verdict. Without ``--seed``, a sweep of ``--schedules`` N seeds starting
+at ``--base-seed`` runs; on failure the driver re-runs the failing
+schedule through delta-debugging minimization and prints both the seed
+and the smallest sub-schedule (as JSON, replayable via
+``repro.faultinject.schedule.FaultSchedule.from_dict`` +
+``harness.run_schedule``) that still fails.
+
+Exit status: 0 when every scenario passed, 1 otherwise (CI-red).
+
+See ``docs/TESTING.md`` for the injection-point catalog and the full
+reproduction recipe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faultinject import harness  # noqa: E402
+from repro.faultinject.schedule import FaultSchedule, minimize  # noqa: E402
+
+
+def _report_failure(seed: int, report) -> None:
+    """Print everything needed to reproduce and debug one failure."""
+    print(f"\nFAIL seed={seed}")
+    print(report.describe())
+    print("reproduce with:")
+    print(f"  PYTHONPATH=src python scripts/run_faultinject.py --seed {seed}")
+    minimal = minimize(
+        report.schedule,
+        lambda candidate: not harness.run_schedule(candidate).passed,
+    )
+    print(f"minimized schedule ({len(minimal.actions)} action(s)):")
+    print(f"  {minimal.describe()}")
+    print(f"  {json.dumps(minimal.to_dict())}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="replay exactly one seeded schedule (from a CI failure)",
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=25,
+        help="number of seeded schedules in a sweep (default: 25)",
+    )
+    parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the sweep (default: 0)",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = (
+        [args.seed]
+        if args.seed is not None
+        else list(range(args.base_seed, args.base_seed + args.schedules))
+    )
+    started = time.perf_counter()
+    failures = 0
+    for seed in seeds:
+        report = harness.run_scenario(seed)
+        fired = len(report.fired)
+        if report.passed:
+            print(
+                f"ok   seed={seed} fired={fired} "
+                f"events={report.counts.get('events', 0)}"
+            )
+        else:
+            failures += 1
+            _report_failure(seed, report)
+    elapsed = time.perf_counter() - started
+    print(
+        f"\n{len(seeds)} schedule(s), {failures} failure(s), "
+        f"{elapsed:.1f}s"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

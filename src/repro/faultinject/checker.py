@@ -1,0 +1,188 @@
+"""Offline invariant checking over recorded serving histories.
+
+The replay half of the harness (recording lives in
+:mod:`repro.faultinject.history`): a
+:class:`MonotonicFreshnessChecker` walks a recorded event log in its
+global sequence order and reports every :class:`Violation` of the
+serving tier's freshness/integrity contract:
+
+- **monotonic freshness** (``stale_serve``) — once a client has seen a
+  KB built under corpus version V, it must never again be handed one
+  built under a version older than V. The version *order* is not
+  lexicographic: it is derived from the refresh events in the history
+  itself (each refresh edge ``previous → new`` appends the new version
+  to the chain), mirroring how deployments actually advance. This is
+  the Polynesia-motivated invariant from ROADMAP item 5.
+- **known versions** (``unknown_version``) — every served
+  ``corpus_version`` must be one the history has heard of (the initial
+  version or one introduced by a refresh). A serve from a version the
+  deployment never ran is a torn or foreign entry.
+- **content integrity** (``divergent_content``) — two serves of the
+  same ``(request_key, corpus_version)`` must carry the same content
+  digest, whatever tier they came from. A divergence means the store or
+  cache handed out a torn / partially-rebalanced entry.
+
+The checker is pure (events in, violations out) and deterministic, so
+the seeded-replay tests can pin its verdicts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.faultinject.history import (
+    EVENT_REFRESH,
+    EVENT_SERVE,
+    HistoryEvent,
+)
+
+#: Violation kinds the checker can report.
+VIOLATION_STALE_SERVE = "stale_serve"
+VIOLATION_UNKNOWN_VERSION = "unknown_version"
+VIOLATION_DIVERGENT_CONTENT = "divergent_content"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, anchored to the event (``seq``) where the
+    history first went wrong."""
+
+    kind: str
+    seq: int
+    client_id: str
+    request_key: str
+    detail: str
+
+    def describe(self) -> str:
+        """One line for failure reports."""
+        where = f"client={self.client_id!r}" if self.client_id else "history"
+        return f"[{self.kind}] seq={self.seq} {where}: {self.detail}"
+
+
+class MonotonicFreshnessChecker:
+    """Replays a history and collects freshness/integrity violations.
+
+    Args:
+        version_order: Optional explicit corpus-version order, oldest
+            first. When omitted (the common case) the order is derived
+            from the history's refresh events: the first version ever
+            mentioned is rank 0 and every refresh appends its new
+            version. Pass it explicitly when checking a partial history
+            that contains serves but not the refreshes that created
+            their versions.
+    """
+
+    def __init__(self, version_order: Optional[Sequence[str]] = None) -> None:
+        self._explicit_order = tuple(version_order) if version_order else None
+
+    def _derive_ranks(
+        self, events: Sequence[HistoryEvent]
+    ) -> Dict[str, int]:
+        """Corpus-version → rank, oldest = 0."""
+        if self._explicit_order is not None:
+            return {v: i for i, v in enumerate(self._explicit_order)}
+        ranks: Dict[str, int] = {}
+
+        def admit(version: str) -> None:
+            if version and version not in ranks:
+                ranks[version] = len(ranks)
+
+        for event in events:
+            if event.kind == EVENT_REFRESH:
+                # The superseded version precedes the new one; admitting
+                # it first keeps the rank order right even when the
+                # initial version appears nowhere else.
+                admit(event.previous_version)
+                admit(event.corpus_version)
+        if not ranks:
+            # No refresh ever happened: every served version is rank 0
+            # (a single-version history can only violate integrity).
+            for event in events:
+                if event.kind == EVENT_SERVE:
+                    admit(event.corpus_version)
+                    break
+        return ranks
+
+    def check(self, events: Iterable[HistoryEvent]) -> List[Violation]:
+        """All violations in ``events``, in the order they occur.
+
+        The event list is replayed once in sequence order; state is
+        per-client high-water marks plus a per-``(request_key,
+        version)`` digest table, so the pass is O(events).
+        """
+        ordered = sorted(events, key=lambda e: e.seq)
+        ranks = self._derive_ranks(ordered)
+        violations: List[Violation] = []
+        # client_id -> (rank, version) high-water mark.
+        seen: Dict[str, Tuple[int, str]] = {}
+        # (request_key, corpus_version) -> (digest, seq of first serve).
+        digests: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+        for event in ordered:
+            if event.kind != EVENT_SERVE:
+                continue
+            rank = ranks.get(event.corpus_version)
+            if rank is None:
+                violations.append(
+                    Violation(
+                        kind=VIOLATION_UNKNOWN_VERSION,
+                        seq=event.seq,
+                        client_id=event.client_id,
+                        request_key=event.request_key,
+                        detail=(
+                            f"served corpus_version "
+                            f"{event.corpus_version!r} was never introduced "
+                            f"by this deployment (known: {sorted(ranks)})"
+                        ),
+                    )
+                )
+                continue
+            mark = seen.get(event.client_id)
+            if mark is not None and rank < mark[0]:
+                violations.append(
+                    Violation(
+                        kind=VIOLATION_STALE_SERVE,
+                        seq=event.seq,
+                        client_id=event.client_id,
+                        request_key=event.request_key,
+                        detail=(
+                            f"served {event.corpus_version!r} "
+                            f"(from {event.served_from or '?'}) after the "
+                            f"client already observed newer {mark[1]!r}"
+                        ),
+                    )
+                )
+            if mark is None or rank > mark[0]:
+                seen[event.client_id] = (rank, event.corpus_version)
+            if event.digest:
+                key = (event.request_key, event.corpus_version)
+                prior = digests.get(key)
+                if prior is None:
+                    digests[key] = (event.digest, event.seq)
+                elif prior[0] != event.digest:
+                    violations.append(
+                        Violation(
+                            kind=VIOLATION_DIVERGENT_CONTENT,
+                            seq=event.seq,
+                            client_id=event.client_id,
+                            request_key=event.request_key,
+                            detail=(
+                                f"digest {event.digest} for "
+                                f"{event.request_key!r}@"
+                                f"{event.corpus_version!r} differs from "
+                                f"{prior[0]} first served at seq {prior[1]} "
+                                "— torn or partially-rebalanced entry"
+                            ),
+                        )
+                    )
+        return violations
+
+
+__all__ = [
+    "MonotonicFreshnessChecker",
+    "VIOLATION_DIVERGENT_CONTENT",
+    "VIOLATION_STALE_SERVE",
+    "VIOLATION_UNKNOWN_VERSION",
+    "Violation",
+]

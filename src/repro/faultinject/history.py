@@ -1,0 +1,191 @@
+"""Recording concurrent serving histories for offline checking.
+
+AWDIT-style consistency checking splits into two cheap halves: *record*
+what every client actually observed while the system runs (with faults
+injected), then *replay* the recorded history against an invariant
+checker offline. This module is the recording half.
+
+A :class:`HistoryRecorder` is attached to a deployment
+(:meth:`repro.service.service.QKBflyService.attach_history`); the
+front ends then log one :class:`HistoryEvent` per result envelope
+handed to a client — the request key, the ``corpus_version`` the
+content was built under, the tier it was served from, and a content
+digest — plus one event per corpus refresh (old → new version, which
+is what gives the checker its version *order*) and optional ingest
+events from harness scenarios that write to the store directly.
+
+Recording is append-only under one lock (a global sequence number is
+the event order the checker replays), and it is entirely opt-in: with
+no recorder attached the serving paths pay a single ``is None`` check.
+The digest hashes the served KB's wire form, so two serves of the same
+key+version can be compared bit-for-bit — the invariant a torn or
+partially-rebalanced entry would break.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Event kinds a history may contain.
+EVENT_SERVE = "serve"
+EVENT_REFRESH = "refresh"
+EVENT_INGEST = "ingest"
+
+
+def kb_digest(kb: Any) -> str:
+    """Stable 16-hex content digest of a served KB (its sorted JSON
+    wire form), comparable across processes and runs."""
+    payload = json.dumps(kb.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One observation in a recorded serving history.
+
+    ``seq`` is the recorder-assigned global order (the lock that
+    appends also numbers, so it is gap-free and total); ``ts`` is
+    wall-clock for humans, never used for ordering.
+    """
+
+    seq: int
+    kind: str
+    ts: float
+    client_id: str = ""
+    request_key: str = ""
+    corpus_version: str = ""
+    served_from: str = ""
+    front_end: str = ""
+    digest: str = ""
+    fact_count: int = 0
+    # refresh events only: the version being superseded.
+    previous_version: str = ""
+
+    def to_dict(self) -> Dict:
+        """JSON wire form (failure reports, offline analysis)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "ts": self.ts,
+            "client_id": self.client_id,
+            "request_key": self.request_key,
+            "corpus_version": self.corpus_version,
+            "served_from": self.served_from,
+            "front_end": self.front_end,
+            "digest": self.digest,
+            "fact_count": self.fact_count,
+            "previous_version": self.previous_version,
+        }
+
+
+@dataclass
+class HistoryRecorder:
+    """Thread-safe append-only event log for one deployment.
+
+    One recorder may serve several front ends at once (they share the
+    sync service it is attached to); every mutation happens under one
+    lock, so the global ``seq`` is a total order consistent with each
+    thread's own program order — exactly what the monotonicity checker
+    needs.
+    """
+
+    events: List[HistoryEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_serve(self, result: Any, front_end: str) -> None:
+        """Log one successful result envelope handed to a client.
+
+        ``result`` is duck-typed as a
+        :class:`~repro.service.api.QueryResult` (this module must not
+        import the serving layer — the serving layer imports *it*).
+        Envelopes without a KB (error slots) are ignored: the checker
+        reasons about what clients *observed*, and an error observes
+        nothing.
+        """
+        kb = getattr(result, "kb", None)
+        if kb is None:
+            return
+        digest = kb_digest(kb)
+        with self._lock:
+            self.events.append(
+                HistoryEvent(
+                    seq=len(self.events),
+                    kind=EVENT_SERVE,
+                    ts=time.time(),
+                    client_id=result.client_id,
+                    request_key=result.request_key,
+                    corpus_version=result.corpus_version,
+                    served_from=result.served_from or "",
+                    front_end=front_end,
+                    digest=digest,
+                    fact_count=len(kb.facts),
+                )
+            )
+
+    def record_refresh(self, previous_version: str, version: str) -> None:
+        """Log one corpus refresh; the old → new edge defines the
+        version order the checker validates serves against."""
+        with self._lock:
+            self.events.append(
+                HistoryEvent(
+                    seq=len(self.events),
+                    kind=EVENT_REFRESH,
+                    ts=time.time(),
+                    corpus_version=version,
+                    previous_version=previous_version,
+                )
+            )
+
+    def record_ingest(
+        self,
+        request_key: str,
+        corpus_version: str,
+        client_id: str = "",
+    ) -> None:
+        """Log one direct store/corpus write (harness scenarios that
+        bypass the serve path use this so the history stays complete)."""
+        with self._lock:
+            self.events.append(
+                HistoryEvent(
+                    seq=len(self.events),
+                    kind=EVENT_INGEST,
+                    ts=time.time(),
+                    client_id=client_id,
+                    request_key=request_key,
+                    corpus_version=corpus_version,
+                )
+            )
+
+    def snapshot(self) -> List[HistoryEvent]:
+        """A point-in-time copy of the event log (safe to iterate while
+        serving continues)."""
+        with self._lock:
+            return list(self.events)
+
+    def clear(self) -> None:
+        """Drop all events (sequence numbers restart)."""
+        with self._lock:
+            self.events.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Event counts by kind (monitoring / quick assertions)."""
+        with self._lock:
+            out: Dict[str, int] = {"events": len(self.events)}
+            for event in self.events:
+                out[event.kind] = out.get(event.kind, 0) + 1
+            return out
+
+
+__all__ = [
+    "EVENT_INGEST",
+    "EVENT_REFRESH",
+    "EVENT_SERVE",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "kb_digest",
+]

@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.qkbfly import QKBflyConfig, SessionState
 from repro.corpus.world import World
+from repro.faultinject.points import fault_point
 from repro.service.api import (
     DeadlineUnmet,
     PipelineFailure,
@@ -227,6 +228,11 @@ class AsyncQKBflyService:
             raise
         if charge is not None:
             sync.admission.settle(charge, actual=backend_seconds(result))
+        if sync.history is not None:
+            # The async tier records on the shared sync recorder, so
+            # one attach_history() covers every front end (the HTTP
+            # gateway's serves ride through here as well).
+            sync.history.record_serve(result, front_end="async")
         return result
 
     async def _serve_admitted(
@@ -546,6 +552,7 @@ class AsyncQKBflyService:
         those observations produced, because it is already off the
         loop and may build a process pool without stalling hits.
         """
+        fault_point("async_service.dispatch")
         result = self.service._executor.submit(
             key, (request, key, True)
         ).result()

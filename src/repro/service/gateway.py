@@ -124,6 +124,10 @@ class HttpGateway:
         self.connections = 0
         self.requests = 0
         self.responses_by_status: Dict[int, int] = {}
+        # Connections reaped without a response, by cause — the drops
+        # the handler deliberately swallows must still be visible in
+        # /v1/stats (harness runs assert nothing vanished silently).
+        self.connections_dropped: Dict[str, int] = {}
 
     # ---- lifecycle ---------------------------------------------------------
 
@@ -201,15 +205,15 @@ class HttpGateway:
                 if not keep_alive:
                     break
         except asyncio.TimeoutError:
-            pass  # idle (or byte-trickling) connection: reap it
-        except (
-            ConnectionError,
-            asyncio.IncompleteReadError,
-            # An over-long request/header line (re-typed by _read_line
-            # so a ValueError from a handler bug is never masked).
-            _LineTooLong,
-        ):
-            pass  # client went away mid-request; nothing to answer
+            # Idle (or byte-trickling) connection: reap it.
+            self._count_drop("idle_timeout")
+        except _LineTooLong:
+            # Over-long request/header line (re-typed by _read_line so
+            # a ValueError from a handler bug is never masked).
+            self._count_drop("line_too_long")
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # Client went away mid-request; nothing to answer.
+            self._count_drop("client_disconnect")
         finally:
             if task is not None:
                 self._handler_tasks.discard(task)
@@ -218,6 +222,13 @@ class HttpGateway:
                 await writer.wait_closed()
             except ConnectionError:
                 pass
+
+    def _count_drop(self, cause: str) -> None:
+        """Count one connection reaped without a response (loop-confined,
+        like the other counters)."""
+        self.connections_dropped[cause] = (
+            self.connections_dropped.get(cause, 0) + 1
+        )
 
     async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
         try:
@@ -502,6 +513,9 @@ class HttpGateway:
                 str(status): count
                 for status, count in sorted(self.responses_by_status.items())
             },
+            "connections_dropped": dict(
+                sorted(self.connections_dropped.items())
+            ),
         }
 
 

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.faultinject.points import fault_point
 from repro.kb.facts import Argument, EmergingEntity, Fact, KnowledgeBase
 
 _SCHEMA_VERSION = "1"
@@ -199,7 +200,11 @@ class KbStore:
                     query, kb, corpus_version, mode, algorithm, source,
                     num_documents, config_digest, created_at,
                 )
-            except Exception:
+            except BaseException:
+                # BaseException, not Exception: a KeyboardInterrupt (or
+                # an injected SimulatedCrash) mid-write must not leave
+                # the transaction open on this shared connection, where
+                # the torn rows would ride out with the next commit.
                 self._conn.rollback()
                 raise
 
@@ -241,6 +246,7 @@ class KbStore:
             ),
         )
         entry_id = cur.lastrowid
+        fault_point("kb_store.save.mid_entry")
         for position, fact in enumerate(kb.facts):
             cur.execute(
                 "INSERT INTO facts (entry_id, position, subject_kind, "
@@ -304,6 +310,7 @@ class KbStore:
                 for entity_id in entity_ids
             ],
         )
+        fault_point("kb_store.save.pre_commit")
         self._conn.commit()
         return int(entry_id)
 
@@ -559,21 +566,32 @@ class KbStore:
         """
         removed = 0
         with self._lock:
-            if max_age_seconds is not None:
-                cutoff = (now if now is not None else time.time()) - max_age_seconds
-                cur = self._conn.execute(
-                    "DELETE FROM kb_entries WHERE created_at < ?", (cutoff,)
-                )
-                removed += cur.rowcount
-            if max_entries is not None:
-                cur = self._conn.execute(
-                    "DELETE FROM kb_entries WHERE entry_id NOT IN ("
-                    "SELECT entry_id FROM kb_entries "
-                    "ORDER BY created_at DESC, entry_id DESC LIMIT ?)",
-                    (max(0, int(max_entries)),),
-                )
-                removed += cur.rowcount
-            self._conn.commit()
+            try:
+                if max_age_seconds is not None:
+                    cutoff = (
+                        now if now is not None else time.time()
+                    ) - max_age_seconds
+                    cur = self._conn.execute(
+                        "DELETE FROM kb_entries WHERE created_at < ?",
+                        (cutoff,),
+                    )
+                    removed += cur.rowcount
+                fault_point("kb_store.compact.mid")
+                if max_entries is not None:
+                    cur = self._conn.execute(
+                        "DELETE FROM kb_entries WHERE entry_id NOT IN ("
+                        "SELECT entry_id FROM kb_entries "
+                        "ORDER BY created_at DESC, entry_id DESC LIMIT ?)",
+                        (max(0, int(max_entries)),),
+                    )
+                    removed += cur.rowcount
+                self._conn.commit()
+            except BaseException:
+                # Same shared-connection contract as save(): an
+                # interrupt between the two delete passes must not
+                # leave half a compaction pending for the next commit.
+                self._conn.rollback()
+                raise
         return removed
 
     def delete_stale(self, current_version: str) -> int:

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
+from repro.faultinject.points import fault_point
 from repro.kb.facts import KnowledgeBase
 from repro.service.executor import BatchExecutor
 
@@ -236,6 +238,11 @@ class ProcessBatchExecutor:
         The envelope is its own single-flight key: concurrent identical
         requests share one worker task.
         """
+        # Parent-side hook: worker processes never see the armed
+        # injector (it lives in this process's module global), so
+        # mid-flight worker death is injected here, where the pool
+        # handle is reachable.
+        fault_point("process_executor.submit", executor=self)
         return self._batch.submit(request, request)
 
     def build_kb(
@@ -258,6 +265,38 @@ class ProcessBatchExecutor:
         each consumer slot rebuilt privately from the shared payload."""
         responses = self._batch.run_batch(list(requests))
         return [response.to_kb() for response in responses]
+
+    # ---- fault injection ---------------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (empty on the thread tier).
+
+        Snapshot-only: workers may die or respawn after this returns.
+        """
+        if self.kind != "process":
+            return []
+        pool = self._batch._pool
+        processes = getattr(pool, "_processes", None) or {}
+        return sorted(processes)
+
+    def kill_one_worker(self) -> Optional[int]:
+        """SIGKILL one live pool worker; returns its pid (None if none).
+
+        The fault-injection harness uses this to exercise real
+        mid-flight worker death: the stdlib pool reacts by breaking
+        (``BrokenProcessPool``), which the serving layer must surface
+        as typed failure envelopes, never as hangs or silent drops.
+        A no-op on the thread tier (threads cannot be killed).
+        """
+        pids = self.worker_pids()
+        if not pids:
+            return None
+        victim = pids[0]
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except OSError:  # pragma: no cover - worker already exited
+            return None
+        return victim
 
     # ---- monitoring --------------------------------------------------------
 

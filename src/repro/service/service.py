@@ -50,6 +50,8 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.qkbfly import QKBfly, QKBflyConfig, SessionState
 from repro.corpus.retrieval import SearchEngine
 from repro.corpus.world import World
+from repro.faultinject.history import HistoryRecorder
+from repro.faultinject.points import fault_point
 from repro.kb.facts import KnowledgeBase
 from repro.service.admission import (
     AdmissionController,
@@ -380,6 +382,10 @@ class QKBflyService:
         self._counter_lock = threading.Lock()
         self._autoscale_lock = threading.Lock()
         self._closed = False
+        # Optional history recorder (fault-injection harness): when
+        # attached, every OK envelope leaving a front end and every
+        # corpus refresh is logged for offline freshness checking.
+        self.history: Optional[HistoryRecorder] = None
         self._config_digest = _config_digest(self.qkbfly.config)
         self.pipeline_runs = 0
         self.executor_switches = 0
@@ -493,6 +499,18 @@ class QKBflyService:
 
     # ---- serving (v1 envelope) ---------------------------------------------
 
+    def attach_history(self, recorder: HistoryRecorder) -> HistoryRecorder:
+        """Attach a :class:`~repro.faultinject.history.HistoryRecorder`.
+
+        All front ends sharing this service (sync, batch; the asyncio
+        tier attaches to its own reference of the same recorder) start
+        logging serve/refresh events for offline consistency checking.
+        Returns the recorder for chaining. Detach with
+        ``service.history = None``.
+        """
+        self.history = recorder
+        return recorder
+
     def serve(self, request: QueryRequest) -> QueryResult:
         """Serve one v1 envelope: admission -> cache -> store -> pipeline.
 
@@ -536,6 +554,8 @@ class QKBflyService:
             raise
         if charge is not None:
             self.admission.settle(charge, actual=backend_seconds(result))
+        if self.history is not None:
+            self.history.record_serve(result, front_end="sync")
         return result
 
     def _serve_admitted(
@@ -756,6 +776,10 @@ class QKBflyService:
                             else None
                         ),
                     )
+        if self.history is not None:
+            for result in results:
+                if result.status is QueryStatus.OK:
+                    self.history.record_serve(result, front_end="sync_batch")
         return results
 
     # ---- legacy entry points (deprecated shims) ----------------------------
@@ -1272,6 +1296,7 @@ class QKBflyService:
             resizing = workers is not None and workers != self.pool_workers
             if not switching and not resizing:
                 return  # another thread won the same decision
+            fault_point("service.switch_executor")
             if resizing:
                 self.pool_workers = workers
                 self._executor.resize(workers)
@@ -1360,6 +1385,7 @@ class QKBflyService:
         explicitly), the cache drops entries from older versions, and
         the store deletes its stale rows. Returns the new version.
         """
+        previous_version = self.session.corpus_version
         if search_engine is not None:
             self.session.search_engine = search_engine
         if statistics is not None:
@@ -1401,6 +1427,10 @@ class QKBflyService:
             )
         if old is not None:
             old.shutdown()
+        if self.history is not None:
+            self.history.record_refresh(
+                previous_version, self.session.corpus_version
+            )
         return self.session.corpus_version
 
     # ---- warm-up / compaction ---------------------------------------------
@@ -1544,6 +1574,7 @@ class QKBflyService:
             self._closed = True
             pipeline_executor = self._pipeline_executor
             self._pipeline_executor = None
+        fault_point("service.close")
         self._executor.shutdown()
         if pipeline_executor is not None:
             pipeline_executor.shutdown()

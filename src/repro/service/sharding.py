@@ -30,12 +30,31 @@ import shutil
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.faultinject.points import fault_point
 from repro.kb.facts import KnowledgeBase
 from repro.service.kb_store import EntrySignature, KbStore
 
 DEFAULT_NUM_SHARDS = 4
 MANIFEST_NAME = "shards.json"
 _SHARD_FILE_TEMPLATE = "shard-{:03d}.sqlite"
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so renames inside it survive power loss.
+
+    ``os.rename`` only rewrites the in-memory directory entry; until
+    the parent directory's metadata hits disk, a crash can undo the
+    rename. No-op on platforms whose directories refuse ``open``
+    (Windows), where the rename-durability story differs anyway.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def shard_index(
@@ -318,6 +337,7 @@ class ShardedKbStore:
         removed = 0
         if max_age_seconds is not None:
             for shard in self._shards:
+                fault_point("sharding.compact.shard")
                 removed += shard.compact(
                     max_age_seconds=max_age_seconds, now=now
                 )
@@ -404,6 +424,7 @@ class ShardedKbStore:
                     if base.exists():
                         shutil.rmtree(base)
                     os.rename(survivor, base)
+                    _fsync_dir(base.parent)
                     break
         for leftover in (staging, retired):
             if leftover.exists():
@@ -418,8 +439,18 @@ class ShardedKbStore:
             rebalanced.set_corpus_version(version)
         rebalanced.close()
         old.close()
+        fault_point("sharding.rebalance.staged")
+        # Each rename is followed by an fsync of the parent directory:
+        # without it, "a crash at any point leaves at least one
+        # complete store on disk" only holds for process crashes —
+        # power loss could roll back *both* renames and resurrect a
+        # half-deleted ``retired`` tree.
         os.rename(base, retired)
+        _fsync_dir(base.parent)
+        fault_point("sharding.rebalance.mid_swap")
         os.rename(staging, base)
+        _fsync_dir(base.parent)
+        fault_point("sharding.rebalance.pre_reclaim")
         shutil.rmtree(retired)
         return cls(str(base))
 

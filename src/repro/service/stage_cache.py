@@ -47,7 +47,6 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-import sys
 import threading
 import time
 from collections import OrderedDict
@@ -152,6 +151,7 @@ class _StageShard:
         "evictions",
         "expirations",
         "rejected",
+        "unpicklable",
     )
 
     def __init__(self, policy: StagePolicy) -> None:
@@ -166,6 +166,7 @@ class _StageShard:
         self.evictions = 0
         self.expirations = 0
         self.rejected = 0
+        self.unpicklable = 0
 
 
 class StageCache:
@@ -256,6 +257,15 @@ class StageCache:
         with self._lock:
             shard = self._shard(stage)
             budget = shard.policy.max_bytes
+            if size_bytes is None:
+                # Unpicklable: no honest size estimate exists, and a
+                # guessed one (``sys.getsizeof`` ignores container
+                # contents) could blow the byte budget while the
+                # bookkeeping says it fits. Refuse the value and make
+                # the refusal visible in stats.
+                shard.unpicklable += 1
+                shard.rejected += 1
+                return
             if budget is not None and size_bytes > budget:
                 shard.rejected += 1
                 return
@@ -322,6 +332,7 @@ class StageCache:
                 "evictions": 0,
                 "expirations": 0,
                 "rejected": 0,
+                "unpicklable": 0,
                 "entries": 0,
                 "bytes": 0,
             }
@@ -334,6 +345,7 @@ class StageCache:
                     "evictions": shard.evictions,
                     "expirations": shard.expirations,
                     "rejected": shard.rejected,
+                    "unpicklable": shard.unpicklable,
                     "entries": len(shard.entries),
                     "bytes": shard.total_bytes,
                     "max_entries": shard.policy.max_entries,
@@ -368,18 +380,20 @@ class StageCache:
         shard.total_bytes -= shard.sizes.pop(signature)
 
 
-def _estimate_size(value: Any) -> int:
+def _estimate_size(value: Any) -> Optional[int]:
     """Approximate in-memory weight of a cached value, in bytes.
 
     Pickle length is a cheap, deterministic proxy that scales with the
-    actual token/clause payload; a value that cannot be pickled (never
-    the case for the pipeline's dataclasses, but possible for test
-    doubles) degrades to ``sys.getsizeof`` instead of failing the put.
+    actual token/clause payload. A value that cannot be pickled (never
+    the case for the pipeline's dataclasses, but possible for foreign
+    annotator products) returns None — ``put`` rejects it, because the
+    previous ``sys.getsizeof`` fallback ignores container contents and
+    let such values blow the byte budget unaccounted.
     """
     try:
         return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
-        return sys.getsizeof(value)
+        return None
 
 
 __all__ = [

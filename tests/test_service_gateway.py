@@ -435,11 +435,13 @@ def test_oversized_request_line_drops_connection_cleanly(service_session):
             # The gateway still serves subsequent connections.
             async with HttpClient(gateway.host, gateway.port) as client:
                 status, _, _ = await client.request("GET", "/v1/healthz")
-            return data, status
+            return data, status, gateway.stats()
 
-    data, status = asyncio.run(scenario())
+    data, status, stats = asyncio.run(scenario())
     assert data == b""  # dropped without a response, no crash
     assert status == 200
+    # The drop is not swallowed invisibly: stats name its cause.
+    assert stats["connections_dropped"]["line_too_long"] == 1
 
 
 def test_stalled_body_is_reaped_not_leaked(service_session):
@@ -466,9 +468,45 @@ def test_stalled_body_is_reaped_not_leaked(service_session):
             data = await asyncio.wait_for(reader.read(), timeout=5)
             writer.close()
             await writer.wait_closed()
-            return data
+            return data, gateway.stats()
 
-    assert asyncio.run(scenario()) == b""
+    data, stats = asyncio.run(scenario())
+    assert data == b""
+    assert stats["connections_dropped"]["idle_timeout"] == 1
+
+
+def test_mid_request_disconnect_is_counted_by_cause(service_session):
+    """A client that sends a partial request and slams the connection
+    shut is reaped and *counted* — the satellite regression for the
+    silent-pass drop handling."""
+
+    async def scenario():
+        async with _gateway(service_session) as gateway:
+            reader, writer = await asyncio.open_connection(
+                gateway.host, gateway.port
+            )
+            writer.write(
+                b"POST /v1/query HTTP/1.1\r\n"
+                b"Content-Length: 500\r\n\r\n"
+                b"partial"
+            )
+            await writer.drain()
+            # Abort mid-body: the handler's readexactly sees EOF.
+            writer.close()
+            await writer.wait_closed()
+            # Poll until the handler task observed the disconnect.
+            for _ in range(100):
+                if gateway.stats()["connections_dropped"]:
+                    break
+                await asyncio.sleep(0.01)
+            # A healthy request afterwards: drops never wedge serving.
+            async with HttpClient(gateway.host, gateway.port) as client:
+                status, _, _ = await client.request("GET", "/v1/healthz")
+            return status, gateway.stats()
+
+    status, stats = asyncio.run(scenario())
+    assert status == 200
+    assert stats["connections_dropped"].get("client_disconnect", 0) == 1
 
 
 def test_client_id_header_fallback(service_session):

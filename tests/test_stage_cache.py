@@ -302,6 +302,10 @@ def test_thread_safety_hammer_keeps_bookkeeping_consistent():
                 sig = stage_signature("nlp", str((worker * 7 + i) % 24))
                 if i % 3 == 0:
                     cache.put("nlp", sig, i, size_bytes=10)
+                elif i % 7 == 0:
+                    # Unpicklable values mixed into the contention: they
+                    # must be rejected without disturbing bookkeeping.
+                    cache.put("nlp", sig, lambda: None)
                 else:
                     cache.get("nlp", sig)
                 if i % 50 == 0:
@@ -319,5 +323,29 @@ def test_thread_safety_hammer_keeps_bookkeeping_consistent():
     assert not errors
     shard = cache._shards["nlp"]
     assert len(shard.entries) <= 8
+    # Budget invariants: accounted bytes exactly mirror the stored
+    # sizes and never exceed the stage budget — the bug fixed in
+    # _estimate_size was unaccounted weight sneaking past this.
     assert shard.total_bytes == sum(shard.sizes.values())
+    assert shard.total_bytes <= 200
+    assert shard.unpicklable > 0  # the hammer did exercise rejections
     assert set(shard.entries) == set(shard.inserted_at) == set(shard.sizes)
+
+
+def test_unpicklable_values_rejected_and_counted():
+    """An unpicklable value gets no ``sys.getsizeof`` guess anymore: it
+    is refused outright and surfaced in stats (satellite bugfix)."""
+    cache = StageCache(policy=StagePolicy(max_entries=4, max_bytes=1000))
+    sig = stage_signature("nlp", "unpicklable")
+    cache.put("nlp", sig, lambda: None)  # lambdas cannot pickle
+    assert cache.get("nlp", sig) is None
+    stats = cache.stats()
+    assert stats["unpicklable"] == 1
+    assert stats["rejected"] == 1
+    assert stats["entries"] == 0
+    assert stats["bytes"] == 0
+    # An explicit size override bypasses estimation entirely — callers
+    # that know the payload weight may still cache such values.
+    cache.put("nlp", sig, lambda: None, size_bytes=64)
+    assert cache.get("nlp", sig) is not None
+    assert cache.stats()["bytes"] == 64
