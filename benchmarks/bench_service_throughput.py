@@ -38,6 +38,16 @@ measures seven regimes over one shared session:
   against an uncached sequential run; the cold/overlap p50s and the
   speedup over a stage-cache-disabled control are informational (they
   measure the host);
+- **fabric** — the multi-process shard fabric (docs/FABRIC.md): the
+  same cold-fill-then-store-hit workload as the sharded regime but
+  with the shards behind socket shard servers and 2-way replica
+  groups. Gated on correctness (every store-served KB bit-identical
+  to the pipeline run; after replication drains, every read lands on
+  a replica — the fan-out rate is a deterministic counter ratio, not
+  a timing). The remote-vs-local read p50s and their overhead ratio
+  are informational: they price the loopback socket + JSON framing
+  per read on the host, exactly as the gateway scenario prices its
+  transport;
 - **cost admission** — the load-management check for cost budgeting: a
   well-behaved client's cache-hit p50 is measured alone and again
   while an adversarial client hammers the service with expensive
@@ -117,6 +127,8 @@ COST_MIN_REJECTIONS = 5
 COST_MAX_REQUESTS = 200
 COST_ALONE_HITS = 300
 COST_MAX_HITS = 5000
+# Fabric scenario: replica group width for the fabric-backed store.
+FABRIC_REPLICATION = 2
 # Stage-cache scenario: base queries plus an overlapping variant per
 # base query ("<name> spouse" retrieves the same documents under a
 # different query-cache key, so only the stage cache can help).
@@ -290,6 +302,132 @@ def run_sharded_store_benchmark(
             min(speedup, SHARDED_GATE_CAP), 2
         ),
         "gate_sharded_store_hit_rate": round(store_hit_rate, 4),
+    }
+
+
+def run_fabric_benchmark(
+    session: SessionState,
+    num_unique: int = NUM_UNIQUE_QUERIES,
+    max_workers: int = MAX_WORKERS,
+    num_shards: int = NUM_SHARDS,
+    replication_factor: int = FABRIC_REPLICATION,
+) -> Dict[str, float]:
+    """Second-tier serving through the multi-process shard fabric.
+
+    Same shape as the sharded regime — cold fill, cache clear, a pass
+    that must be answered entirely from the store — but every store
+    operation crosses a loopback socket to a shard server, writes fan
+    out to replicas asynchronously, and reads go replica-first. Two
+    correctness gates (both deterministic): every store-served KB is
+    bit-identical to its pipeline run, and once replication has
+    drained, a full read pass lands entirely on replicas (counter
+    ratio, not a timing). The read-cost comparison — the same loads
+    timed through the fabric and again on the *same primary files*
+    reopened locally after shutdown — is informational: it prices the
+    socket + JSON framing per read on the host.
+    """
+    from repro.service.sharding import ShardedKbStore
+
+    unique = _queries(session, num_unique)
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = str(Path(tmp) / "fabric")
+        config = ServiceConfig(
+            max_workers=max_workers,
+            store_path=store_dir,
+            store_shards=num_shards,
+            store_backend="fabric",
+            replication_factor=replication_factor,
+        )
+        with QKBflyService(session, service_config=config) as service:
+            t0 = time.perf_counter()
+            cold_results = [
+                service.serve(QueryRequest(query=query)) for query in unique
+            ]
+            cold_seconds = time.perf_counter() - t0
+            assert not any(r.cache_hit or r.store_hit for r in cold_results)
+
+            # Restart path: cold cache, warm fabric.
+            service.cache.clear()
+            t0 = time.perf_counter()
+            store_results = [
+                service.serve(QueryRequest(query=query)) for query in unique
+            ]
+            store_seconds = time.perf_counter() - t0
+            matched = sum(
+                1
+                for cold, stored in zip(cold_results, store_results)
+                if stored.store_hit
+                and stored.kb.to_dict() == cold.kb.to_dict()
+            )
+            parity = matched / len(unique)
+
+            # Replica fan-out: with replication drained, a full pass of
+            # raw loads must land on replicas. Counter deltas make the
+            # rate deterministic (earlier serves may legitimately have
+            # missed a lagging replica and fallen back to the primary).
+            assert service.fabric is not None
+            assert service.fabric.flush_replication(timeout=60.0)
+            signatures = sorted(
+                service.store.signatures(), key=lambda sig: sig.query
+            )
+            assert len(signatures) == len(unique)
+            load_kwargs = [
+                dict(
+                    corpus_version=sig.corpus_version,
+                    mode=sig.mode,
+                    algorithm=sig.algorithm,
+                    source=sig.source,
+                    num_documents=sig.num_documents,
+                    config_digest=sig.config_digest,
+                )
+                for sig in signatures
+            ]
+            before = service.fabric.stats()
+            remote: List[float] = []
+            for sig, kwargs in zip(signatures, load_kwargs):
+                t0 = time.perf_counter()
+                kb = service.store.load(sig.query, **kwargs)
+                remote.append(time.perf_counter() - t0)
+                assert kb is not None
+            after = service.fabric.stats()
+            reads = sum(
+                a["replica_reads"] - b["replica_reads"]
+                for a, b in zip(after["shards"], before["shards"])
+            )
+            hits = sum(
+                a["replica_hits"] - b["replica_hits"]
+                for a, b in zip(after["shards"], before["shards"])
+            )
+            fanout = hits / reads if reads else 0.0
+
+        # The primaries are plain SQLite shards: reopen the same files
+        # locally and time the identical loads — the delta is the wire.
+        with ShardedKbStore(store_dir) as local:
+            local_reads: List[float] = []
+            for sig, kwargs in zip(signatures, load_kwargs):
+                t0 = time.perf_counter()
+                kb = local.load(sig.query, **kwargs)
+                local_reads.append(time.perf_counter() - t0)
+                assert kb is not None
+
+    remote_p50_ms = _percentile(remote, 0.50) * 1000
+    local_p50_ms = _percentile(local_reads, 0.50) * 1000
+    return {
+        "fabric_shards": num_shards,
+        "fabric_replication_factor": replication_factor,
+        "qps_fabric_cold": round(len(unique) / cold_seconds, 2),
+        "qps_fabric_store_hit": round(len(unique) / store_seconds, 2),
+        "fabric_remote_read_p50_ms": round(remote_p50_ms, 4),
+        "fabric_local_read_p50_ms": round(local_p50_ms, 4),
+        # Socket + JSON cost per store read relative to an in-process
+        # SQLite read of the same shard files.
+        "fabric_remote_overhead_ratio": round(
+            remote_p50_ms / local_p50_ms if local_p50_ms else 1.0, 2
+        ),
+        "fabric_replica_reads": reads,
+        "fabric_replica_hits": hits,
+        "gate_fabric_store_parity": round(parity, 4),
+        "gate_fabric_replica_fanout": round(fanout, 4),
     }
 
 
@@ -806,6 +944,7 @@ def run_full_benchmark(world: World) -> Dict[str, float]:
     session = SessionState.from_world(world)
     metrics = run_throughput_benchmark(world, session=session)
     metrics.update(run_sharded_store_benchmark(session))
+    metrics.update(run_fabric_benchmark(session))
     metrics.update(run_process_executor_benchmark(session))
     metrics.update(run_async_front_end_benchmark(session))
     metrics.update(run_gateway_benchmark(session))
@@ -840,6 +979,15 @@ def _assert_scaleout_metrics(metrics: Dict[str, float]) -> None:
         "store-hit serving must be at least 2x the pipeline path"
     )
     assert metrics["shards_occupied"] > 1, "workload landed on one shard"
+    assert metrics["gate_fabric_store_parity"] == 1.0, (
+        "every cache-cleared query must be served from the fabric, "
+        "bit-identical to its pipeline run"
+    )
+    assert metrics["gate_fabric_replica_fanout"] == 1.0, (
+        "with replication drained, every raw read must land on a "
+        f"replica (hit {metrics['fabric_replica_hits']} of "
+        f"{metrics['fabric_replica_reads']})"
+    )
     assert metrics["gate_process_parity"] == 1.0, (
         "process-tier KBs must be byte-identical to sequential runs"
     )

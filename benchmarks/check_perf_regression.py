@@ -27,6 +27,18 @@ INFORMATIONAL = (
     "qps_sharded_cold",
     "qps_sharded_store_hit",
     "sharded_store_speedup",
+    # Fabric scenario: absolute QPS and the remote-vs-local read p50s
+    # price loopback socket + JSON framing on the host, exactly as the
+    # gateway ratio prices HTTP — informational first. The gated forms
+    # are the deterministic correctness rates
+    # (gate_fabric_store_parity, gate_fabric_replica_fanout).
+    "qps_fabric_cold",
+    "qps_fabric_store_hit",
+    "fabric_remote_read_p50_ms",
+    "fabric_local_read_p50_ms",
+    "fabric_remote_overhead_ratio",
+    "fabric_replica_reads",
+    "fabric_replica_hits",
     "qps_thread_distinct",
     "qps_process_distinct",
     # Thread-vs-process ratio is a property of the host's core count

@@ -65,6 +65,7 @@ REQUIRED_DOCS = (
     "API.md",
     "ARCHITECTURE.md",
     "BENCHMARKS.md",
+    "FABRIC.md",
     "OPERATIONS.md",
     "PIPELINE.md",
     "TESTING.md",

@@ -30,19 +30,24 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.faultinject import harness  # noqa: E402
+from repro.faultinject import fabric_harness, harness  # noqa: E402
 from repro.faultinject.schedule import FaultSchedule, minimize  # noqa: E402
 
 
-def _report_failure(seed: int, report) -> None:
+def _report_failure(seed: int, report, fabric: bool) -> None:
     """Print everything needed to reproduce and debug one failure."""
+    flag = " --fabric" if fabric else ""
+    run = fabric_harness.run_fabric_schedule if fabric else harness.run_schedule
     print(f"\nFAIL seed={seed}")
     print(report.describe())
     print("reproduce with:")
-    print(f"  PYTHONPATH=src python scripts/run_faultinject.py --seed {seed}")
+    print(
+        "  PYTHONPATH=src python scripts/run_faultinject.py "
+        f"--seed {seed}{flag}"
+    )
     minimal = minimize(
         report.schedule,
-        lambda candidate: not harness.run_schedule(candidate).passed,
+        lambda candidate: not run(candidate).passed,
     )
     print(f"minimized schedule ({len(minimal.actions)} action(s)):")
     print(f"  {minimal.describe()}")
@@ -71,6 +76,12 @@ def main(argv=None) -> int:
         default=0,
         help="first seed of the sweep (default: 0)",
     )
+    parser.add_argument(
+        "--fabric",
+        action="store_true",
+        help="run the fabric scenario (socket shard servers, replica "
+        "reads, online rebalance) instead of the local-store one",
+    )
     args = parser.parse_args(argv)
 
     seeds = (
@@ -78,10 +89,15 @@ def main(argv=None) -> int:
         if args.seed is not None
         else list(range(args.base_seed, args.base_seed + args.schedules))
     )
+    run_seed = (
+        fabric_harness.run_fabric_scenario
+        if args.fabric
+        else harness.run_scenario
+    )
     started = time.perf_counter()
     failures = 0
     for seed in seeds:
-        report = harness.run_scenario(seed)
+        report = run_seed(seed)
         fired = len(report.fired)
         if report.passed:
             print(
@@ -90,7 +106,7 @@ def main(argv=None) -> int:
             )
         else:
             failures += 1
-            _report_failure(seed, report)
+            _report_failure(seed, report, args.fabric)
     elapsed = time.perf_counter() - started
     print(
         f"\n{len(seeds)} schedule(s), {failures} failure(s), "

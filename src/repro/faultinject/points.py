@@ -19,7 +19,12 @@ turns selected hits of selected points into deterministic faults:
   widening a race window (resize-vs-serve, close-vs-dispatch);
 - ``kill_worker`` — SIGKILL one live worker of the process pool passed
   in the point's context (a no-op on the thread tier), so mid-flight
-  worker death is exercised for real, not mocked.
+  worker death is exercised for real, not mocked;
+- ``drop_conn`` — invoke the ``drop`` callable in the point's context
+  (the fabric client passes one that closes its pooled socket), so a
+  TCP connection dies mid-request exactly where a peer reset would
+  land — the retry/fallback path is exercised against a real dead
+  socket, not a mock.
 
 One injector is active per process at a time (:data:`ACTIVE`); the
 hit counting inside it is lock-protected, so concurrent serving
@@ -38,7 +43,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 KIND_CRASH = "crash"
 KIND_DELAY = "delay"
 KIND_KILL_WORKER = "kill_worker"
-KINDS = (KIND_CRASH, KIND_DELAY, KIND_KILL_WORKER)
+KIND_DROP_CONN = "drop_conn"
+KINDS = (KIND_CRASH, KIND_DELAY, KIND_KILL_WORKER, KIND_DROP_CONN)
 
 #: The injection-point catalog: every point threaded through the
 #: serving tier, mapped to the fault kinds that make sense there.
@@ -74,6 +80,24 @@ CATALOG: Dict[str, Tuple[str, ...]] = {
     # AsyncQKBflyService._blocking_serve: dispatch thread about to
     # submit to the shared executor.
     "async_service.dispatch": (KIND_CRASH, KIND_DELAY),
+    # ShardServer request dispatch (server side, request decoded but
+    # not yet executed): crash kills the serving connection without a
+    # reply — a shard-server crash mid-op as seen from the client.
+    "fabric.server.handle": (KIND_CRASH, KIND_DELAY),
+    # RemoteKbStore request (client side, socket checked out, request
+    # not yet sent): drop_conn closes the pooled socket under the
+    # request; delay models a slow shard/replica.
+    "fabric.remote.request": (KIND_DROP_CONN, KIND_DELAY),
+    # Replicator: one queued write about to propagate to one replica.
+    # crash drops the propagation (the replica stays behind until the
+    # next write or resync), delay widens the replication lag window.
+    "fabric.replicate.entry": (KIND_CRASH, KIND_DELAY),
+    # ShardedKbStore.online_rebalance: mover about to copy one entry
+    # into its target shard (the double-write window is open).
+    "sharding.online_rebalance.copy": (KIND_CRASH, KIND_DELAY),
+    # ShardedKbStore.online_rebalance: full copy pass done, cutover
+    # (routing swap + manifest rewrite) not yet applied.
+    "sharding.online_rebalance.cutover": (KIND_CRASH, KIND_DELAY),
 }
 
 #: Sleep applied by ``delay`` actions: long enough to reorder racing
@@ -153,6 +177,10 @@ class FaultInjector:
             executor = context.get("executor")
             if executor is not None:
                 executor.kill_one_worker()
+        elif action.kind == KIND_DROP_CONN:
+            drop = context.get("drop")
+            if drop is not None:
+                drop()
         elif action.kind == KIND_CRASH:
             raise SimulatedCrash(name, hit)
 
@@ -207,6 +235,7 @@ __all__ = [
     "KINDS",
     "KIND_CRASH",
     "KIND_DELAY",
+    "KIND_DROP_CONN",
     "KIND_KILL_WORKER",
     "SimulatedCrash",
     "fault_point",

@@ -19,6 +19,9 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
   non-blocking ``try_load`` accessor for the event-loop fast path;
 - :mod:`repro.service.sharding` — the same store partitioned across N
   SQLite files with per-shard locks, keyed on the query-signature hash;
+- :mod:`repro.service.fabric` — the shards served by socket shard
+  servers with read replicas and online rebalance, selected with
+  ``ServiceConfig(store_backend="fabric")`` (see ``docs/FABRIC.md``);
 - :mod:`repro.service.executor` — thread-pool batch execution with
   single-flight deduplication over shared session state;
 - :mod:`repro.service.process_executor` — the same pipeline stages on
@@ -73,6 +76,12 @@ from repro.service.autoscale import (
 )
 from repro.service.cache import CacheKey, QueryCache, normalize_query
 from repro.service.executor import BatchExecutor
+from repro.service.fabric import (
+    Fabric,
+    RemoteKbStore,
+    ShardServer,
+    ShardUnavailable,
+)
 from repro.service.gateway import HttpGateway
 from repro.service.kb_store import EntrySignature, KbStore
 from repro.service.process_executor import (
@@ -102,6 +111,7 @@ __all__ = [
     "DeadlineUnmet",
     "EntrySignature",
     "ExecutorSelector",
+    "Fabric",
     "HttpGateway",
     "KbStore",
     "Overloaded",
@@ -116,8 +126,11 @@ __all__ = [
     "QueryResult",
     "QueryStatus",
     "RateLimited",
+    "RemoteKbStore",
     "ServiceConfig",
     "ServiceError",
+    "ShardServer",
+    "ShardUnavailable",
     "ShardedKbStore",
     "StageCache",
     "StageCacheSpec",

@@ -1,0 +1,647 @@
+"""Replica groups and the fabric that wires them behind the router.
+
+Three pieces:
+
+- :class:`Replicator` — one background thread per fabric draining a
+  FIFO of primary-acknowledged writes to replicas. In-order delivery
+  per fabric plus the shard server's ``write_seq`` version check means
+  a replica can lag but never regress; a failed delivery is counted
+  and dropped (the replica simply stays behind — reads that miss it
+  fall back to the primary, so nothing acknowledged is ever lost).
+- :class:`ReplicatedShardClient` — the :class:`KbStore` surface over
+  one primary plus R-1 replicas: writes go to the primary
+  synchronously (the ack) and propagate asynchronously; reads fan to
+  the least-loaded healthy replica, fall back to the primary on a
+  miss, and fail a replica over on :class:`ShardUnavailable`.
+- :class:`Fabric` — owns the shard servers (in-process, or none in
+  connect mode), the replicator, and the :class:`ShardedKbStore`
+  whose ``backend_factory`` it supplies — which is also what lets the
+  router's *online rebalance* provision a whole new generation of
+  replicated shards mid-flight.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faultinject.points import SimulatedCrash, fault_point
+from repro.kb.facts import KnowledgeBase
+from repro.service.fabric.remote_store import (
+    RemoteKbStore,
+    ShardUnavailable,
+    parse_address,
+)
+from repro.service.fabric.shard_server import ShardServer
+from repro.service.kb_store import EntrySignature
+from repro.service.sharding import ShardedKbStore
+
+#: Seconds a replica sits out of the read rotation after a transport
+#: failure before being probed again.
+REPLICA_COOLDOWN_SECONDS = 1.0
+
+
+class Replicator:
+    """Asynchronous, in-order write propagation to replicas."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        self._stopped = False
+        self._idle = True
+        self.propagated = 0
+        self.dropped = 0
+        self._thread = threading.Thread(
+            target=self._run, name="fabric-replicator", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self, replica: RemoteKbStore, save_kwargs: Dict[str, Any]
+    ) -> None:
+        """Enqueue one replica delivery (called after the primary ack)."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._queue.append((replica, save_kwargs))
+            self._idle = False
+            self._cond.notify_all()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopped:
+                    self._idle = True
+                    self._cond.notify_all()
+                    self._cond.wait()
+                if self._stopped and not self._queue:
+                    self._idle = True
+                    self._cond.notify_all()
+                    return
+                replica, save_kwargs = self._queue.popleft()
+            try:
+                fault_point(
+                    "fabric.replicate.entry",
+                    replica=replica.path,
+                    query=save_kwargs.get("query"),
+                )
+                replica.save(**save_kwargs)
+                delivered = True
+            except SimulatedCrash:
+                delivered = False
+            except Exception:  # noqa: BLE001 - replica lags, reads fall back
+                delivered = False
+            with self._cond:
+                if delivered:
+                    self.propagated += 1
+                else:
+                    self.dropped += 1
+
+    def flush(self, timeout: float = 30.0) -> bool:
+        """Block until every queued delivery was attempted (event-wait,
+        no polling sleep); False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._queue or not self._idle:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    def stop(self) -> None:
+        """Drain the queue, then stop the thread."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30)
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "pending": len(self._queue),
+                "propagated": self.propagated,
+                "dropped": self.dropped,
+            }
+
+
+class ReplicatedShardClient:
+    """Primary-writes / replica-reads over one shard's replica group.
+
+    The consistency contract (docs/FABRIC.md):
+
+    - a ``save`` is acknowledged iff the **primary** committed it;
+      replica propagation is asynchronous and may be dropped;
+    - replica reads can therefore *miss* entries the primary has — a
+      miss falls back to the primary, so an acknowledged write is
+      always readable;
+    - the ``write_seq`` carried by every save makes replica apply
+      order irrelevant: a replica ignores deliveries older than what
+      it already holds, so a read served from any replica is never an
+      *earlier* version of an entry than one previously observable
+      there (no stale regression — the property the freshness checker
+      verifies end to end).
+    """
+
+    def __init__(
+        self,
+        primary: RemoteKbStore,
+        replicas: Sequence[RemoteKbStore],
+        replicator: Replicator,
+        seq: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.primary = primary
+        self.replicas = list(replicas)
+        self._replicator = replicator
+        self._lock = threading.Lock()
+        self._seq_counter = 0
+        self._seq = seq or self._next_seq
+        self._inflight = [0] * len(self.replicas)
+        self._unhealthy_until = [0.0] * len(self.replicas)
+        self.replica_reads = 0
+        self.replica_hits = 0
+        self.replica_misses = 0
+        self.replica_errors = 0
+        self.primary_reads = 0
+        #: KbStore-compatible identity: the primary's address.
+        self.path = primary.path
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq_counter += 1
+            return self._seq_counter
+
+    # ---- replica selection -------------------------------------------------
+
+    def _pick_replica(self) -> Optional[int]:
+        """Least-loaded healthy replica, or None to read the primary."""
+        if not self.replicas:
+            return None
+        now = time.monotonic()
+        with self._lock:
+            candidates = [
+                (self._inflight[i], i)
+                for i in range(len(self.replicas))
+                if self._unhealthy_until[i] <= now
+            ]
+            if not candidates:
+                return None
+            _, index = min(candidates)
+            self._inflight[index] += 1
+            return index
+
+    def _release_replica(self, index: int, failed: bool) -> None:
+        with self._lock:
+            self._inflight[index] -= 1
+            if failed:
+                self._unhealthy_until[index] = (
+                    time.monotonic() + REPLICA_COOLDOWN_SECONDS
+                )
+                self.replica_errors += 1
+
+    # ---- save / load -------------------------------------------------------
+
+    def save(
+        self,
+        query: str,
+        kb: KnowledgeBase,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+        created_at: Optional[float] = None,
+        replace: bool = True,
+    ) -> int:
+        """Write-through to the primary (the ack), then fan out async."""
+        seq = self._seq()
+        save_kwargs = {
+            "query": query,
+            "kb": kb,
+            "corpus_version": corpus_version,
+            "mode": mode,
+            "algorithm": algorithm,
+            "source": source,
+            "num_documents": num_documents,
+            "config_digest": config_digest,
+            "created_at": created_at,
+            "replace": replace,
+            "write_seq": seq,
+        }
+        entry_id = self.primary.save(**save_kwargs)
+        for replica in self.replicas:
+            self._replicator.submit(replica, dict(save_kwargs))
+        return entry_id
+
+    def load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Optional[KnowledgeBase]:
+        """Replica-first read with primary fallback on miss/failure."""
+        kwargs = {
+            "corpus_version": corpus_version,
+            "mode": mode,
+            "algorithm": algorithm,
+            "source": source,
+            "num_documents": num_documents,
+            "config_digest": config_digest,
+        }
+        index = self._pick_replica()
+        if index is not None:
+            with self._lock:
+                self.replica_reads += 1
+            failed = False
+            try:
+                kb = self.replicas[index].load(query, **kwargs)
+                if kb is not None:
+                    with self._lock:
+                        self.replica_hits += 1
+                    return kb
+                with self._lock:
+                    self.replica_misses += 1
+            except ShardUnavailable:
+                failed = True
+            finally:
+                self._release_replica(index, failed)
+        with self._lock:
+            self.primary_reads += 1
+        return self.primary.load(query, **kwargs)
+
+    def try_load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Tuple[bool, Optional[KnowledgeBase]]:
+        """Non-blocking read: replica first, primary on miss/busy."""
+        kwargs = {
+            "corpus_version": corpus_version,
+            "mode": mode,
+            "algorithm": algorithm,
+            "source": source,
+            "num_documents": num_documents,
+            "config_digest": config_digest,
+        }
+        index = self._pick_replica()
+        if index is not None:
+            with self._lock:
+                self.replica_reads += 1
+            failed = False
+            try:
+                attempted, kb = self.replicas[index].try_load(
+                    query, **kwargs
+                )
+                if attempted and kb is not None:
+                    with self._lock:
+                        self.replica_hits += 1
+                    return True, kb
+                if attempted:
+                    with self._lock:
+                        self.replica_misses += 1
+            except ShardUnavailable:
+                failed = True
+            finally:
+                self._release_replica(index, failed)
+        with self._lock:
+            self.primary_reads += 1
+        return self.primary.try_load(query, **kwargs)
+
+    # ---- meta / maintenance (primary-authoritative) ------------------------
+
+    @property
+    def corpus_version(self) -> str:
+        return self.primary.corpus_version
+
+    def set_corpus_version(self, version: str) -> None:
+        self.primary.set_corpus_version(version)
+        for replica in self.replicas:
+            try:
+                replica.set_corpus_version(version)
+            except ShardUnavailable:
+                pass  # replica resyncs via keyed misses
+
+    def entries(self) -> List[Tuple[str, str, str, str]]:
+        return self.primary.entries()
+
+    def signatures(self, **kwargs) -> List[EntrySignature]:
+        return self.primary.signatures(**kwargs)
+
+    def created_index(self) -> List[Tuple[float, int]]:
+        return self.primary.created_index()
+
+    def delete_entries(self, entry_ids) -> int:
+        ids = [int(entry_id) for entry_id in entry_ids]
+        removed = self.primary.delete_entries(ids)
+        # Replica deletions are best-effort: a lagging replica's extra
+        # rows are keyed like everything else, and the read path only
+        # trusts a replica *hit* when the primary acknowledged that
+        # exact key+version — leftover rows waste space, not truth.
+        for replica in self.replicas:
+            try:
+                replica.delete_entries(ids)
+            except ShardUnavailable:
+                pass
+        return removed
+
+    def delete_stale(self, current_version: str) -> int:
+        removed = self.primary.delete_stale(current_version)
+        for replica in self.replicas:
+            try:
+                replica.delete_stale(current_version)
+            except ShardUnavailable:
+                pass
+        return removed
+
+    def compact(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        removed = self.primary.compact(
+            max_age_seconds=max_age_seconds,
+            max_entries=max_entries,
+            now=now,
+        )
+        for replica in self.replicas:
+            try:
+                replica.compact(
+                    max_age_seconds=max_age_seconds,
+                    max_entries=max_entries,
+                    now=now,
+                )
+            except ShardUnavailable:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return self.primary.stats()
+
+    def entry_count(self) -> int:
+        return self.primary.entry_count()
+
+    def close(self) -> None:
+        self.primary.close()
+        for replica in self.replicas:
+            replica.close()
+
+    def fabric_stats(self) -> Dict[str, Any]:
+        """Read fan-out and transport counters for this replica group."""
+        with self._lock:
+            out: Dict[str, Any] = {
+                "primary": self.primary.path,
+                "replicas": [replica.path for replica in self.replicas],
+                "replica_reads": self.replica_reads,
+                "replica_hits": self.replica_hits,
+                "replica_misses": self.replica_misses,
+                "replica_errors": self.replica_errors,
+                "primary_reads": self.primary_reads,
+            }
+        out["transport"] = self.primary.client_stats()
+        return out
+
+
+class Fabric:
+    """A same-host shard fabric: servers, clients, router, mover.
+
+    Build one with :meth:`launch_local` (in-process servers over a
+    store directory — tests, single-host deployments driven by one
+    service) or :meth:`connect` (servers launched elsewhere, e.g. by
+    ``scripts/run_fabric.py``). Either way, :attr:`store` is a
+    :class:`ShardedKbStore` whose backends are
+    :class:`ReplicatedShardClient` groups, so the serving stack above
+    it is unchanged — including
+    :meth:`~repro.service.sharding.ShardedKbStore.online_rebalance`,
+    which asks this fabric's backend factory for a fresh generation of
+    replicated shards (launch-local mode only: in connect mode the
+    fabric cannot provision servers and the factory raises).
+    """
+
+    def __init__(self, replication_factor: int = 1) -> None:
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        self.replication_factor = replication_factor
+        self.replicator = Replicator()
+        self.store: Optional[ShardedKbStore] = None
+        self._servers: List[ShardServer] = []
+        self._clients: List[ReplicatedShardClient] = []
+        self._lock = threading.Lock()
+        self._connect_addresses: Optional[List[List[Tuple[str, int]]]] = None
+        self._request_timeout = 10.0
+        self._closed = False
+
+    # ---- construction ------------------------------------------------------
+
+    @classmethod
+    def launch_local(
+        cls,
+        directory: str,
+        num_shards: Optional[int] = None,
+        replication_factor: int = 1,
+        request_timeout: float = 10.0,
+    ) -> "Fabric":
+        """In-process fabric: one :class:`ShardServer` (thread) per
+        shard replica over files in ``directory``; replica files sit
+        next to the primary with an ``.r<N>`` suffix."""
+        fabric = cls(replication_factor=replication_factor)
+        fabric._request_timeout = request_timeout
+        fabric.store = ShardedKbStore(
+            directory,
+            num_shards=num_shards,
+            backend_factory=fabric._launch_backend,
+        )
+        return fabric
+
+    @classmethod
+    def connect(
+        cls,
+        directory: str,
+        addresses: Sequence[Sequence[Any]],
+        request_timeout: float = 10.0,
+    ) -> "Fabric":
+        """Fabric over externally launched shard servers.
+
+        ``addresses`` is one list per shard — the primary first, then
+        its replicas (``"host:port"`` strings or ``(host, port)``
+        pairs); the replication factor is the group width.
+        ``directory`` holds the routing manifest only.
+        """
+        if not addresses:
+            raise ValueError("addresses must name at least one shard")
+        groups = [
+            [parse_address(address) for address in group]
+            for group in addresses
+        ]
+        widths = {len(group) for group in groups}
+        if not widths or 0 in widths:
+            raise ValueError("every shard needs at least a primary address")
+        if len(widths) != 1:
+            raise ValueError(
+                f"uneven replica groups: {sorted(widths)} — every shard "
+                "must have the same replication factor"
+            )
+        fabric = cls(replication_factor=widths.pop())
+        fabric._request_timeout = request_timeout
+        fabric._connect_addresses = groups
+        fabric.store = ShardedKbStore(
+            directory,
+            num_shards=len(groups),
+            backend_factory=fabric._connect_backend,
+        )
+        return fabric
+
+    # ---- backend factories -------------------------------------------------
+
+    def _group_client(
+        self, members: Sequence[RemoteKbStore]
+    ) -> ReplicatedShardClient:
+        client = ReplicatedShardClient(
+            members[0], members[1:], self.replicator
+        )
+        with self._lock:
+            self._clients.append(client)
+        return client
+
+    def _launch_backend(self, index: int, path: str) -> ReplicatedShardClient:
+        """Start ``replication_factor`` servers for one shard path and
+        return the replica-group client (the ``ShardedKbStore`` backend
+        factory — also invoked by online rebalance for new
+        generations)."""
+        members: List[RemoteKbStore] = []
+        for replica_no in range(self.replication_factor):
+            replica_path = (
+                path if replica_no == 0 else f"{path}.r{replica_no}"
+            )
+            server = ShardServer(replica_path)
+            server.start()
+            with self._lock:
+                self._servers.append(server)
+            members.append(
+                RemoteKbStore(
+                    server.address, timeout=self._request_timeout
+                )
+            )
+        return self._group_client(members)
+
+    def _connect_backend(self, index: int, path: str) -> ReplicatedShardClient:
+        if self._connect_addresses is None or index >= len(
+            self._connect_addresses
+        ):
+            raise RuntimeError(
+                f"no addresses for shard {index}: a connect-mode fabric "
+                "cannot provision servers (online rebalance to a new "
+                "shard count needs launch_local, or new servers plus a "
+                "new connect)"
+            )
+        return self._group_client(
+            [
+                RemoteKbStore(address, timeout=self._request_timeout)
+                for address in self._connect_addresses[index]
+            ]
+        )
+
+    # ---- operations --------------------------------------------------------
+
+    def flush_replication(self, timeout: float = 30.0) -> bool:
+        """Wait for queued replica deliveries (tests, clean shutdown)."""
+        return self.replicator.flush(timeout=timeout)
+
+    def online_rebalance(self, num_shards: int) -> int:
+        """Online-rebalance the routed store (see ``ShardedKbStore``);
+        new-generation shards are provisioned through this fabric."""
+        if self.store is None:
+            raise RuntimeError("fabric has no store")
+        return self.store.online_rebalance(num_shards)
+
+    def plan_rebalance(self, threshold: float = 1.5) -> Optional[int]:
+        """Suggest a shard count when the balance signal crosses
+        ``threshold`` (max/mean of ``shard_entry_counts``); None when
+        the fabric is balanced enough. Purely advisory — the operator
+        (or a test) passes the suggestion to :meth:`online_rebalance`."""
+        if self.store is None:
+            raise RuntimeError("fabric has no store")
+        imbalance = self.store.shard_imbalance()
+        if imbalance <= threshold:
+            return None
+        return self.store.num_shards + 1
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``fabric`` block of ``QKBflyService.stats()``."""
+        with self._lock:
+            clients = list(self._clients)
+            servers = len(self._servers)
+        store = self.store
+        return {
+            "replication_factor": self.replication_factor,
+            "num_shards": store.num_shards if store is not None else 0,
+            "servers": servers,
+            "rebalance_in_progress": (
+                store.rebalance_in_progress() if store is not None else False
+            ),
+            "replication": self.replicator.stats(),
+            "shards": [client.fabric_stats() for client in clients],
+        }
+
+    def close(self) -> None:
+        """Stop replication, close clients, stop in-process servers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.replicator.stop()
+        if self.store is not None:
+            self.store.close()
+        with self._lock:
+            clients = list(self._clients)
+            servers = list(self._servers)
+        for client in clients:
+            client.close()
+        for server in servers:
+            server.stop()
+
+    def __enter__(self) -> "Fabric":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def fabric_replica_paths(directory: str, num_shards: int,
+                         replication_factor: int) -> List[List[str]]:
+    """The file layout ``launch_local`` / ``run_fabric.py`` use: per
+    shard, the primary file then ``.r<N>`` replica siblings."""
+    base = Path(directory)
+    out: List[List[str]] = []
+    for index in range(num_shards):
+        primary = str(base / f"shard-{index:03d}.sqlite")
+        group = [primary]
+        group.extend(
+            f"{primary}.r{replica_no}"
+            for replica_no in range(1, replication_factor)
+        )
+        out.append(group)
+    return out
+
+
+__all__ = [
+    "Fabric",
+    "REPLICA_COOLDOWN_SECONDS",
+    "ReplicatedShardClient",
+    "Replicator",
+    "fabric_replica_paths",
+]

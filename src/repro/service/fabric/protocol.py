@@ -1,0 +1,97 @@
+"""Length-prefixed JSON framing for the shard fabric.
+
+One frame = a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON. Requests are ``{"op": <name>, "args": {...}}``;
+responses are ``{"ok": true, "result": ...}`` or ``{"ok": false,
+"error": <message>, "type": <exception class name>}``. The payloads
+reuse the deterministic ``to_dict``/``from_dict`` wire forms the KB
+model and the store signatures already have — the fabric adds framing,
+not a second serialization story.
+
+Framing (rather than newline-delimited JSON) keeps the protocol safe
+for KB payloads that may embed any text, and makes a torn connection
+detectable: a reader either gets a complete frame or a
+:class:`ProtocolError` / clean EOF, never half a message parsed as a
+whole one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: Hard ceiling on one frame, far above any real KB entry — a
+#: corrupted length prefix must fail fast, not allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame (desynchronized peer)."""
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialize ``payload`` and write one complete frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on EOF at a frame boundary.
+
+    EOF *inside* a frame is a torn message and raises — the caller must
+    not mistake it for an orderly close.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one complete frame; None on clean EOF before any byte."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:  # pragma: no cover - EOF between header and body
+        raise ProtocolError("connection closed between header and body")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be an object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "recv_frame",
+    "send_frame",
+]

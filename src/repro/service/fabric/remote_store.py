@@ -1,0 +1,427 @@
+"""Client-side shard backend: the :class:`KbStore` surface over TCP.
+
+:class:`RemoteKbStore` speaks the fabric protocol to one
+:class:`~repro.service.fabric.shard_server.ShardServer` and implements
+the exact method surface of a local :class:`KbStore`, so
+``ShardedKbStore`` (and therefore the whole serving stack) composes
+local and remote shards through the same backend-factory seam without
+knowing which is which.
+
+Failure handling is explicit and bounded:
+
+- every request runs under a per-request socket ``timeout``;
+- transport failures (refused/reset/dropped connections, timeouts,
+  torn frames) are retried up to ``retries`` times with exponential
+  backoff, on a *fresh* connection each time;
+- when the budget is exhausted the caller gets a typed
+  :class:`ShardUnavailable` naming the shard address — the replicated
+  read path catches exactly this type to fail over, and everything
+  else propagates as the bug it is;
+- a server-side exception is re-raised here as :class:`RemoteError`
+  immediately (no retry: the server answered, the operation itself
+  failed — retrying a loud ``RuntimeError`` would just repeat it).
+
+Connections are pooled (a small LIFO free list) and re-checked-in only
+after a complete round trip, so a frame desync can never leak into the
+next request.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.faultinject.points import fault_point
+from repro.kb.facts import KnowledgeBase
+from repro.service.fabric.protocol import (
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.service.kb_store import EntrySignature
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """Accept ``(host, port)`` or ``"host:port"``; return the tuple."""
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"malformed shard address: {address!r}")
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+class ShardUnavailable(Exception):
+    """A shard could not be reached within the retry budget.
+
+    The replicated read path treats this as "fail over"; at the top of
+    the stack it means the fabric lost a shard's whole replica group.
+    """
+
+    def __init__(self, address: Tuple[str, int], detail: str) -> None:
+        super().__init__(
+            f"shard at {address[0]}:{address[1]} unavailable: {detail}"
+        )
+        self.address = address
+        self.detail = detail
+
+
+class RemoteError(Exception):
+    """The server executed the operation and reported an exception."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
+class RemoteKbStore:
+    """One shard server, presented as a local :class:`KbStore`.
+
+    Args:
+        address: ``(host, port)`` or ``"host:port"`` of the shard
+            server.
+        timeout: Per-request socket timeout in seconds (connect and
+            each read/write).
+        retries: Transport-failure retries per request (total attempts
+            are ``retries + 1``).
+        backoff_seconds: Base of the exponential retry backoff.
+        pool_size: Idle connections kept for reuse; bursts above this
+            open extra sockets that are closed on check-in.
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout: float = 10.0,
+        retries: int = 2,
+        backoff_seconds: float = 0.02,
+        pool_size: int = 2,
+    ) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.pool_size = pool_size
+        #: KbStore-compatible identity (shard_paths, logs, stats).
+        self.path = f"fabric://{self.address[0]}:{self.address[1]}"
+        self._pool: List[socket.socket] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self.requests = 0
+        self.retried = 0
+        self.dropped_connections = 0
+
+    # ---- connection pool ---------------------------------------------------
+
+    def _checkout(self) -> socket.socket:
+        with self._pool_lock:
+            if self._closed:
+                raise ShardUnavailable(self.address, "client closed")
+            if self._pool:
+                return self._pool.pop()
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        return sock
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._pool_lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(sock)
+                return
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    # ---- request core ------------------------------------------------------
+
+    def _request(self, op: str, args: Dict[str, Any]) -> Any:
+        """One op, with bounded transport retries on fresh sockets."""
+        with self._pool_lock:
+            self.requests += 1
+        payload = {"op": op, "args": args}
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                with self._pool_lock:
+                    self.retried += 1
+                time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+            try:
+                sock = self._checkout()
+            except OSError as error:
+                last_error = error
+                continue
+            try:
+                # The drop callable closes *this* socket: the injected
+                # connection drop hits a real in-flight transport, and
+                # the retry path below is what recovers from it.
+                fault_point(
+                    "fabric.remote.request", op=op, drop=sock.close
+                )
+                send_frame(sock, payload)
+                response = recv_frame(sock)
+                if response is None:
+                    raise ProtocolError("server closed the connection")
+            except (OSError, ProtocolError) as error:
+                with self._pool_lock:
+                    self.dropped_connections += 1
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+                last_error = error
+                continue
+            self._checkin(sock)
+            if response.get("ok"):
+                return response.get("result")
+            raise RemoteError(
+                str(response.get("type", "Exception")),
+                str(response.get("error", "")),
+            )
+        raise ShardUnavailable(
+            self.address,
+            f"{type(last_error).__name__}: {last_error} "
+            f"after {self.retries + 1} attempt(s)",
+        )
+
+    # ---- KbStore surface ---------------------------------------------------
+
+    def save(
+        self,
+        query: str,
+        kb: KnowledgeBase,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+        created_at: Optional[float] = None,
+        replace: bool = True,
+        write_seq: Optional[int] = None,
+    ) -> int:
+        """Persist on the shard server; returns the remote entry id.
+
+        ``write_seq`` is the replication version check (see the shard
+        server): deliveries carrying an older sequence than one already
+        applied for the key are ignored server-side.
+        """
+        result = self._request(
+            "save",
+            {
+                "query": query,
+                "kb": kb.to_dict(),
+                "corpus_version": corpus_version,
+                "mode": mode,
+                "algorithm": algorithm,
+                "source": source,
+                "num_documents": num_documents,
+                "config_digest": config_digest,
+                "created_at": created_at,
+                "replace": replace,
+                "write_seq": write_seq,
+            },
+        )
+        entry_id = result.get("entry_id")
+        return -1 if entry_id is None else int(entry_id)
+
+    def _sig_args(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str,
+        algorithm: str,
+        source: str,
+        num_documents: int,
+        config_digest: str,
+    ) -> Dict[str, Any]:
+        return {
+            "query": query,
+            "corpus_version": corpus_version,
+            "mode": mode,
+            "algorithm": algorithm,
+            "source": source,
+            "num_documents": num_documents,
+            "config_digest": config_digest,
+        }
+
+    def load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Optional[KnowledgeBase]:
+        """Reconstruct a stored KB, or None when the key is absent."""
+        result = self._request(
+            "load",
+            self._sig_args(
+                query, corpus_version, mode, algorithm, source,
+                num_documents, config_digest,
+            ),
+        )
+        return None if result is None else KnowledgeBase.from_dict(result)
+
+    def try_load(
+        self,
+        query: str,
+        corpus_version: str,
+        mode: str = "joint",
+        algorithm: str = "greedy",
+        source: str = "wikipedia",
+        num_documents: int = 1,
+        config_digest: str = "",
+    ) -> Tuple[bool, Optional[KnowledgeBase]]:
+        """Non-blocking load: the *server-side* store lock is probed,
+        so a remote writer mid-save yields ``(False, None)`` here just
+        like a local one would."""
+        result = self._request(
+            "try_load",
+            self._sig_args(
+                query, corpus_version, mode, algorithm, source,
+                num_documents, config_digest,
+            ),
+        )
+        kb = result.get("kb")
+        return (
+            bool(result.get("attempted")),
+            None if kb is None else KnowledgeBase.from_dict(kb),
+        )
+
+    # ---- meta --------------------------------------------------------------
+
+    @property
+    def corpus_version(self) -> str:
+        """The corpus stamp the shard was last synchronized to."""
+        return str(self._request("get_corpus_version", {}))
+
+    def set_corpus_version(self, version: str) -> None:
+        """Record the corpus stamp on the shard."""
+        self._request("set_corpus_version", {"version": version})
+
+    # ---- maintenance -------------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, str, str, str]]:
+        """(query, mode, algorithm, corpus_version) for every entry."""
+        return [tuple(entry) for entry in self._request("entries", {})]
+
+    def signatures(
+        self,
+        corpus_version: Optional[str] = None,
+        mode: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        config_digest: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[EntrySignature]:
+        """Stored entry signatures, newest first (server-side filters)."""
+        return [
+            EntrySignature.from_dict(sig)
+            for sig in self._request(
+                "signatures",
+                {
+                    "corpus_version": corpus_version,
+                    "mode": mode,
+                    "algorithm": algorithm,
+                    "config_digest": config_digest,
+                    "limit": limit,
+                },
+            )
+        ]
+
+    def created_index(self) -> List[Tuple[float, int]]:
+        """(created_at, entry_id) for every entry — compaction input."""
+        return [
+            (float(created_at), int(entry_id))
+            for created_at, entry_id in self._request("created_index", {})
+        ]
+
+    def delete_entries(self, entry_ids: Iterable[int]) -> int:
+        """Drop specific entries; returns the count removed."""
+        return int(
+            self._request(
+                "delete_entries",
+                {"entry_ids": [int(entry_id) for entry_id in entry_ids]},
+            )
+        )
+
+    def delete_stale(self, current_version: str) -> int:
+        """Drop entries from other corpus versions; returns the count."""
+        return int(
+            self._request(
+                "delete_stale", {"current_version": current_version}
+            )
+        )
+
+    def compact(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Server-side TTL/size compaction; returns removed entries."""
+        return int(
+            self._request(
+                "compact",
+                {
+                    "max_age_seconds": max_age_seconds,
+                    "max_entries": max_entries,
+                    "now": now,
+                },
+            )
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Row counts per table on the shard server."""
+        return {
+            str(table): int(count)
+            for table, count in self._request("stats", {}).items()
+        }
+
+    def entry_count(self) -> int:
+        """Number of entries on the shard (cheap indexed count)."""
+        return int(self._request("entry_count", {}))
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's health envelope (entries, ops, crash count)."""
+        return self._request("healthz", {})
+
+    def client_stats(self) -> Dict[str, int]:
+        """Transport counters for the fabric stats block."""
+        with self._pool_lock:
+            return {
+                "requests": self.requests,
+                "retried": self.retried,
+                "dropped_connections": self.dropped_connections,
+                "pooled": len(self._pool),
+            }
+
+    def __enter__(self) -> "RemoteKbStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "RemoteError",
+    "RemoteKbStore",
+    "ShardUnavailable",
+    "parse_address",
+]

@@ -1,0 +1,346 @@
+"""Socket server exposing one shard's :class:`KbStore` to the fabric.
+
+A :class:`ShardServer` owns exactly one SQLite shard file and serves
+the store surface over the length-prefixed JSON protocol of
+:mod:`repro.service.fabric.protocol`: ``save`` / ``load`` /
+``try_load`` / ``delete_entries`` / ``delete_stale`` / ``compact`` /
+``entry_count`` / ``signatures`` / ``entries`` / ``created_index`` /
+``stats`` / corpus-version meta / ``healthz``. Connections are
+persistent (one frame per request, many requests per connection) and
+handled by the stdlib ``socketserver`` threading mix-in; the store's
+own lock serializes the actual SQLite access, so the server adds
+concurrency at the socket layer without changing the store's
+consistency story.
+
+Replica freshness: ``save`` accepts an optional ``write_seq``. The
+server remembers the highest sequence applied per entry key (in
+memory — a restarted replica is resynchronized by the fabric anyway)
+and ignores a save that carries an *older* sequence than one already
+applied. Asynchronous replication may retry and reorder deliveries;
+this version check is what makes "a replica never regresses an entry
+it has already seen" hold regardless, which is exactly the invariant
+the freshness checker proves end to end.
+
+Runs in-process (``ShardServer(...).start()`` — tests, same-process
+fabrics) or standalone (``python -m repro.service.fabric.shard_server
+--path shard.sqlite``) under the :mod:`scripts.run_fabric` supervisor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import socketserver
+import sys
+import threading
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.faultinject.points import SimulatedCrash, fault_point
+from repro.kb.facts import KnowledgeBase
+from repro.service.fabric.protocol import (
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.service.kb_store import KbStore
+
+
+def _signature_key(args: Dict[str, Any]) -> Tuple[Any, ...]:
+    """The full entry key a ``write_seq`` is tracked under."""
+    return (
+        args["query"],
+        args.get("mode", "joint"),
+        args.get("algorithm", "greedy"),
+        args["corpus_version"],
+        args.get("source", "wikipedia"),
+        int(args.get("num_documents", 1)),
+        args.get("config_digest", ""),
+    )
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One persistent connection: frames in, frames out."""
+
+    def setup(self) -> None:
+        self.server.register_connection(self.request)
+
+    def finish(self) -> None:
+        self.server.forget_connection(self.request)
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = recv_frame(self.request)
+            except (ProtocolError, OSError):
+                return
+            if request is None:
+                return
+            try:
+                fault_point(
+                    "fabric.server.handle",
+                    op=request.get("op"),
+                    server=self.server,
+                )
+                result = self.server.dispatch(request)
+                response = {"ok": True, "result": result}
+            except SimulatedCrash:
+                # An injected shard-server crash: the connection dies
+                # without a reply, exactly what the client of a killed
+                # process would observe. The store's own BaseException
+                # rollback has already run (or the op never started).
+                self.server.note_crash()
+                return
+            except Exception as error:  # noqa: BLE001 - typed reply
+                response = {
+                    "ok": False,
+                    "error": str(error),
+                    "type": type(error).__name__,
+                }
+            try:
+                send_frame(self.request, response)
+            except OSError:
+                return
+
+
+class ShardServer(socketserver.ThreadingTCPServer):
+    """Serve one shard file on a loopback TCP port.
+
+    Args:
+        path: SQLite file backing this shard (created if absent).
+        host: Bind address; the fabric is same-host, so loopback.
+        port: TCP port; 0 picks a free one (read it back from
+            :attr:`address`).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, path: str, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.store = KbStore(path)
+        self.store_path = path
+        self.ops_served = 0
+        self.crashes = 0
+        self._stats_lock = threading.Lock()
+        self._seq_lock = threading.Lock()
+        self._applied_seq: Dict[Tuple[Any, ...], int] = {}
+        self._connections: Set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._stopped = False
+        super().__init__((host, port), _Handler)
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound (resolves ``port=0``)."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> threading.Thread:
+        """Serve in a daemon thread; returns it (joined by ``stop``)."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"shard-server-{self.address[1]}",
+            daemon=True,
+        )
+        self._serve_thread = thread
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop serving, sever live connections, close the store."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._serve_thread is not None:
+            # shutdown() waits for serve_forever to exit; calling it
+            # without a serving thread would wait forever.
+            self.shutdown()
+        with self._connections_lock:
+            live = list(self._connections)
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+            self._serve_thread = None
+        self.server_close()
+        self.store.close()
+
+    def register_connection(self, conn: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(conn)
+
+    def forget_connection(self, conn: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(conn)
+
+    def note_crash(self) -> None:
+        with self._stats_lock:
+            self.crashes += 1
+
+    # ---- dispatch ----------------------------------------------------------
+
+    def dispatch(self, request: Dict[str, Any]) -> Any:
+        """Execute one request against the shard store."""
+        op = request.get("op")
+        args = request.get("args") or {}
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ValueError(f"unknown fabric op: {op!r}")
+        with self._stats_lock:
+            self.ops_served += 1
+        return handler(args)
+
+    # Each op mirrors one KbStore method; payloads are the model's own
+    # wire forms (KnowledgeBase.to_dict / EntrySignature.to_dict).
+
+    def _op_save(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        write_seq = args.get("write_seq")
+        if write_seq is not None:
+            key = _signature_key(args)
+            with self._seq_lock:
+                last = self._applied_seq.get(key)
+                if last is not None and int(write_seq) < last:
+                    # A reordered/retried older replication delivery:
+                    # applying it would regress the entry. Skip.
+                    return {"entry_id": None, "applied": False}
+                self._applied_seq[key] = int(write_seq)
+        kb = KnowledgeBase.from_dict(args["kb"])
+        entry_id = self.store.save(
+            args["query"],
+            kb,
+            corpus_version=args["corpus_version"],
+            mode=args.get("mode", "joint"),
+            algorithm=args.get("algorithm", "greedy"),
+            source=args.get("source", "wikipedia"),
+            num_documents=int(args.get("num_documents", 1)),
+            config_digest=args.get("config_digest", ""),
+            created_at=args.get("created_at"),
+            replace=bool(args.get("replace", True)),
+        )
+        return {"entry_id": entry_id, "applied": True}
+
+    def _load_args(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "corpus_version": args["corpus_version"],
+            "mode": args.get("mode", "joint"),
+            "algorithm": args.get("algorithm", "greedy"),
+            "source": args.get("source", "wikipedia"),
+            "num_documents": int(args.get("num_documents", 1)),
+            "config_digest": args.get("config_digest", ""),
+        }
+
+    def _op_load(self, args: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        kb = self.store.load(args["query"], **self._load_args(args))
+        return None if kb is None else kb.to_dict()
+
+    def _op_try_load(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        attempted, kb = self.store.try_load(
+            args["query"], **self._load_args(args)
+        )
+        return {
+            "attempted": attempted,
+            "kb": None if kb is None else kb.to_dict(),
+        }
+
+    def _op_delete_entries(self, args: Dict[str, Any]) -> int:
+        return self.store.delete_entries(
+            int(entry_id) for entry_id in args.get("entry_ids", [])
+        )
+
+    def _op_delete_stale(self, args: Dict[str, Any]) -> int:
+        return self.store.delete_stale(args["current_version"])
+
+    def _op_compact(self, args: Dict[str, Any]) -> int:
+        return self.store.compact(
+            max_age_seconds=args.get("max_age_seconds"),
+            max_entries=args.get("max_entries"),
+            now=args.get("now"),
+        )
+
+    def _op_entries(self, args: Dict[str, Any]) -> list:
+        return [list(entry) for entry in self.store.entries()]
+
+    def _op_signatures(self, args: Dict[str, Any]) -> list:
+        return [
+            sig.to_dict()
+            for sig in self.store.signatures(
+                corpus_version=args.get("corpus_version"),
+                mode=args.get("mode"),
+                algorithm=args.get("algorithm"),
+                config_digest=args.get("config_digest"),
+                limit=args.get("limit"),
+            )
+        ]
+
+    def _op_created_index(self, args: Dict[str, Any]) -> list:
+        return [list(pair) for pair in self.store.created_index()]
+
+    def _op_stats(self, args: Dict[str, Any]) -> Dict[str, int]:
+        return self.store.stats()
+
+    def _op_entry_count(self, args: Dict[str, Any]) -> int:
+        return self.store.entry_count()
+
+    def _op_get_corpus_version(self, args: Dict[str, Any]) -> str:
+        return self.store.corpus_version
+
+    def _op_set_corpus_version(self, args: Dict[str, Any]) -> bool:
+        self.store.set_corpus_version(args["version"])
+        return True
+
+    def _op_healthz(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        with self._stats_lock:
+            ops, crashes = self.ops_served, self.crashes
+        return {
+            "ok": True,
+            "path": self.store_path,
+            "entries": self.store.entry_count(),
+            "ops_served": ops,
+            "crashes": crashes,
+        }
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Standalone entry point: serve one shard until interrupted.
+
+    Announces the bound address as one JSON line on stdout so a
+    supervisor launching with ``--port 0`` can learn the real port.
+    """
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--path", required=True,
+                        help="SQLite shard file to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one)")
+    options = parser.parse_args(argv)
+    server = ShardServer(options.path, host=options.host, port=options.port)
+    host, port = server.address
+    print(json.dumps({"host": host, "port": port, "path": options.path}),
+          flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as subprocess
+    sys.exit(main())
+
+
+__all__ = ["ShardServer", "main"]

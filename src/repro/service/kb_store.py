@@ -116,6 +116,33 @@ class EntrySignature:
     config_digest: str
     created_at: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict wire form (the fabric protocol ships these)."""
+        return {
+            "query": self.query,
+            "mode": self.mode,
+            "algorithm": self.algorithm,
+            "corpus_version": self.corpus_version,
+            "source": self.source,
+            "num_documents": self.num_documents,
+            "config_digest": self.config_digest,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EntrySignature":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            query=str(data["query"]),
+            mode=str(data["mode"]),
+            algorithm=str(data["algorithm"]),
+            corpus_version=str(data["corpus_version"]),
+            source=str(data["source"]),
+            num_documents=int(data["num_documents"]),
+            config_digest=str(data["config_digest"]),
+            created_at=float(data["created_at"]),
+        )
+
 
 class KbStore:
     """SQLite-backed persistence for served query results.
@@ -185,6 +212,7 @@ class KbStore:
         num_documents: int = 1,
         config_digest: str = "",
         created_at: Optional[float] = None,
+        replace: bool = True,
     ) -> int:
         """Persist a query result, replacing any previous row for the key.
 
@@ -192,10 +220,28 @@ class KbStore:
         later ``load`` can never see a truncated KB. ``created_at``
         defaults to now; migration and rebalancing pass the original
         stamp through so compaction ages entries by first creation, not
-        by their last move between shards. Returns the entry id.
+        by their last move between shards. With ``replace=False`` an
+        existing row for the key wins and its entry id is returned
+        unchanged — the online-rebalance mover uses this create-only
+        mode so a streamed copy can never clobber a newer double-written
+        entry (the existence check and the insert run under one lock,
+        so the race has no window). Returns the entry id.
         """
         with self._lock:
             try:
+                if not replace:
+                    row = self._conn.execute(
+                        "SELECT entry_id FROM kb_entries WHERE query = ? "
+                        "AND mode = ? AND algorithm = ? AND "
+                        "corpus_version = ? AND source = ? AND "
+                        "num_documents = ? AND config_digest = ?",
+                        (
+                            query, mode, algorithm, corpus_version, source,
+                            num_documents, config_digest,
+                        ),
+                    ).fetchone()
+                    if row is not None:
+                        return int(row[0])
                 return self._save_locked(
                     query, kb, corpus_version, mode, algorithm, source,
                     num_documents, config_digest, created_at,
@@ -607,6 +653,16 @@ class KbStore:
             )
             self._conn.commit()
             return cur.rowcount
+
+    def entry_count(self) -> int:
+        """Number of stored entries — one indexed count, no table scan
+        of the fact tables (the fabric health/rebalance probes poll
+        this, so it must stay cheap)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM kb_entries"
+            ).fetchone()
+            return int(row[0])
 
     def stats(self) -> Dict[str, int]:
         """Row counts per table, for monitoring."""

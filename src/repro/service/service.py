@@ -77,6 +77,7 @@ from repro.service.api import (
 from repro.service.autoscale import AutoscalePolicy, ExecutorSelector
 from repro.service.cache import CacheKey, QueryCache
 from repro.service.executor import BatchExecutor
+from repro.service.fabric.cluster import Fabric
 from repro.service.kb_store import KbStore
 from repro.service.process_executor import ProcessBatchExecutor
 from repro.service.sharding import ShardedKbStore
@@ -188,6 +189,17 @@ class ServiceConfig:
     # (any of the knobs above); joiners and store-servable keys are
     # never rejected.
     deadline_admission: bool = True
+    # KB-store backend (docs/FABRIC.md). "local" opens the store
+    # in-process (KbStore, or ShardedKbStore when store_shards > 1);
+    # "fabric" puts every shard behind a socket shard server with
+    # replication_factor-way replica groups (primary writes, replica
+    # reads) and online rebalance. With fabric_addresses unset the
+    # service launches in-process servers over store_path; set it to
+    # one address group per shard (primary first) to connect to
+    # servers launched by scripts/run_fabric.py instead.
+    store_backend: str = "local"
+    replication_factor: int = 1
+    fabric_addresses: Optional[List[List[str]]] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -211,6 +223,44 @@ class ServiceConfig:
             raise ValueError(
                 f"store_shards must be >= 1, got {self.store_shards}"
             )
+        if self.store_backend not in ("local", "fabric"):
+            raise ValueError(
+                f"unknown store_backend: {self.store_backend!r} "
+                "(choose 'local' or 'fabric')"
+            )
+        if self.replication_factor < 1:
+            raise ValueError(
+                "replication_factor must be >= 1, got "
+                f"{self.replication_factor}"
+            )
+        if self.store_backend == "fabric" and self.store_path is None:
+            raise ValueError(
+                "store_backend='fabric' needs store_path: the fabric "
+                "serves shard files under that directory"
+            )
+        if self.store_backend == "local":
+            if self.replication_factor != 1:
+                raise ValueError(
+                    "replication_factor > 1 needs store_backend='fabric' "
+                    "(a local store has nothing to replicate to)"
+                )
+            if self.fabric_addresses is not None:
+                raise ValueError(
+                    "fabric_addresses is set but store_backend is 'local'"
+                )
+        if self.fabric_addresses is not None:
+            if len(self.fabric_addresses) != self.store_shards:
+                raise ValueError(
+                    f"fabric_addresses names {len(self.fabric_addresses)} "
+                    f"shard groups but store_shards is {self.store_shards}"
+                )
+            for group in self.fabric_addresses:
+                if len(group) != self.replication_factor:
+                    raise ValueError(
+                        "every fabric address group must list "
+                        f"replication_factor={self.replication_factor} "
+                        f"members (primary first), got {group!r}"
+                    )
         if self.warm_limit is not None and self.store_path is None:
             raise ValueError(
                 "warm_limit is set but store_path is not: there is no "
@@ -329,8 +379,24 @@ class QKBflyService:
             max_size=self.service_config.cache_size,
             ttl_seconds=self.service_config.cache_ttl_seconds,
         )
+        self.fabric: Optional[Fabric] = None
         if store is None and self.service_config.store_path is not None:
-            if self.service_config.store_shards > 1:
+            if self.service_config.store_backend == "fabric":
+                if self.service_config.fabric_addresses is not None:
+                    self.fabric = Fabric.connect(
+                        self.service_config.store_path,
+                        self.service_config.fabric_addresses,
+                    )
+                else:
+                    self.fabric = Fabric.launch_local(
+                        self.service_config.store_path,
+                        num_shards=self.service_config.store_shards,
+                        replication_factor=(
+                            self.service_config.replication_factor
+                        ),
+                    )
+                store = self.fabric.store
+            elif self.service_config.store_shards > 1:
                 store = ShardedKbStore(
                     self.service_config.store_path,
                     num_shards=self.service_config.store_shards,
@@ -1150,6 +1216,18 @@ class QKBflyService:
                     num_documents=key.num_documents,
                     config_digest=key.config_digest,
                 )
+                if key.corpus_version != self.session.corpus_version:
+                    # A refresh_corpus completed between the pre-save
+                    # check and the commit: the row just written may
+                    # have landed *after* the refresh's delete_stale
+                    # sweep and would otherwise survive as dead weight
+                    # (version-keyed loads can never serve it, but it
+                    # breaks the "no stale rows after refresh"
+                    # invariant). Re-sweep; if instead the refresh's
+                    # own sweep is still ahead, this is a harmless
+                    # no-op. (Found by the fabric fault harness, where
+                    # the save's socket round trip widens the race.)
+                    self.store.delete_stale(self.session.corpus_version)
         # Label the result with the version its content actually came
         # from: a store hit is keyed (and was built) under the key's
         # version, while a fresh pipeline run used the session as it
@@ -1554,6 +1632,8 @@ class QKBflyService:
             out["pipeline_executor"] = self._pipeline_executor.stats()
         if self.store is not None:
             out["store"] = self.store.stats()
+        if self.fabric is not None:
+            out["fabric"] = self.fabric.stats()
         if self.admission is not None:
             out["admission"] = self.admission.stats()
         stage_cache = self.session.stage_cache
@@ -1578,6 +1658,11 @@ class QKBflyService:
         self._executor.shutdown()
         if pipeline_executor is not None:
             pipeline_executor.shutdown()
+        if self.fabric is not None:
+            # Drains queued replica deliveries, closes the routed
+            # store, then stops the shard servers (store.close() is
+            # idempotent, so the plain branch below would be a no-op).
+            self.fabric.close()
         if self.store is not None:
             self.store.close()
 
