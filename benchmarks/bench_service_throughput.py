@@ -48,6 +48,15 @@ measures seven regimes over one shared session:
   are informational: they price the loopback socket + JSON framing
   per read on the host, exactly as the gateway scenario prices its
   transport;
+- **search** — the fact-search subsystem (docs/SEARCH.md): a sharded
+  store filled with indexed facts, then (a) a full-table-scan control
+  (one MAX-limit page), (b) a keyset-paginated walk of the whole
+  corpus *while a writer thread keeps landing new saves*, and (c) FTS5
+  ranked lookups. Gated on walk completeness — every fact present when
+  the walk started must come back exactly once, the invariant keyset
+  cursors exist to provide (OFFSET pagination loses or repeats rows
+  under concurrent writes). The scan/page/FTS latencies are
+  informational: they price SQLite on the host;
 - **cost admission** — the load-management check for cost budgeting: a
   well-behaved client's cache-hit p50 is measured alone and again
   while an adversarial client hammers the service with expensive
@@ -129,6 +138,15 @@ COST_ALONE_HITS = 300
 COST_MAX_HITS = 5000
 # Fabric scenario: replica group width for the fabric-backed store.
 FABRIC_REPLICATION = 2
+# Search scenario: entries saved into the sharded store (each carrying
+# SEARCH_FACTS_PER_ENTRY facts), the page size of the keyset walk, how
+# many saves the concurrent writer lands while the walk runs, and how
+# many passes time the full-scan control / FTS lookups.
+SEARCH_ENTRIES = 100
+SEARCH_FACTS_PER_ENTRY = 3
+SEARCH_PAGE_LIMIT = 25
+SEARCH_CONCURRENT_WRITES = 20
+SEARCH_TIMING_PASSES = 5
 # Stage-cache scenario: base queries plus an overlapping variant per
 # base query ("<name> spouse" retrieves the same documents under a
 # different query-cache key, so only the stage cache can help).
@@ -830,6 +848,166 @@ def run_cost_admission_benchmark(
     }
 
 
+def run_search_benchmark(
+    session: SessionState,
+    num_entries: int = SEARCH_ENTRIES,
+    num_shards: int = NUM_SHARDS,
+) -> Dict[str, float]:
+    """Fact search over a populated sharded store: scan, walk, FTS.
+
+    ``num_entries`` KBs (each ``SEARCH_FACTS_PER_ENTRY`` facts about
+    the session's own entities) are saved into a sharded store, whose
+    save hook indexes them incrementally. Three measurements:
+
+    1. *full-scan control* — one MAX-limit page returning the whole
+       corpus, the thing pagination replaces (informational p50);
+    2. *keyset walk* — the corpus again in ``SEARCH_PAGE_LIMIT``-row
+       pages while a writer thread lands ``SEARCH_CONCURRENT_WRITES``
+       fresh saves mid-walk. ``gate_search_walk_complete`` is 1.0 only
+       when every pre-walk fact came back exactly once and no row was
+       duplicated — the correctness contract of ``{sortkey}|{rowid}``
+       cursors under concurrent writes;
+    3. *FTS lookups* — bm25-ranked queries for known subjects, each of
+       which must actually find its fact (informational p50).
+    """
+    import threading
+
+    from repro.kb.facts import ARG_ENTITY, Argument, Fact, KnowledgeBase
+    from repro.service.search.query import (
+        MAX_SEARCH_LIMIT,
+        search_paginated,
+        store_backends,
+    )
+    from repro.service.sharding import ShardedKbStore
+
+    names = _queries(session, NUM_UNIQUE_QUERIES)
+
+    def entry_kb(index: int) -> KnowledgeBase:
+        kb = KnowledgeBase()
+        for j in range(SEARCH_FACTS_PER_ENTRY):
+            name = names[(index + j) % len(names)]
+            kb.add_fact(
+                Fact(
+                    subject=Argument(
+                        ARG_ENTITY, f"E{index}_{j}", f"{name} role {index}.{j}"
+                    ),
+                    predicate=f"pred_{j}",
+                    objects=[
+                        Argument(ARG_ENTITY, "E_OBJ", f"object {index}.{j}")
+                    ],
+                    pattern=f"pat_{j}",
+                    confidence=0.9,
+                    doc_id=f"doc_{index}",
+                    sentence_index=j,
+                )
+            )
+        return kb
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ShardedKbStore(
+            str(Path(tmp) / "search"), num_shards=num_shards
+        ) as store:
+            expected = set()
+            for i in range(num_entries):
+                store.save(f"search_{i}", entry_kb(i), corpus_version="v1")
+                for j in range(SEARCH_FACTS_PER_ENTRY):
+                    name = names[(i + j) % len(names)]
+                    expected.add((f"search_{i}", f"{name} role {i}.{j}"))
+
+            # Full-table-scan control: the whole corpus as one page.
+            fullscan: List[float] = []
+            for _ in range(SEARCH_TIMING_PASSES):
+                t0 = time.perf_counter()
+                page = search_paginated(
+                    store_backends(store), "facts", limit=MAX_SEARCH_LIMIT
+                )
+                fullscan.append(time.perf_counter() - t0)
+            assert len(page["results"]) == min(
+                len(expected), MAX_SEARCH_LIMIT
+            )
+
+            # Keyset walk under concurrent writes.
+            def writer() -> None:
+                for i in range(SEARCH_CONCURRENT_WRITES):
+                    store.save(
+                        f"mid_{i}", entry_kb(num_entries + i),
+                        corpus_version="v1",
+                    )
+
+            walker = threading.Thread(target=writer)
+            page_latencies: List[float] = []
+            walked: List[Dict] = []
+            cursor = None
+            t0 = time.perf_counter()
+            walker.start()
+            try:
+                while True:
+                    t_page = time.perf_counter()
+                    page = search_paginated(
+                        store_backends(store),
+                        "facts",
+                        limit=SEARCH_PAGE_LIMIT,
+                        cursor=cursor,
+                    )
+                    page_latencies.append(time.perf_counter() - t_page)
+                    walked.extend(page["results"])
+                    if not page["has_more"]:
+                        break
+                    cursor = page["next_cursor"]
+            finally:
+                walker.join(timeout=120)
+            walk_seconds = time.perf_counter() - t0
+
+            gids = [row["gid"] for row in walked]
+            seen = [
+                (row["query"], row["subject"])
+                for row in walked
+                if row["query"].startswith("search_")
+            ]
+            complete = (
+                len(gids) == len(set(gids))
+                and len(seen) == len(set(seen))
+                and set(seen) == expected
+            )
+
+            # FTS lookups: every query must actually find its fact.
+            fts: List[float] = []
+            found = 0
+            for i in range(SEARCH_TIMING_PASSES):
+                target = f"role {i}.0"
+                t0 = time.perf_counter()
+                ranked = search_paginated(
+                    store_backends(store),
+                    "facts",
+                    q=target,
+                    sort="rank",
+                    limit=5,
+                )
+                fts.append(time.perf_counter() - t0)
+                found += any(
+                    target in row["subject"] for row in ranked["results"]
+                )
+            assert found == SEARCH_TIMING_PASSES, (
+                "an FTS lookup failed to find an indexed fact"
+            )
+
+    return {
+        "search_entries": num_entries,
+        "search_facts_indexed": len(expected),
+        "search_walk_pages": len(page_latencies),
+        "search_concurrent_writes": SEARCH_CONCURRENT_WRITES,
+        "qps_search_scan": round(len(walked) / walk_seconds, 2),
+        "search_page_p50_ms": round(
+            _percentile(page_latencies, 0.50) * 1000, 4
+        ),
+        "search_fullscan_p50_ms": round(
+            _percentile(fullscan, 0.50) * 1000, 4
+        ),
+        "search_fts_p50_ms": round(_percentile(fts, 0.50) * 1000, 4),
+        "gate_search_walk_complete": 1.0 if complete else 0.0,
+    }
+
+
 def run_stage_cache_benchmark(
     session: SessionState,
     num_queries: int = STAGE_UNIQUE_QUERIES,
@@ -949,6 +1127,10 @@ def run_full_benchmark(world: World) -> Dict[str, float]:
     metrics.update(run_async_front_end_benchmark(session))
     metrics.update(run_gateway_benchmark(session))
     metrics.update(run_cost_admission_benchmark(session))
+    # The search scenario must run before the stage-cache one: that
+    # scenario removes the shared session's stage cache to measure
+    # honestly, and this ordering keeps the session untouched here.
+    metrics.update(run_search_benchmark(session))
     metrics.update(run_stage_cache_benchmark(session))
     return metrics
 
@@ -1015,6 +1197,10 @@ def _assert_scaleout_metrics(metrics: Dict[str, float]) -> None:
         f"expensive cold traffic despite cost shedding: "
         f"alone={metrics['cost_hit_p50_alone_ms']}ms, "
         f"during={metrics['cost_hit_p50_during_ms']}ms"
+    )
+    assert metrics["gate_search_walk_complete"] == 1.0, (
+        "the paginated search walk must return every pre-walk fact "
+        "exactly once despite concurrent writes"
     )
     assert metrics["gate_stage_cold_parity"] == 1.0, (
         "stage-cached KBs must be byte-identical to uncached runs"

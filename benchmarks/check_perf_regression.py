@@ -71,6 +71,17 @@ INFORMATIONAL = (
     "cost_hit_p50_alone_ms",
     "cost_hit_p50_during_ms",
     "cost_isolation_ratio",
+    # Search scenario: scan/page/FTS latencies price SQLite (and the
+    # host's disk) per read; the gated form is the deterministic walk
+    # completeness bit (gate_search_walk_complete).
+    "search_entries",
+    "search_facts_indexed",
+    "search_walk_pages",
+    "search_concurrent_writes",
+    "qps_search_scan",
+    "search_page_p50_ms",
+    "search_fullscan_p50_ms",
+    "search_fts_p50_ms",
     # Stage-cache scenario: absolute p50s and the overlap speedup
     # measure host speed and load; the gated forms are the
     # deterministic lookup-count ratio (gate_overlap_reuse) and the

@@ -68,6 +68,7 @@ REQUIRED_DOCS = (
     "FABRIC.md",
     "OPERATIONS.md",
     "PIPELINE.md",
+    "SEARCH.md",
     "TESTING.md",
 )
 

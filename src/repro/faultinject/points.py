@@ -98,6 +98,13 @@ CATALOG: Dict[str, Tuple[str, ...]] = {
     # ShardedKbStore.online_rebalance: full copy pass done, cutover
     # (routing swap + manifest rewrite) not yet applied.
     "sharding.online_rebalance.cutover": (KIND_CRASH, KIND_DELAY),
+    # KbStore._save_locked, inside the save transaction, immediately
+    # before the search-index rows for the entry are written — a crash
+    # here must roll the entry and its index back together.
+    "search.index.update": (KIND_CRASH, KIND_DELAY),
+    # KbStore search read path, before the shard SQL executes — models
+    # a shard dying or stalling mid-paginated-walk.
+    "search.read.page": (KIND_CRASH, KIND_DELAY),
 }
 
 #: Sleep applied by ``delay`` actions: long enough to reorder racing

@@ -31,10 +31,14 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
   (startup from the CPU count, runtime from the observed traffic) and
   queue-fed worker-pool sizing with hysteresis;
 - :mod:`repro.service.admission` — per-client token-bucket rate
-  limiting, per-client *cost* budgeting (pipeline-seconds, with an
-  EWMA admit-time estimator), and global queue-depth load shedding
-  whose Retry-After comes from the measured queue-wait window —
-  enforced identically by every front end;
+  limiting, per-client *cost* budgeting (pipeline-seconds, with a
+  per-shape p95 admit-time estimator), and global queue-depth load
+  shedding whose Retry-After comes from the measured queue-wait
+  window — enforced identically by every front end;
+- :mod:`repro.service.search` — the fact-search subsystem: per-shard
+  FTS5 indexes maintained inside the store's save transaction, keyset
+  cursor pagination, and the multi-shard ranked merge behind
+  ``GET /v1/facts`` / ``GET /v1/entities`` (see ``docs/SEARCH.md``);
 - :mod:`repro.service.service` — the sync :class:`QKBflyService`
   facade (``serve``/``serve_batch`` envelope entry points, cache
   warm-up, store compaction, execution tiers);
@@ -43,8 +47,8 @@ serving deployment (see ``docs/ARCHITECTURE.md`` for the full map):
   misses dispatched to the executors, asyncio-native single-flight);
 - :mod:`repro.service.gateway` — the stdlib HTTP server
   (:class:`HttpGateway`) exposing ``POST /v1/query``,
-  ``GET /v1/healthz``, and ``GET /v1/stats`` over the asyncio front
-  end.
+  ``GET /v1/facts``, ``GET /v1/entities``, ``GET /v1/healthz``, and
+  ``GET /v1/stats`` over the asyncio front end.
 """
 
 from repro.service.admission import (
@@ -54,17 +58,21 @@ from repro.service.admission import (
     QueueWaitWindow,
     TokenBucket,
     cost_shape,
+    search_cost_shape,
 )
 from repro.service.api import (
     API_VERSION,
     CostLimited,
     DeadlineUnmet,
+    FactSearchRequest,
+    FactSearchResult,
     Overloaded,
     PipelineFailure,
     QueryRequest,
     QueryResult,
     QueryStatus,
     RateLimited,
+    SearchUnavailable,
     ServiceError,
     backend_seconds,
 )
@@ -82,12 +90,17 @@ from repro.service.fabric import (
     ShardServer,
     ShardUnavailable,
 )
-from repro.service.gateway import HttpGateway
+from repro.service.gateway import HttpGateway, parse_search_query
 from repro.service.kb_store import EntrySignature, KbStore
 from repro.service.process_executor import (
     PipelineRequest,
     PipelineResponse,
     ProcessBatchExecutor,
+)
+from repro.service.search import (
+    SORT_ORDERS,
+    rebuild_index,
+    search_paginated,
 )
 from repro.service.service import QKBflyService, ServiceConfig
 from repro.service.sharding import ShardedKbStore, shard_index
@@ -112,6 +125,8 @@ __all__ = [
     "EntrySignature",
     "ExecutorSelector",
     "Fabric",
+    "FactSearchRequest",
+    "FactSearchResult",
     "HttpGateway",
     "KbStore",
     "Overloaded",
@@ -127,6 +142,8 @@ __all__ = [
     "QueryStatus",
     "RateLimited",
     "RemoteKbStore",
+    "SORT_ORDERS",
+    "SearchUnavailable",
     "ServiceConfig",
     "ServiceError",
     "ShardServer",
@@ -140,6 +157,10 @@ __all__ = [
     "cost_shape",
     "normalize_query",
     "observed_cpu_count",
+    "parse_search_query",
+    "rebuild_index",
+    "search_cost_shape",
+    "search_paginated",
     "shard_index",
     "stage_signature",
 ]

@@ -16,9 +16,10 @@ Three independent mechanisms compose, each optional:
   request counts: a client that issues ten expensive multi-document
   cold queries spends its budget ten times faster than one issuing
   ten cache hits. At admit time the request's cost is *estimated*
-  (an EWMA per query shape, learned from the measured
-  ``store_seconds + pipeline_seconds`` the serving layer feeds back
-  after every request) and reserved; after the request completes the
+  (the p95 over a small ring buffer of measured costs per query
+  shape — learned from the ``store_seconds + pipeline_seconds`` the
+  serving layer feeds back after every request — with a global EWMA
+  as the prior for never-seen shapes) and reserved; after the request completes the
   reservation is reconciled against the observed cost, so cache hits
   settle at ~zero cost and mis-estimates become debt or refunds, never
   lost accounting. Like every admission check, the reservation happens
@@ -80,9 +81,17 @@ DEFAULT_MAX_TRACKED_CLIENTS = 1024
 #: Default sample capacity of a :class:`QueueWaitWindow`.
 DEFAULT_QUEUE_WAIT_WINDOW = 256
 
-#: EWMA smoothing factor for the per-shape cost estimator: each new
+#: EWMA smoothing factor for the *global* cost prior: each new
 #: observation contributes this fraction of the running estimate.
 DEFAULT_COST_EWMA_ALPHA = 0.2
+
+#: Measured-cost samples kept per query shape. The admit-time estimate
+#: is the p95 over this ring buffer: a mean (or EWMA) under-reserves
+#: for bimodal shapes — one where most requests hit the cache but the
+#: tail rebuilds a pipeline — and under-reservation converts straight
+#: into client debt. 64 samples date the p95 quickly when a shape's
+#: cost regime shifts, yet give the tail ~3 samples to stand on.
+DEFAULT_COST_SAMPLE_WINDOW = 64
 
 #: Distinct query shapes the cost estimator tracks (LRU-bounded, like
 #: the client buckets — shapes are client-influenced input).
@@ -341,8 +350,10 @@ class AdmissionController:
             0.0 is deliberately optimistic: the first request of a new
             shape is admitted and its *measured* cost seeds the EWMA
             (mis-estimates become bucket debt, so optimism is bounded).
-        cost_ewma_alpha: Smoothing factor of the per-shape cost EWMA
-            (fraction of each new observation folded in).
+        cost_ewma_alpha: Smoothing factor of the *global* cost EWMA —
+            the prior for unseen shapes (fraction of each new
+            observation folded in). Per-shape estimates use a p95 ring
+            buffer instead; see :meth:`estimate_cost`.
         max_queue_depth: Distinct in-flight executor computations
             beyond which new cold work is shed; None disables shedding.
         overload_retry_after: Fallback ``retry_after`` for
@@ -425,10 +436,13 @@ class AdmissionController:
         # front — O(1) per request, even with attacker-minted ids.
         self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._cost_buckets: "OrderedDict[str, CostBucket]" = OrderedDict()
-        # Per-shape EWMA of measured backend cost (seconds), plus a
-        # global EWMA used as the prior for shapes seen for the first
-        # time; both only learn from requests that did real work.
-        self._shape_cost: "OrderedDict[Hashable, float]" = OrderedDict()
+        # Per-shape ring buffers of measured backend cost (seconds) —
+        # the admit-time estimate is each buffer's p95 — plus a global
+        # EWMA used as the prior for shapes seen for the first time;
+        # both only learn from requests that did real work.
+        self._shape_cost: "OrderedDict[Hashable, Deque[float]]" = (
+            OrderedDict()
+        )
         self._global_cost: Optional[float] = None
         self.admitted = 0
         self.rate_limited = 0
@@ -524,7 +538,8 @@ class AdmissionController:
         envelope); pass None when it is unknown (failures, timeouts
         with the work still in flight) to keep the estimate charged.
         Observations of real work (``actual > 0``) also feed the
-        per-shape EWMA so future admit-time estimates track reality.
+        per-shape sample ring (and the global EWMA prior) so future
+        admit-time estimates track reality.
         Safe to call after the client's bucket was LRU-evicted (the
         reservation is simply forgotten along with the bucket).
         """
@@ -540,12 +555,11 @@ class AdmissionController:
                     else alpha * actual + (1.0 - alpha) * self._global_cost
                 )
                 if charge.shape is not None:
-                    previous = self._shape_cost.get(charge.shape)
-                    self._shape_cost[charge.shape] = (
-                        actual
-                        if previous is None
-                        else alpha * actual + (1.0 - alpha) * previous
-                    )
+                    samples = self._shape_cost.get(charge.shape)
+                    if samples is None:
+                        samples = deque(maxlen=DEFAULT_COST_SAMPLE_WINDOW)
+                        self._shape_cost[charge.shape] = samples
+                    samples.append(actual)
                     self._shape_cost.move_to_end(charge.shape)
                     while len(self._shape_cost) > DEFAULT_MAX_TRACKED_SHAPES:
                         self._shape_cost.popitem(last=False)
@@ -553,8 +567,13 @@ class AdmissionController:
     def estimate_cost(self, shape: Optional[Hashable]) -> float:
         """The admit-time cost estimate (seconds) for ``shape``.
 
-        Resolution order: the shape's own EWMA, else the global EWMA
-        across all shapes, else ``cost_initial_estimate``. Exposed for
+        Resolution order: the p95 of the shape's measured-cost ring
+        buffer, else the global EWMA across all shapes, else
+        ``cost_initial_estimate``. The p95 (nearest-rank, like
+        :meth:`QueueWaitWindow.percentile`) makes the reservation cover
+        the shape's *tail*, not its average — a shape that is usually a
+        cache hit but sometimes a full pipeline run reserves for the
+        run, and the settle refunds the difference on hits. Exposed for
         monitoring and tests; :meth:`admit` uses the same logic.
         """
         with self._lock:
@@ -562,9 +581,14 @@ class AdmissionController:
 
     def _estimate_locked(self, shape: Optional[Hashable]) -> float:
         if shape is not None:
-            known = self._shape_cost.get(shape)
-            if known is not None:
-                return known
+            samples = self._shape_cost.get(shape)
+            if samples:
+                ordered = sorted(samples)
+                index = min(
+                    len(ordered) - 1,
+                    max(0, round(0.95 * (len(ordered) - 1))),
+                )
+                return ordered[index]
         if self._global_cost is not None:
             return self._global_cost
         return self.cost_initial_estimate
@@ -697,6 +721,7 @@ class AdmissionController:
             }
             if self.cost_budget_per_second is not None:
                 out["tracked_cost_clients"] = len(self._cost_buckets)
+                out["tracked_cost_shapes"] = len(self._shape_cost)
                 out["cost_estimate_global"] = (
                     round(self._global_cost, 6)
                     if self._global_cost is not None
@@ -722,14 +747,27 @@ def cost_shape(
     return (source, num_documents)
 
 
+def search_cost_shape(kind: str) -> Tuple[str, str]:
+    """The cost-estimator shape key for a fact/entity search page.
+
+    Searches are their own shape class: a paginated index read costs
+    milliseconds where a pipeline run costs seconds, and folding both
+    into one estimate would overcharge every search (or under-reserve
+    every serve). ``kind`` is ``"facts"`` or ``"entities"``.
+    """
+    return ("search", kind)
+
+
 __all__ = [
     "AdmissionController",
     "CostBucket",
     "CostCharge",
     "DEFAULT_COST_EWMA_ALPHA",
+    "DEFAULT_COST_SAMPLE_WINDOW",
     "DEFAULT_MAX_TRACKED_CLIENTS",
     "DEFAULT_QUEUE_WAIT_WINDOW",
     "QueueWaitWindow",
     "TokenBucket",
     "cost_shape",
+    "search_cost_shape",
 ]

@@ -40,6 +40,11 @@ from typing import Any, Dict, Optional
 
 from repro.kb.facts import KnowledgeBase
 from repro.service.cache import normalize_query
+from repro.service.search.query import (
+    DEFAULT_SEARCH_LIMIT,
+    MAX_SEARCH_LIMIT,
+    SORT_ORDERS,
+)
 
 API_VERSION = "v1"
 DEFAULT_CLIENT_ID = "anonymous"
@@ -175,6 +180,23 @@ class DeadlineUnmet(ServiceError):
     http_status = 504
 
 
+class SearchUnavailable(ServiceError):
+    """The fact-search index cannot serve this deployment (HTTP 503).
+
+    Raised when the deployment has no persistent KB store to search,
+    or when the store's SQLite build lacks the FTS5 extension (probed
+    once at store creation — see
+    :func:`repro.service.search.index.ensure_search_schema`). The
+    condition is configuration-shaped, not transient, so no
+    ``retry_after`` is attached; everything *except* ``/v1/facts`` /
+    ``/v1/entities`` keeps serving normally.
+    """
+
+    status = QueryStatus.FAILED
+    code = "search_unavailable"
+    http_status = 503
+
+
 class PipelineFailure(ServiceError):
     """The KB pipeline raised while serving the request (HTTP 500).
 
@@ -193,6 +215,7 @@ _ERROR_CLASSES: Dict[str, type] = {
     CostLimited.code: CostLimited,
     Overloaded.code: Overloaded,
     DeadlineUnmet.code: DeadlineUnmet,
+    SearchUnavailable.code: SearchUnavailable,
     PipelineFailure.code: PipelineFailure,
 }
 
@@ -555,11 +578,183 @@ class QueryResult:
         )
 
 
+# ---- search envelopes ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FactSearchRequest:
+    """One v1 search over stored facts or entities, validated at
+    construction (the read twin of :class:`QueryRequest`).
+
+    Args:
+        q: Optional full-text query; tokens are AND-ed phrases against
+            the FTS5 index. Required when ``sort="rank"``.
+        entity: Optional entity filter (subject/entity id match, or a
+            substring of the object/display text).
+        pattern: Optional exact pattern filter (facts only).
+        corpus_version: Optional exact corpus-version filter.
+        created_after: Optional inclusive lower bound on ``created_at``.
+        created_before: Optional inclusive upper bound on ``created_at``.
+        sort: One of ``id`` (default), ``created_at``, ``-created_at``,
+            ``rank`` (bm25; requires ``q``).
+        limit: Page size, 1..``MAX_SEARCH_LIMIT`` (the gateway clamps,
+            direct callers get a 400-class error).
+        cursor: Opaque ``{sortkey}|{rowid}`` keyset cursor from a prior
+            page's ``next_cursor``.
+        client_id: Admission-control identity (search has its own cost
+            shape, so scans cannot starve query traffic).
+        api_version: Must be ``"v1"``.
+    """
+
+    q: Optional[str] = None
+    entity: Optional[str] = None
+    pattern: Optional[str] = None
+    corpus_version: Optional[str] = None
+    created_after: Optional[float] = None
+    created_before: Optional[float] = None
+    sort: str = "id"
+    limit: int = DEFAULT_SEARCH_LIMIT
+    cursor: Optional[str] = None
+    client_id: str = DEFAULT_CLIENT_ID
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        if self.api_version != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {self.api_version!r} "
+                f"(this server speaks {API_VERSION!r})"
+            )
+        for name in ("q", "entity", "pattern", "corpus_version", "cursor"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, str) or not value.strip()
+            ):
+                raise invalid_request(f"{name} must be a non-empty string")
+        for name in ("created_after", "created_before"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not math.isfinite(value)
+            ):
+                raise invalid_request(f"{name} must be a finite number")
+        if self.sort not in SORT_ORDERS:
+            raise invalid_request(
+                f"unknown sort {self.sort!r} "
+                f"(supported: {', '.join(SORT_ORDERS)})"
+            )
+        if self.sort == "rank" and self.q is None:
+            raise invalid_request("sort=rank requires a full-text query (q)")
+        if (
+            not isinstance(self.limit, int)
+            or isinstance(self.limit, bool)
+            or not 1 <= self.limit <= MAX_SEARCH_LIMIT
+        ):
+            raise invalid_request(
+                f"limit must be an integer in 1..{MAX_SEARCH_LIMIT}"
+            )
+        if not isinstance(self.client_id, str) or not self.client_id:
+            raise invalid_request("client_id must be a non-empty string")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form; omitted optionals travel as explicit nulls."""
+        return {
+            "api_version": self.api_version,
+            "q": self.q,
+            "entity": self.entity,
+            "pattern": self.pattern,
+            "corpus_version": self.corpus_version,
+            "created_after": self.created_after,
+            "created_before": self.created_before,
+            "sort": self.sort,
+            "limit": self.limit,
+            "cursor": self.cursor,
+            "client_id": self.client_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FactSearchRequest":
+        """Parse and validate a wire payload; unknown keys are errors."""
+        if not isinstance(data, dict):
+            raise invalid_request("search request must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise invalid_request(
+                f"unknown search parameter(s): {', '.join(unknown)}"
+            )
+        kwargs = {key: data[key] for key in data}
+        kwargs.setdefault("api_version", API_VERSION)
+        if kwargs.get("client_id") is None:
+            kwargs["client_id"] = DEFAULT_CLIENT_ID
+        if kwargs.get("sort") is None:
+            kwargs["sort"] = "id"
+        if kwargs.get("limit") is None:
+            kwargs["limit"] = DEFAULT_SEARCH_LIMIT
+        return cls(**kwargs)
+
+
+@dataclass
+class FactSearchResult:
+    """One page of search results: the paginated v1 envelope.
+
+    ``results`` carries plain row dicts (each with its global ``gid``,
+    the owning entry's metadata, and the indexed fields — plus a bm25
+    ``score`` when ``q`` was given); ``next_cursor`` resumes the walk
+    after the last row of this page, and ``has_more`` is proven by a
+    spilled ``limit + 1``-th candidate, not a count query.
+    """
+
+    kind: str
+    results: list
+    next_cursor: Optional[str] = None
+    has_more: bool = False
+    #: Total wall seconds observed by this consumer.
+    seconds: float = 0.0
+    client_id: str = DEFAULT_CLIENT_ID
+    api_version: str = API_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the paginated envelope."""
+        return {
+            "api_version": self.api_version,
+            "status": QueryStatus.OK.value,
+            "kind": self.kind,
+            "count": len(self.results),
+            "results": list(self.results),
+            "next_cursor": self.next_cursor,
+            "has_more": self.has_more,
+            "client_id": self.client_id,
+            "timings": {"total_seconds": self.seconds},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FactSearchResult":
+        """Rebuild the envelope from its wire form."""
+        if not isinstance(data, dict):
+            raise invalid_request("search payload must be a JSON object")
+        if data.get("api_version") != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {data.get('api_version')!r}"
+            )
+        timings = data.get("timings") or {}
+        return cls(
+            kind=str(data.get("kind", "facts")),
+            results=list(data.get("results") or ()),
+            next_cursor=data.get("next_cursor"),
+            has_more=bool(data.get("has_more")),
+            seconds=float(timings.get("total_seconds") or 0.0),
+            client_id=data.get("client_id", DEFAULT_CLIENT_ID),
+        )
+
+
 __all__ = [
     "API_VERSION",
     "CostLimited",
     "DEFAULT_CLIENT_ID",
     "DeadlineUnmet",
+    "FactSearchRequest",
+    "FactSearchResult",
     "Overloaded",
     "PipelineFailure",
     "QueryRequest",
@@ -569,6 +764,7 @@ __all__ = [
     "SERVED_FROM_CACHE",
     "SERVED_FROM_EXECUTOR",
     "SERVED_FROM_STORE",
+    "SearchUnavailable",
     "ServiceError",
     "backend_seconds",
     "classify_timeout",

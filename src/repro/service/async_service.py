@@ -57,6 +57,8 @@ from repro.corpus.world import World
 from repro.faultinject.points import fault_point
 from repro.service.api import (
     DeadlineUnmet,
+    FactSearchRequest,
+    FactSearchResult,
     PipelineFailure,
     QueryRequest,
     QueryResult,
@@ -398,6 +400,34 @@ class AsyncQKBflyService:
 
         return list(
             await asyncio.gather(*(serve_one(r) for r in requests))
+        )
+
+    # ---- fact search -------------------------------------------------------
+
+    async def search_facts(
+        self, request: FactSearchRequest
+    ) -> FactSearchResult:
+        """One page of the stored-fact search, off the event loop.
+
+        The whole sync :meth:`QKBflyService.search_facts` (admission
+        included) runs on a dispatch-pool thread: a page read is a
+        blocking SQLite (or fabric socket) round trip, which must never
+        stall loop-side cache hits. Same taxonomy as the sync method
+        (:class:`~repro.service.api.SearchUnavailable` → 503, bad
+        sort/cursor → 400).
+        """
+        loop = self._check_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool, self.service.search_facts, request
+        )
+
+    async def search_entities(
+        self, request: FactSearchRequest
+    ) -> FactSearchResult:
+        """One page of the stored-entity search, off the event loop."""
+        loop = self._check_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool, self.service.search_entities, request
         )
 
     # ---- legacy entry points (deprecated shims) ----------------------------

@@ -340,6 +340,15 @@ class ReplicatedShardClient:
     def signatures(self, **kwargs) -> List[EntrySignature]:
         return self.primary.signatures(**kwargs)
 
+    def search_facts(self, params: Dict[str, Any]) -> List[Dict]:
+        # Primary-authoritative: a keyset walk must see one consistent
+        # shard timeline; bouncing pages between primary and a lagging
+        # replica could lose acknowledged rows mid-walk.
+        return self.primary.search_facts(params)
+
+    def search_entities(self, params: Dict[str, Any]) -> List[Dict]:
+        return self.primary.search_entities(params)
+
     def created_index(self) -> List[Tuple[float, int]]:
         return self.primary.created_index()
 

@@ -40,6 +40,7 @@ from repro.service.fabric.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.service.api import SearchUnavailable
 from repro.service.kb_store import EntrySignature
 
 
@@ -304,6 +305,25 @@ class RemoteKbStore:
             bool(result.get("attempted")),
             None if kb is None else KnowledgeBase.from_dict(kb),
         )
+
+    # ---- fact search -------------------------------------------------------
+
+    def _search(self, kind: str, params: Dict[str, Any]) -> List[Dict]:
+        result = self._request(f"search_{kind}", {"params": params})
+        if result.get("unavailable"):
+            raise SearchUnavailable(
+                f"shard {self.path} was built without FTS5; fact search "
+                f"is unavailable"
+            )
+        return list(result.get("rows") or [])
+
+    def search_facts(self, params: Dict[str, Any]) -> List[Dict]:
+        """One remote shard's slice of a paginated fact search."""
+        return self._search("facts", params)
+
+    def search_entities(self, params: Dict[str, Any]) -> List[Dict]:
+        """One remote shard's slice of a paginated entity search."""
+        return self._search("entities", params)
 
     # ---- meta --------------------------------------------------------------
 

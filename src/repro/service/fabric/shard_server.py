@@ -43,6 +43,7 @@ from repro.service.fabric.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.service.api import SearchUnavailable
 from repro.service.kb_store import KbStore
 
 
@@ -300,6 +301,26 @@ class ShardServer(socketserver.ThreadingTCPServer):
     def _op_set_corpus_version(self, args: Dict[str, Any]) -> bool:
         self.store.set_corpus_version(args["version"])
         return True
+
+    def _search(self, kind: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        # FTS5 absence is a *capability*, not a failure: it travels as
+        # a marker in the ok-reply so the client can raise the typed
+        # SearchUnavailable instead of a generic RemoteError.
+        params = args.get("params") or {}
+        try:
+            if kind == "facts":
+                rows = self.store.search_facts(params)
+            else:
+                rows = self.store.search_entities(params)
+        except SearchUnavailable:
+            return {"unavailable": True}
+        return {"rows": rows}
+
+    def _op_search_facts(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return self._search("facts", args)
+
+    def _op_search_entities(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return self._search("entities", args)
 
     def _op_healthz(self, args: Dict[str, Any]) -> Dict[str, Any]:
         with self._stats_lock:

@@ -16,6 +16,15 @@ Routes (see ``docs/API.md`` for the wire format and curl examples):
   Admission rejections map to HTTP 429 (rate limited) and 503
   (overloaded), both with a ``Retry-After`` header; pipeline failures
   to 500; per-request timeouts to 504; malformed envelopes to 400.
+- ``GET /v1/facts`` / ``GET /v1/entities`` — keyset-paginated read
+  APIs over the store's fact-search index (``docs/SEARCH.md``).
+  Filters, sort order, page size and cursor arrive as URL query
+  parameters (parsed by one shared, strict parser: unknown or
+  malformed parameters are 400, ``limit`` is clamped to the API
+  ceiling); pages come back as
+  :class:`~repro.service.api.FactSearchResult` envelopes with
+  ``next_cursor`` / ``has_more``. A deployment without a store or
+  without FTS5 answers 503 (``search_unavailable``).
 - ``GET /v1/healthz`` — liveness plus the served corpus version.
 - ``GET /v1/stats`` — the merged serving counters
   (:meth:`AsyncQKBflyService.stats`: cache, store, executor tiers,
@@ -35,14 +44,18 @@ import json
 import math
 import time
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl
 
 from repro.service.api import (
     API_VERSION,
+    FactSearchRequest,
     QueryRequest,
     QueryResult,
     ServiceError,
+    invalid_request,
 )
 from repro.service.async_service import AsyncQKBflyService
+from repro.service.search.query import MAX_SEARCH_LIMIT
 
 #: Hard cap on request bodies: a query envelope is small; anything
 #: bigger is a client error (or abuse), answered with 413.
@@ -333,8 +346,9 @@ class HttpGateway:
         wants_close = headers.get("connection", "").lower() == "close"
         keep_alive = http_version.upper() != "HTTP/1.0" and not wants_close
 
+        path, _, query_string = target.partition("?")
         status, payload, extra_headers = await self._route(
-            method, target.split("?", 1)[0], headers, body
+            method, path, query_string, headers, body
         )
         await self._respond(
             writer, status, payload, extra_headers, keep_alive=keep_alive
@@ -347,12 +361,24 @@ class HttpGateway:
         self,
         method: str,
         path: str,
+        query_string: str,
         headers: Dict[str, str],
         body: bytes,
     ) -> Tuple[int, Any, Dict[str, str]]:
         """Dispatch one parsed request; returns (status, payload,
         headers) — payload is a dict, or pre-encoded bytes for query
         envelopes."""
+        if path in ("/v1/facts", "/v1/entities"):
+            if method != "GET":
+                return (
+                    405,
+                    _error_payload(
+                        "method_not_allowed", "use GET", http_status=405
+                    ),
+                    {"Allow": "GET"},
+                )
+            kind = "facts" if path == "/v1/facts" else "entities"
+            return await self._handle_search(kind, query_string, headers)
         if path == "/v1/query":
             if method != "POST":
                 return (
@@ -462,6 +488,41 @@ class HttpGateway:
         body = await loop.run_in_executor(None, _encode_payload, result)
         return 200, body, {}
 
+    async def _handle_search(
+        self, kind: str, query_string: str, headers: Dict[str, str]
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """GET /v1/facts | /v1/entities: query string in, page out."""
+        try:
+            params = parse_search_query(query_string)
+            if not params.get("client_id") and headers.get("x-client-id"):
+                # Same identity fallback as POST /v1/query.
+                params["client_id"] = headers["x-client-id"]
+            request = FactSearchRequest.from_dict(params)
+        except ServiceError as error:
+            return error.http_status, _error_payload_from(error), {}
+        try:
+            if kind == "facts":
+                result = await self._service.search_facts(request)
+            else:
+                result = await self._service.search_entities(request)
+        except ServiceError as error:
+            return (
+                error.http_status,
+                _error_payload_from(error),
+                _retry_headers(error),
+            )
+        except Exception as error:  # defense in depth: never half-close
+            return (
+                500,
+                _error_payload(
+                    "internal", f"unexpected error: {error}", http_status=500
+                ),
+                {},
+            )
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(None, _encode_payload, result)
+        return 200, body, {}
+
     # ---- response writing --------------------------------------------------
 
     async def _respond(
@@ -519,9 +580,73 @@ class HttpGateway:
         }
 
 
-def _encode_payload(result: QueryResult) -> bytes:
-    """Full envelope to wire bytes (runs on a worker thread)."""
+def _encode_payload(result: Any) -> bytes:
+    """Full envelope (query or search) to wire bytes (worker thread)."""
     return json.dumps(result.to_dict(), default=str).encode("utf-8")
+
+
+#: Query parameters the search endpoints accept verbatim as strings.
+_SEARCH_STRING_PARAMS = frozenset(
+    ("q", "entity", "pattern", "corpus_version", "sort", "cursor",
+     "client_id")
+)
+#: Query parameters parsed as floats (epoch-seconds date bounds).
+_SEARCH_FLOAT_PARAMS = frozenset(("created_after", "created_before"))
+
+
+def parse_search_query(query_string: str) -> Dict[str, Any]:
+    """The shared, strict query-string parser for the search endpoints.
+
+    Percent-decodes ``application/x-www-form-urlencoded`` pairs and
+    returns a :meth:`~repro.service.api.FactSearchRequest.from_dict`-
+    ready dict. Strictness is the point — one parser, one contract:
+
+    - an *unknown* parameter name is a 400 (``invalid_request``), not
+      silently ignored — a typo like ``?pattrn=`` must not return the
+      unfiltered result set as if it had matched;
+    - a malformed number for ``created_after`` / ``created_before`` /
+      ``limit`` is a 400 naming the parameter;
+    - ``limit`` is clamped to the API ceiling
+      (:data:`~repro.service.search.query.MAX_SEARCH_LIMIT`) rather
+      than rejected — asking for too much is a preference, not an
+      error — while a non-positive limit is a 400;
+    - blank values (``?q=``) are treated as absent.
+
+    Raises :class:`~repro.service.api.ServiceError` (400) on any
+    violation; the caller maps it onto the wire like every other
+    taxonomy error.
+    """
+    out: Dict[str, Any] = {}
+    for name, value in parse_qsl(query_string, keep_blank_values=True):
+        if not value:
+            continue
+        if name in _SEARCH_STRING_PARAMS:
+            out[name] = value
+        elif name in _SEARCH_FLOAT_PARAMS:
+            try:
+                out[name] = float(value)
+            except ValueError:
+                raise invalid_request(
+                    f"query parameter {name!r} must be a number, "
+                    f"got {value!r}"
+                )
+        elif name == "limit":
+            try:
+                limit = int(value)
+            except ValueError:
+                raise invalid_request(
+                    f"query parameter 'limit' must be an integer, "
+                    f"got {value!r}"
+                )
+            if limit < 1:
+                raise invalid_request(
+                    f"query parameter 'limit' must be positive, "
+                    f"got {limit}"
+                )
+            out["limit"] = min(limit, MAX_SEARCH_LIMIT)
+        else:
+            raise invalid_request(f"unknown query parameter {name!r}")
+    return out
 
 
 def _error_payload(
@@ -557,4 +682,5 @@ __all__ = [
     "DEFAULT_MAX_BODY_BYTES",
     "HttpGateway",
     "MAX_HEADER_LINES",
+    "parse_search_query",
 ]

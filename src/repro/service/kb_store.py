@@ -17,6 +17,14 @@ model of :mod:`repro.kb.facts`:
 - ``meta`` — store-level keys, including the ``corpus_version`` stamp
   the store was last synchronized to.
 
+When the SQLite build has FTS5, each store additionally maintains the
+fact-search index (``search_facts`` / ``fact_search`` /
+``search_entities`` / ``entity_search`` — see
+:mod:`repro.service.search.index` and ``docs/SEARCH.md``): saves index
+the new entry inside the same transaction, and a delete-trigger keeps
+the index consistent through replace-saves, compaction, and
+``delete_stale`` with no hook in any delete path.
+
 WAL journaling keeps concurrent readers cheap; all access additionally
 goes through one process-wide lock per store, which SQLite's default
 serialized mode does not provide across cursors.
@@ -33,6 +41,14 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faultinject.points import fault_point
 from repro.kb.facts import Argument, EmergingEntity, Fact, KnowledgeBase
+from repro.service.api import SearchUnavailable
+from repro.service.search.index import (
+    ensure_search_schema,
+    index_entry,
+    integrity_check,
+    rebuild_index,
+)
+from repro.service.search.query import search_shard
 
 _SCHEMA_VERSION = "1"
 
@@ -152,6 +168,10 @@ class KbStore:
             store (tests, benchmarks).
     """
 
+    #: False on SQLite builds without FTS5: saves skip indexing and
+    #: searches raise :class:`~repro.service.api.SearchUnavailable`.
+    search_available: bool
+
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
         self._lock = threading.RLock()
@@ -159,6 +179,7 @@ class KbStore:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA foreign_keys=ON")
         self._conn.executescript(_SCHEMA)
+        self.search_available = ensure_search_schema(self._conn)
         self._conn.execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", _SCHEMA_VERSION),
@@ -356,6 +377,15 @@ class KbStore:
                 for entity_id in entity_ids
             ],
         )
+        if self.search_available:
+            # Inside the save transaction: a crash here rolls the entry
+            # and its index rows back together, so the FTS index can
+            # never reference a fact the store does not hold (or miss
+            # one it does).
+            fault_point(
+                "search.index.update", entry_id=entry_id, path=self.path
+            )
+            index_entry(self._conn, entry_id)
         fault_point("kb_store.save.pre_commit")
         self._conn.commit()
         return int(entry_id)
@@ -505,6 +535,69 @@ class KbStore:
             if types is not None:
                 kb.set_entity_types(entity_id, json.loads(types))
         return kb
+
+    # ---- fact search -------------------------------------------------------
+
+    def search_facts(self, params: Dict) -> List[Dict]:
+        """One shard's slice of a paginated fact search.
+
+        ``params`` is the JSON-safe request dict built by
+        :func:`repro.service.search.query.search_paginated` (filters,
+        sort, decoded cursor, global-id stride/offset) — the same dict
+        the fabric ships to shard servers. Raises
+        :class:`~repro.service.api.SearchUnavailable` when this SQLite
+        build lacks FTS5.
+        """
+        return self._search_shard(dict(params, kind="facts"))
+
+    def search_entities(self, params: Dict) -> List[Dict]:
+        """One shard's slice of a paginated entity search."""
+        return self._search_shard(dict(params, kind="entities"))
+
+    def _search_shard(self, params: Dict) -> List[Dict]:
+        fault_point(
+            "search.read.page", path=self.path, kind=params.get("kind")
+        )
+        with self._lock:
+            if not self.search_available:
+                raise SearchUnavailable(
+                    "fact search is unavailable: this SQLite build has "
+                    "no FTS5 extension"
+                )
+            return search_shard(self._conn, params)
+
+    def rebuild_search_index(self) -> Tuple[int, int]:
+        """Rebuild this shard's search index from the relational tables.
+
+        The offline recovery path (``docs/SEARCH.md``): wipes and
+        re-derives every ``search_*`` row. Returns the re-indexed
+        ``(fact_rows, entity_rows)`` counts.
+        """
+        with self._lock:
+            if not self.search_available:
+                raise SearchUnavailable(
+                    "fact search is unavailable: this SQLite build has "
+                    "no FTS5 extension"
+                )
+            try:
+                counts = rebuild_index(self._conn)
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+            return counts
+
+    def search_integrity(self) -> Dict:
+        """FTS-vs-relational consistency report (fault-injection tests)."""
+        with self._lock:
+            if not self.search_available:
+                return {"consistent": True, "search_available": False}
+            report = integrity_check(self._conn)
+            # integrity-check is a read-only FTS command issued via
+            # INSERT syntax; end the implicit transaction it opened.
+            self._conn.rollback()
+            report["search_available"] = True
+            return report
 
     # ---- maintenance -------------------------------------------------------
 
@@ -679,6 +772,12 @@ class KbStore:
                     f"SELECT COUNT(*) FROM {table}"
                 ).fetchone()
                 out[table] = int(row[0])
+            if self.search_available:
+                for table in ("search_facts", "search_entities"):
+                    row = self._conn.execute(
+                        f"SELECT COUNT(*) FROM {table}"
+                    ).fetchone()
+                    out[table] = int(row[0])
             return out
 
 

@@ -1,0 +1,48 @@
+"""Fact-search subsystem: FTS5 indexing + keyset-paginated queries.
+
+Turns the KB store from a point-lookup cache into a queryable
+knowledge service (``docs/SEARCH.md``):
+
+- :mod:`repro.service.search.index` — the per-shard FTS5 schema, the
+  incremental save-time indexer, the offline rebuild, and the
+  integrity probe;
+- :mod:`repro.service.search.query` — ``{sortkey}|{rowid}`` cursors,
+  per-shard SQL execution, and the multi-shard ranked merge behind
+  ``GET /v1/facts`` / ``GET /v1/entities``.
+"""
+
+from repro.service.search.index import (
+    ensure_search_schema,
+    fts5_supported,
+    index_entry,
+    integrity_check,
+    rebuild_index,
+)
+from repro.service.search.query import (
+    DEFAULT_SEARCH_LIMIT,
+    MAX_SEARCH_LIMIT,
+    SORT_ORDERS,
+    decode_cursor,
+    encode_cursor,
+    fts_match_expression,
+    search_paginated,
+    search_shard,
+    store_backends,
+)
+
+__all__ = [
+    "DEFAULT_SEARCH_LIMIT",
+    "MAX_SEARCH_LIMIT",
+    "SORT_ORDERS",
+    "decode_cursor",
+    "encode_cursor",
+    "ensure_search_schema",
+    "fts5_supported",
+    "fts_match_expression",
+    "index_entry",
+    "integrity_check",
+    "rebuild_index",
+    "search_paginated",
+    "search_shard",
+    "store_backends",
+]

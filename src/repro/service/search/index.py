@@ -1,0 +1,292 @@
+"""The fact-search index: FTS5 virtual tables over one shard's store.
+
+Each :class:`~repro.service.kb_store.KbStore` shard carries four extra
+tables next to the relational KB schema (see ``docs/SEARCH.md``):
+
+- ``search_facts`` — one denormalized row per stored fact (subject,
+  predicate, pattern, the object displays as JSON, provenance doc id,
+  plus the owning entry's ``created_at`` / ``corpus_version`` /
+  ``query``), keyed by the fact's own ``facts.fact_id``;
+- ``fact_search`` — the FTS5 index over the textual columns of
+  ``search_facts`` (``rowid`` = ``search_facts.id``);
+- ``search_entities`` / ``entity_search`` — the same pair for linked
+  entity records and emerging clusters.
+
+The rows are written by :func:`index_entry` *inside* the save
+transaction of ``KbStore._save_locked``, so a crash mid-index rolls
+back with the entry — a fact row and its index row commit atomically
+or not at all. Deletions need no hook anywhere: the
+``search_cleanup`` trigger installed by :func:`ensure_search_schema`
+fires on every ``kb_entries`` delete (replace-saves, TTL/size
+compaction, ``delete_stale``, explicit deletes) and clears all four
+tables in the same transaction.
+
+FTS5 is probed at schema-creation time: on a SQLite build without the
+extension :func:`ensure_search_schema` returns ``False``, the store
+skips indexing, and the query layer raises
+:class:`~repro.service.api.SearchUnavailable` instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, Tuple
+
+_SEARCH_SCHEMA = """
+CREATE TABLE IF NOT EXISTS search_facts (
+    id             INTEGER PRIMARY KEY,
+    entry_id       INTEGER NOT NULL,
+    created_at     REAL NOT NULL,
+    corpus_version TEXT NOT NULL,
+    query          TEXT NOT NULL,
+    subject        TEXT NOT NULL,
+    predicate      TEXT NOT NULL,
+    pattern        TEXT NOT NULL,
+    objects        TEXT NOT NULL,
+    provenance     TEXT NOT NULL,
+    confidence     REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_search_facts_entry
+    ON search_facts(entry_id);
+CREATE INDEX IF NOT EXISTS idx_search_facts_created
+    ON search_facts(created_at, id);
+CREATE TABLE IF NOT EXISTS search_entities (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    entry_id       INTEGER NOT NULL,
+    created_at     REAL NOT NULL,
+    corpus_version TEXT NOT NULL,
+    query          TEXT NOT NULL,
+    entity         TEXT NOT NULL,
+    display        TEXT NOT NULL,
+    kind           TEXT NOT NULL,
+    types          TEXT NOT NULL,
+    mentions       INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_search_entities_entry
+    ON search_entities(entry_id);
+CREATE INDEX IF NOT EXISTS idx_search_entities_created
+    ON search_entities(created_at, id);
+CREATE VIRTUAL TABLE IF NOT EXISTS fact_search USING fts5(
+    subject, predicate, pattern, objects, provenance
+);
+CREATE VIRTUAL TABLE IF NOT EXISTS entity_search USING fts5(
+    entity, display, types
+);
+CREATE TRIGGER IF NOT EXISTS search_cleanup
+AFTER DELETE ON kb_entries BEGIN
+    DELETE FROM fact_search WHERE rowid IN (
+        SELECT id FROM search_facts WHERE entry_id = OLD.entry_id);
+    DELETE FROM search_facts WHERE entry_id = OLD.entry_id;
+    DELETE FROM entity_search WHERE rowid IN (
+        SELECT id FROM search_entities WHERE entry_id = OLD.entry_id);
+    DELETE FROM search_entities WHERE entry_id = OLD.entry_id;
+END;
+"""
+
+
+def fts5_supported(conn: sqlite3.Connection) -> bool:
+    """Probe the connection's SQLite build for the FTS5 extension."""
+    try:
+        conn.execute(
+            "CREATE VIRTUAL TABLE IF NOT EXISTS _fts5_probe USING fts5(x)"
+        )
+        conn.execute("DROP TABLE IF EXISTS _fts5_probe")
+    except sqlite3.OperationalError:
+        return False
+    return True
+
+
+def ensure_search_schema(conn: sqlite3.Connection) -> bool:
+    """Create the search tables + cleanup trigger; False without FTS5.
+
+    Idempotent (``IF NOT EXISTS`` throughout); the caller commits. On
+    a SQLite build without FTS5 nothing is created and the store runs
+    index-less — saves skip :func:`index_entry`, searches raise
+    ``SearchUnavailable``.
+    """
+    if not fts5_supported(conn):
+        return False
+    conn.executescript(_SEARCH_SCHEMA)
+    return True
+
+
+def index_entry(conn: sqlite3.Connection, entry_id: int) -> None:
+    """Index one just-saved entry from its relational rows.
+
+    Called inside the save transaction, after the ``facts`` /
+    ``fact_objects`` / ``emerging_entities`` / ``entity_records`` rows
+    are written and before the commit — the entry and its index rows
+    are atomic. Everything is re-derived from the canonical tables, so
+    the offline :func:`rebuild_index` and the incremental hook can
+    never drift apart.
+    """
+    entry = conn.execute(
+        "SELECT query, corpus_version, created_at FROM kb_entries "
+        "WHERE entry_id = ?",
+        (entry_id,),
+    ).fetchone()
+    if entry is None:
+        return
+    query, corpus_version, created_at = entry
+
+    objects_by_fact: Dict[int, list] = {}
+    for fact_id, display in conn.execute(
+        "SELECT o.fact_id, o.display FROM fact_objects o "
+        "JOIN facts f ON f.fact_id = o.fact_id "
+        "WHERE f.entry_id = ? ORDER BY o.fact_id, o.position",
+        (entry_id,),
+    ):
+        objects_by_fact.setdefault(fact_id, []).append(display)
+
+    fact_rows = conn.execute(
+        "SELECT fact_id, subject_display, predicate, pattern, "
+        "confidence, doc_id FROM facts WHERE entry_id = ? "
+        "ORDER BY position",
+        (entry_id,),
+    ).fetchall()
+    for fact_id, subject, predicate, pattern, confidence, doc_id in fact_rows:
+        objects = objects_by_fact.get(fact_id, [])
+        conn.execute(
+            "INSERT INTO search_facts (id, entry_id, created_at, "
+            "corpus_version, query, subject, predicate, pattern, "
+            "objects, provenance, confidence) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                fact_id,
+                entry_id,
+                created_at,
+                corpus_version,
+                query,
+                subject,
+                predicate,
+                pattern,
+                json.dumps(objects),
+                doc_id,
+                confidence,
+            ),
+        )
+        conn.execute(
+            "INSERT INTO fact_search (rowid, subject, predicate, "
+            "pattern, objects, provenance) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                fact_id,
+                subject,
+                predicate,
+                pattern,
+                " ".join(objects),
+                doc_id,
+            ),
+        )
+
+    def _index_entity(
+        entity: str, display: str, kind: str, types: list, mentions: int
+    ) -> None:
+        cur = conn.execute(
+            "INSERT INTO search_entities (entry_id, created_at, "
+            "corpus_version, query, entity, display, kind, types, "
+            "mentions) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                entry_id,
+                created_at,
+                corpus_version,
+                query,
+                entity,
+                display,
+                kind,
+                json.dumps(types),
+                mentions,
+            ),
+        )
+        conn.execute(
+            "INSERT INTO entity_search (rowid, entity, display, types) "
+            "VALUES (?, ?, ?, ?)",
+            (cur.lastrowid, entity, display, " ".join(types)),
+        )
+
+    for entity_id, mentions, types in conn.execute(
+        "SELECT entity_id, mentions, types FROM entity_records "
+        "WHERE entry_id = ? ORDER BY entity_id",
+        (entry_id,),
+    ):
+        mention_list = json.loads(mentions)
+        _index_entity(
+            entity_id,
+            " ".join(mention_list) if mention_list else entity_id,
+            "linked",
+            json.loads(types) if types is not None else [],
+            len(mention_list),
+        )
+    for cluster_id, display_name, guessed_type, mentions in conn.execute(
+        "SELECT cluster_id, display_name, guessed_type, mentions "
+        "FROM emerging_entities WHERE entry_id = ? ORDER BY cluster_id",
+        (entry_id,),
+    ):
+        _index_entity(
+            cluster_id,
+            display_name,
+            "emerging",
+            [guessed_type] if guessed_type else [],
+            len(json.loads(mentions)),
+        )
+
+
+def rebuild_index(conn: sqlite3.Connection) -> Tuple[int, int]:
+    """Rebuild one shard's search index from the relational tables.
+
+    The offline recovery path (``docs/SEARCH.md`` has the recipe):
+    wipes all four search tables and re-indexes every stored entry.
+    The caller holds the store lock and commits. Returns the
+    ``(fact_rows, entity_rows)`` counts after the rebuild.
+    """
+    conn.execute("DELETE FROM fact_search")
+    conn.execute("DELETE FROM search_facts")
+    conn.execute("DELETE FROM entity_search")
+    conn.execute("DELETE FROM search_entities")
+    for (entry_id,) in conn.execute(
+        "SELECT entry_id FROM kb_entries ORDER BY entry_id"
+    ).fetchall():
+        index_entry(conn, entry_id)
+    facts = conn.execute("SELECT COUNT(*) FROM search_facts").fetchone()[0]
+    entities = conn.execute(
+        "SELECT COUNT(*) FROM search_entities"
+    ).fetchone()[0]
+    return int(facts), int(entities)
+
+
+def integrity_check(conn: sqlite3.Connection) -> Dict[str, Any]:
+    """FTS-vs-relational consistency probe (fault-injection tests).
+
+    Runs the FTS5 ``integrity-check`` command on both virtual tables
+    (raises ``sqlite3.DatabaseError`` on internal corruption) and
+    compares row counts between each projection table, its FTS twin,
+    and the canonical relational table.
+    """
+    conn.execute("INSERT INTO fact_search(fact_search) VALUES('integrity-check')")
+    conn.execute(
+        "INSERT INTO entity_search(entity_search) VALUES('integrity-check')"
+    )
+    counts = {
+        name: int(conn.execute(f"SELECT COUNT(*) FROM {name}").fetchone()[0])
+        for name in (
+            "facts",
+            "search_facts",
+            "fact_search",
+            "search_entities",
+            "entity_search",
+        )
+    }
+    counts["consistent"] = (
+        counts["facts"] == counts["search_facts"] == counts["fact_search"]
+        and counts["search_entities"] == counts["entity_search"]
+    )
+    return counts
+
+
+__all__ = [
+    "ensure_search_schema",
+    "fts5_supported",
+    "index_entry",
+    "integrity_check",
+    "rebuild_index",
+]

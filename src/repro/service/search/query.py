@@ -1,0 +1,322 @@
+"""Keyset-paginated search over one store or a fan-out of shards.
+
+The read half of the search subsystem (``docs/SEARCH.md``):
+
+- **cursors** — the ``{sortkey}|{rowid}`` format: the sort key of the
+  last row on the page, then its *global* row id. The global id of a
+  fact row is ``local_id * num_shards + shard_index`` — unique across
+  shards, monotonic per shard (SQLite ``AUTOINCREMENT`` ids are never
+  reused), and equal to the plain row id on a single shard. A keyset
+  bound on ``(sortkey, global_id)`` makes every page request O(page),
+  immune to the OFFSET drift that loses or duplicates rows when
+  writes land between pages;
+- **per-shard execution** — :func:`search_shard` builds and runs the
+  SQL for one shard (plain table scan of the projection table, or an
+  FTS5 ``MATCH`` join when ``q`` is given), pushing filters and the
+  keyset bound into the query so a shard returns at most
+  ``limit`` rows;
+- **fan-out merge** — :func:`search_paginated` asks every shard for
+  ``limit + 1`` candidate rows past the cursor, merge-sorts the
+  candidates on ``(sortkey, global_id)``, takes the page, and emits
+  the standard envelope (``results`` / ``next_cursor`` / ``has_more``).
+
+Sort orders: ``id`` (default — stable walk order), ``created_at`` /
+``-created_at``, and ``rank`` (bm25, ascending = most relevant first;
+requires ``q``). Cursors are only meaningful for the shard count they
+were minted under: a rebalance invalidates open cursors.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Sort orders the query layer accepts.
+SORT_ORDERS = ("id", "created_at", "-created_at", "rank")
+
+#: Default / ceiling page sizes enforced by the API envelopes (the
+#: gateway clamps to the ceiling; direct callers get a 400-class error).
+DEFAULT_SEARCH_LIMIT = 50
+MAX_SEARCH_LIMIT = 200
+
+_FACT_COLUMNS = (
+    "entry_id, created_at, corpus_version, query, subject, predicate, "
+    "pattern, objects, provenance, confidence"
+)
+_ENTITY_COLUMNS = (
+    "entry_id, created_at, corpus_version, query, entity, display, "
+    "kind, types, mentions"
+)
+
+
+def fts_match_expression(q: str) -> str:
+    """A user query as a safe FTS5 MATCH expression.
+
+    Every whitespace token is wrapped as a quoted phrase (inner quotes
+    doubled), so FTS5 operator syntax in user input (``AND``, ``*``,
+    unbalanced quotes) can never raise a syntax error — the tokens are
+    implicitly AND-ed, which is the search semantics documented in
+    ``docs/SEARCH.md``.
+    """
+    tokens = [token for token in q.split() if token]
+    if not tokens:
+        raise ValueError("search query must contain at least one token")
+    return " ".join('"{}"'.format(token.replace('"', '""')) for token in tokens)
+
+
+def encode_cursor(sort: str, key: Any, global_id: int) -> str:
+    """``{sortkey}|{rowid}`` for the last row of a page."""
+    if sort == "id":
+        return f"{int(global_id)}|{int(global_id)}"
+    # .17g round-trips any float exactly, so the shard-side keyset
+    # comparison sees the same value the page was cut at.
+    return f"{format(float(key), '.17g')}|{int(global_id)}"
+
+
+def decode_cursor(cursor: str, sort: str):
+    """Inverse of :func:`encode_cursor`; raises ValueError on garbage."""
+    head, sep, tail = cursor.rpartition("|")
+    if not sep or not head or not tail:
+        raise ValueError(f"malformed cursor {cursor!r}")
+    try:
+        global_id = int(tail)
+        key: Any = int(head) if sort == "id" else float(head)
+    except ValueError as error:
+        raise ValueError(f"malformed cursor {cursor!r}") from error
+    return key, global_id
+
+
+def _filters(kind: str, params: Dict[str, Any], prefix: str):
+    """WHERE fragments + bind values for the field filters."""
+    clauses: List[str] = []
+    values: List[Any] = []
+    entity = params.get("entity")
+    if entity is not None:
+        match_col = "subject" if kind == "facts" else "entity"
+        extra_col = "objects" if kind == "facts" else "display"
+        clauses.append(
+            f"(lower({prefix}{match_col}) = lower(?) "
+            f"OR instr(lower({prefix}{extra_col}), lower(?)) > 0)"
+        )
+        values.extend([entity, entity])
+    pattern = params.get("pattern")
+    if pattern is not None:
+        clauses.append(f"{prefix}pattern = ?")
+        values.append(pattern)
+    corpus_version = params.get("corpus_version")
+    if corpus_version is not None:
+        clauses.append(f"{prefix}corpus_version = ?")
+        values.append(corpus_version)
+    created_after = params.get("created_after")
+    if created_after is not None:
+        clauses.append(f"{prefix}created_at >= ?")
+        values.append(float(created_after))
+    created_before = params.get("created_before")
+    if created_before is not None:
+        clauses.append(f"{prefix}created_at <= ?")
+        values.append(float(created_before))
+    return clauses, values
+
+
+def _keyset(sort: str, gid_expr: str, params: Dict[str, Any]):
+    """Keyset WHERE fragment + bind values past the decoded cursor."""
+    after_id = params.get("after_id")
+    if after_id is None:
+        return [], []
+    after_key = params.get("after_key")
+    if sort == "id":
+        return [f"{gid_expr} > ?"], [int(after_id)]
+    column = "score" if sort == "rank" else "created_at"
+    op = "<" if sort == "-created_at" else ">"
+    return (
+        [f"({column}, {gid_expr}) {op} (?, ?)"],
+        [after_key, int(after_id)],
+    )
+
+
+def _order(sort: str, key_col: str, gid_col: str) -> str:
+    if sort == "id":
+        return f"ORDER BY {gid_col}"
+    if sort == "-created_at":
+        return f"ORDER BY {key_col} DESC, {gid_col} DESC"
+    return f"ORDER BY {key_col}, {gid_col}"
+
+
+def search_shard(
+    conn: sqlite3.Connection, params: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Run one shard's slice of a paginated search.
+
+    ``params`` is the JSON-safe dict the fabric ships to shard
+    servers: the request fields (``kind``, ``q``, filters, ``sort``,
+    ``limit``), the decoded cursor (``after_key`` / ``after_id``), and
+    the global-id arithmetic (``stride`` = shard count, ``offset`` =
+    this shard's index). Returns at most ``limit`` plain row dicts
+    carrying ``gid`` (and ``score`` when ``q`` was given).
+    """
+    kind = params["kind"]
+    sort = params.get("sort", "id")
+    if sort not in SORT_ORDERS:
+        raise ValueError(f"unknown sort order {sort!r}")
+    q = params.get("q")
+    if sort == "rank" and not q:
+        raise ValueError("sort=rank requires a full-text query (q)")
+    stride = int(params.get("stride", 1))
+    offset = int(params.get("offset", 0))
+    limit = max(1, int(params["limit"]))
+    table = "search_facts" if kind == "facts" else "search_entities"
+    fts = "fact_search" if kind == "facts" else "entity_search"
+    columns = _FACT_COLUMNS if kind == "facts" else _ENTITY_COLUMNS
+
+    if q:
+        match = fts_match_expression(q)
+        prefixed = ", ".join(f"t.{c.strip()}" for c in columns.split(","))
+        inner = (
+            f"SELECT t.id * ? + ? AS gid, {prefixed}, "
+            f"bm25({fts}) AS score FROM {fts} "
+            f"JOIN {table} t ON t.id = {fts}.rowid "
+            f"WHERE {fts} MATCH ?"
+        )
+        values: List[Any] = [stride, offset, match]
+        filter_clauses, filter_values = _filters(kind, params, "t.")
+        if filter_clauses:
+            inner += " AND " + " AND ".join(filter_clauses)
+            values.extend(filter_values)
+        keyset_clauses, keyset_values = _keyset(sort, "gid", params)
+        sql = f"SELECT * FROM ({inner})"
+        if keyset_clauses:
+            sql += " WHERE " + " AND ".join(keyset_clauses)
+            values.extend(keyset_values)
+        key_col = "score" if sort == "rank" else "created_at"
+        sql += f" {_order(sort, key_col, 'gid')} LIMIT ?"
+        values.append(limit)
+    else:
+        gid_expr = "id * ? + ?"
+        sql = f"SELECT {gid_expr} AS gid, {columns} FROM {table}"
+        values = [stride, offset]
+        clauses, filter_values = _filters(kind, params, "")
+        values.extend(filter_values)
+        keyset_clauses, keyset_values = _keyset(sort, gid_expr, params)
+        if keyset_clauses:
+            # The gid expression inside the keyset clause carries its
+            # own stride/offset binds, in clause order.
+            clauses.extend(keyset_clauses)
+            values.extend([stride, offset])
+            values.extend(keyset_values)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" {_order(sort, 'created_at', 'id')} LIMIT ?"
+        values.append(limit)
+
+    names = ["gid"] + [c.strip() for c in columns.split(",")]
+    if q:
+        names.append("score")
+    rows = []
+    for record in conn.execute(sql, values):
+        row = dict(zip(names, record))
+        json_col = "objects" if kind == "facts" else "types"
+        row[json_col] = json.loads(row[json_col])
+        rows.append(row)
+    return rows
+
+
+def _merge_key(sort: str):
+    if sort == "id":
+        return lambda row: (row["gid"],)
+    if sort == "rank":
+        return lambda row: (row["score"], row["gid"])
+    return lambda row: (row["created_at"], row["gid"])
+
+
+def search_paginated(
+    backends: Sequence[Any],
+    kind: str,
+    *,
+    q: Optional[str] = None,
+    entity: Optional[str] = None,
+    pattern: Optional[str] = None,
+    corpus_version: Optional[str] = None,
+    created_after: Optional[float] = None,
+    created_before: Optional[float] = None,
+    sort: str = "id",
+    limit: int = DEFAULT_SEARCH_LIMIT,
+    cursor: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One page of results merged across ``backends``.
+
+    ``backends`` is the frozen shard snapshot for this page — local
+    :class:`~repro.service.kb_store.KbStore` objects, fabric replica
+    groups, or a single store. Each shard is asked for ``limit + 1``
+    rows past the cursor (its keyset bound makes that O(page) on the
+    shard); the merged page is cut at ``limit`` and the spill proves
+    ``has_more`` without a count query. Raises ValueError on a bad
+    sort/cursor combination — the API layer maps that to a 400.
+    """
+    if sort not in SORT_ORDERS:
+        raise ValueError(f"unknown sort order {sort!r}")
+    if sort == "rank" and not q:
+        raise ValueError("sort=rank requires a full-text query (q)")
+    after_key = after_id = None
+    if cursor:
+        after_key, after_id = decode_cursor(cursor, sort)
+    params: Dict[str, Any] = {
+        "kind": kind,
+        "q": q,
+        "entity": entity,
+        "pattern": pattern,
+        "corpus_version": corpus_version,
+        "created_after": created_after,
+        "created_before": created_before,
+        "sort": sort,
+        "limit": int(limit) + 1,
+        "after_key": after_key,
+        "after_id": after_id,
+        "stride": len(backends),
+    }
+    rows: List[Dict[str, Any]] = []
+    for index, backend in enumerate(backends):
+        shard_params = dict(params, offset=index)
+        if kind == "facts":
+            rows.extend(backend.search_facts(shard_params))
+        else:
+            rows.extend(backend.search_entities(shard_params))
+    rows.sort(key=_merge_key(sort), reverse=(sort == "-created_at"))
+    has_more = len(rows) > limit
+    page = rows[:limit]
+    next_cursor = None
+    if has_more and page:
+        last = page[-1]
+        key = _merge_key(sort)(last)[0]
+        next_cursor = encode_cursor(sort, key, last["gid"])
+    return {
+        "results": page,
+        "next_cursor": next_cursor,
+        "has_more": has_more,
+    }
+
+
+def store_backends(store: Any) -> List[Any]:
+    """The frozen per-shard backend list for one page request.
+
+    A sharded store exposes ``shard_backends()`` (a snapshot under its
+    routing lock — fabric replica groups included); a plain
+    :class:`~repro.service.kb_store.KbStore` is its own single shard.
+    """
+    getter = getattr(store, "shard_backends", None)
+    if getter is not None:
+        return getter()
+    return [store]
+
+
+__all__ = [
+    "DEFAULT_SEARCH_LIMIT",
+    "MAX_SEARCH_LIMIT",
+    "SORT_ORDERS",
+    "decode_cursor",
+    "encode_cursor",
+    "fts_match_expression",
+    "search_paginated",
+    "search_shard",
+    "store_backends",
+]

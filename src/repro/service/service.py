@@ -58,14 +58,18 @@ from repro.service.admission import (
     CostCharge,
     QueueWaitWindow,
     cost_shape,
+    search_cost_shape,
 )
 from repro.service.api import (
     DeadlineUnmet,
+    FactSearchRequest,
+    FactSearchResult,
     Overloaded,
     PipelineFailure,
     QueryRequest,
     QueryResult,
     QueryStatus,
+    SearchUnavailable,
     ServiceError,
     backend_seconds,
     classify_timeout,
@@ -80,6 +84,7 @@ from repro.service.executor import BatchExecutor
 from repro.service.fabric.cluster import Fabric
 from repro.service.kb_store import KbStore
 from repro.service.process_executor import ProcessBatchExecutor
+from repro.service.search.query import search_paginated, store_backends
 from repro.service.sharding import ShardedKbStore
 from repro.service.stage_cache import (
     STAGE_RETRIEVAL,
@@ -1443,6 +1448,83 @@ class QKBflyService:
             ),
             config_digest=self._config_digest,
         )
+
+    # ---- fact search -------------------------------------------------------
+
+    def search_facts(self, request: FactSearchRequest) -> FactSearchResult:
+        """One page of the stored-fact search (``GET /v1/facts``).
+
+        Read-only: never touches the cache, the executor, or the
+        pipeline — pages come straight from the store's FTS5 index
+        (fanned out and merge-sorted across shards; see
+        ``docs/SEARCH.md``). Admission control applies exactly like
+        :meth:`serve`, with searches as their own cost-estimator shape
+        class (:func:`repro.service.admission.search_cost_shape`).
+        Raises :class:`~repro.service.api.SearchUnavailable` (503) when
+        this deployment has no store or its SQLite build lacks FTS5,
+        and an ``invalid_request`` (400) on a bad sort/cursor.
+        """
+        return self._search("facts", request)
+
+    def search_entities(self, request: FactSearchRequest) -> FactSearchResult:
+        """One page of the stored-entity search (``GET /v1/entities``).
+
+        Same contract as :meth:`search_facts`; the ``entity`` filter
+        matches the entity id or its display text, and results carry
+        the record ``kind`` (``linked`` or ``emerging``).
+        """
+        return self._search("entities", request)
+
+    def _search(
+        self, kind: str, request: FactSearchRequest
+    ) -> FactSearchResult:
+        started = time.perf_counter()
+        charge: Optional[CostCharge] = None
+        if self.admission is not None:
+            charge = self.admission.admit(
+                request.client_id, search_cost_shape(kind)
+            )
+        try:
+            if self.store is None:
+                raise SearchUnavailable(
+                    "this deployment has no KB store to search "
+                    "(store_path is not configured)"
+                )
+            try:
+                page = search_paginated(
+                    store_backends(self.store),
+                    kind,
+                    q=request.q,
+                    entity=request.entity,
+                    pattern=request.pattern,
+                    corpus_version=request.corpus_version,
+                    created_after=request.created_after,
+                    created_before=request.created_before,
+                    sort=request.sort,
+                    limit=request.limit,
+                    cursor=request.cursor,
+                )
+            except ServiceError:
+                raise
+            except ValueError as error:
+                raise invalid_request(str(error)) from error
+            result = FactSearchResult(
+                kind=kind,
+                results=page["results"],
+                next_cursor=page["next_cursor"],
+                has_more=page["has_more"],
+                seconds=time.perf_counter() - started,
+                client_id=request.client_id,
+                api_version=request.api_version,
+            )
+        except BaseException:
+            # Measured cost unknown — the estimate stays charged.
+            if charge is not None:
+                self.admission.settle(charge)
+            raise
+        if charge is not None:
+            self.admission.settle(charge, actual=result.seconds)
+        return result
 
     # ---- corpus lifecycle --------------------------------------------------
 

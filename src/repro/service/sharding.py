@@ -399,6 +399,19 @@ class ShardedKbStore:
             config_digest=config_digest,
         )
 
+    def shard_backends(self) -> List[KbStore]:
+        """Frozen snapshot of the shard backends, in shard order.
+
+        The search fan-out (:func:`repro.service.search.query.
+        search_paginated`) takes this once per page request and derives
+        the global-id arithmetic from ``len()`` + position, so a
+        rebalance cutover mid-walk changes the *next* page's stride
+        instead of tearing this one (open cursors are invalidated by a
+        shard-count change; ``docs/SEARCH.md``).
+        """
+        with self._route_cond:
+            return list(self._shards)
+
     # ---- meta --------------------------------------------------------------
 
     @property

@@ -193,7 +193,7 @@ def test_ewma_tracks_shape_not_query_string():
     assert controller.estimate_cost(cost_shape("news", 9)) > 0.0
 
 
-def test_ewma_smooths_with_alpha():
+def test_seen_shape_estimates_p95_unseen_falls_back_to_ewma():
     controller = AdmissionController(
         cost_budget_per_second=1.0,
         cost_budget_burst=10.0,
@@ -203,8 +203,12 @@ def test_ewma_smooths_with_alpha():
     shape = cost_shape("wikipedia", 2)
     controller.settle(controller.admit("c", shape), actual=1.0)
     controller.settle(controller.admit("c", shape), actual=3.0)
+    # A shape with history admits at the p95 of its sample window, so the
+    # occasional expensive request can't sneak under a smoothed average.
+    assert controller.estimate_cost(shape) == pytest.approx(3.0)
+    # Shapes without history fall back to the global EWMA prior:
     # 0.5 * 3.0 + 0.5 * 1.0
-    assert controller.estimate_cost(shape) == pytest.approx(2.0)
+    assert controller.estimate_cost(cost_shape("news", 9)) == pytest.approx(2.0)
 
 
 def test_settle_after_client_eviction_is_safe():
