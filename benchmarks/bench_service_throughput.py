@@ -94,7 +94,11 @@ except ImportError:  # standalone `python benchmarks/...` without install
 
 from repro.core.qkbfly import QKBfly, SessionState  # noqa: E402
 from repro.corpus.world import World, WorldConfig  # noqa: E402
-from repro.service.api import QueryRequest  # noqa: E402
+from repro.service.api import (  # noqa: E402
+    IngestRequest,
+    QueryRequest,
+    WatchRequest,
+)
 from repro.service.async_service import AsyncQKBflyService  # noqa: E402
 from repro.service.autoscale import observed_cpu_count  # noqa: E402
 from repro.service.gateway import HttpGateway  # noqa: E402
@@ -151,6 +155,12 @@ SEARCH_TIMING_PASSES = 5
 # base query ("<name> spouse" retrieves the same documents under a
 # different query-cache key, so only the stage cache can help).
 STAGE_UNIQUE_QUERIES = 8
+# Ingest scenario: warm queries, then breaking documents mentioning
+# the first INGEST_TARGET_QUERIES of them (INGEST_DOCS total). Only
+# the intersecting warm entries may cool (docs/INGEST.md).
+INGEST_WARM_QUERIES = 10
+INGEST_TARGET_QUERIES = 2
+INGEST_DOCS = 4
 # Speedups are capped before gating: beyond this they only measure timer
 # noise on near-instant cache hits, not serving-layer health.
 GATE_CAP = 20.0
@@ -1117,6 +1127,96 @@ def run_stage_cache_benchmark(
     }
 
 
+def run_ingest_benchmark(session: SessionState) -> Dict[str, float]:
+    """Live ingest: entity-granular invalidation across a warm tier.
+
+    Warm INGEST_WARM_QUERIES query-cache entries, subscribe to the
+    first INGEST_TARGET_QUERIES of them, then feed INGEST_DOCS
+    breaking documents that mention only those targets. Each warm
+    query is then re-served: entries touched by a bumped entity must
+    be cold (rebuilt), every other entry must still be a cache hit.
+
+    ``gate_ingest_selective_invalidation`` is the fraction of warm
+    queries whose post-ingest state matches that prediction — a pure
+    count over deterministic matching (the same `query_touches` rule
+    every tier applies), so the gate is machine-independent. Ingest
+    and re-query latencies are informational.
+    """
+    from repro.service.ingest import query_touches
+
+    # A private session: ingest swaps the session's search engine
+    # (copy-on-write), and later scenarios must see the shared
+    # session's corpus untouched.
+    session = SessionState(
+        entity_repository=session.entity_repository,
+        pattern_repository=session.pattern_repository,
+        statistics=session.statistics,
+        search_engine=session.search_engine,
+    )
+    config = ServiceConfig(max_workers=MAX_WORKERS, num_documents=1)
+    with QKBflyService(session, service_config=config) as service:
+        warm = _queries(session, INGEST_WARM_QUERIES)
+        targets = warm[:INGEST_TARGET_QUERIES]
+        for query in warm:
+            service.serve(QueryRequest(query=query))
+
+        subscription = service.watch(
+            WatchRequest(entities=targets, client_id="bench-monitor")
+        )
+        bumped: set = set()
+        ingest_latencies = []
+        for index in range(INGEST_DOCS):
+            target = targets[index % len(targets)]
+            started = time.perf_counter()
+            ack = service.ingest(
+                IngestRequest(
+                    doc_id=f"bench-live-{index}",
+                    text=f"{target} announced a new venture.",
+                    source="news",
+                )
+            )
+            ingest_latencies.append(time.perf_counter() - started)
+            bumped.update(ack.touched_entities)
+
+        correct = 0
+        survivors = 0
+        expected_cold = 0
+        requery_latencies = []
+        for query in warm:
+            result = service.serve(QueryRequest(query=query))
+            requery_latencies.append(result.seconds)
+            observed_warm = result.served_from == "cache"
+            expected_warm = not any(
+                query_touches(query, entity) for entity in bumped
+            )
+            expected_cold += not expected_warm
+            survivors += observed_warm
+            correct += observed_warm == expected_warm
+        deltas = service.poll_deltas(
+            subscription["subscription_id"], after=0, timeout=1.0
+        )["deltas"]
+
+    return {
+        "ingest_docs": INGEST_DOCS,
+        "ingest_warm_queries": len(warm),
+        "ingest_touched_queries": expected_cold,
+        "ingest_cache_survivors": survivors,
+        "ingest_deltas_delivered": len(deltas),
+        "ingest_p50_ms": round(
+            _percentile(ingest_latencies, 0.50) * 1000, 3
+        ),
+        "ingest_requery_p50_ms": round(
+            _percentile(requery_latencies, 0.50) * 1000, 3
+        ),
+        # Fraction of warm queries whose post-ingest cache state
+        # matches the query_touches prediction (1.0 = exactly the
+        # intersecting entries cooled, everything else survived).
+        "gate_ingest_selective_invalidation": round(
+            correct / len(warm), 4
+        ),
+    }
+
+
 def run_full_benchmark(world: World) -> Dict[str, float]:
     """All scenarios over one shared session, merged into one dict."""
     session = SessionState.from_world(world)
@@ -1127,6 +1227,7 @@ def run_full_benchmark(world: World) -> Dict[str, float]:
     metrics.update(run_async_front_end_benchmark(session))
     metrics.update(run_gateway_benchmark(session))
     metrics.update(run_cost_admission_benchmark(session))
+    metrics.update(run_ingest_benchmark(session))
     # The search scenario must run before the stage-cache one: that
     # scenario removes the shared session's stage cache to measure
     # honestly, and this ordering keeps the session untouched here.
@@ -1197,6 +1298,17 @@ def _assert_scaleout_metrics(metrics: Dict[str, float]) -> None:
         f"expensive cold traffic despite cost shedding: "
         f"alone={metrics['cost_hit_p50_alone_ms']}ms, "
         f"during={metrics['cost_hit_p50_during_ms']}ms"
+    )
+    assert metrics["gate_ingest_selective_invalidation"] >= 0.8, (
+        "an ingest cooled warm entries it does not touch (or left a "
+        "touched entry warm): "
+        f"{metrics['ingest_cache_survivors']} survivors of "
+        f"{metrics['ingest_warm_queries']} warm queries with "
+        f"{metrics['ingest_touched_queries']} touched"
+    )
+    assert metrics["ingest_deltas_delivered"] == metrics["ingest_docs"], (
+        "every breaking document must deliver exactly one delta to "
+        "the watching subscription"
     )
     assert metrics["gate_search_walk_complete"] == 1.0, (
         "the paginated search walk must return every pre-walk fact "

@@ -82,6 +82,17 @@ INFORMATIONAL = (
     "search_page_p50_ms",
     "search_fullscan_p50_ms",
     "search_fts_p50_ms",
+    # Ingest scenario: ingest/re-query latencies price the commit +
+    # invalidation transaction on the host; the gated form is the
+    # deterministic match-rate
+    # (gate_ingest_selective_invalidation).
+    "ingest_docs",
+    "ingest_warm_queries",
+    "ingest_touched_queries",
+    "ingest_cache_survivors",
+    "ingest_deltas_delivered",
+    "ingest_p50_ms",
+    "ingest_requery_p50_ms",
     # Stage-cache scenario: absolute p50s and the overlap speedup
     # measure host speed and load; the gated forms are the
     # deterministic lookup-count ratio (gate_overlap_reuse) and the

@@ -1,44 +1,104 @@
-"""News monitoring: up-to-date facts and emerging entities (Table 2).
+"""News monitoring as a live subscriber workload (Table 2 analogue).
 
-The paper's Table 2 shows facts QKBfly compiles from news articles:
-the Pitt/Jolie divorce, Bob Dylan's Nobel prize, and an emerging accuser
-(Jessica Leeds). This script queries the synthetic news channel for the
-main participants of recent trend events and prints the up-to-date facts
-— including emerging entities absent from the entity repository.
+The paper's Table 2 shows facts QKBfly compiles from news articles as
+events break: the Pitt/Jolie divorce, Bob Dylan's Nobel prize, an
+emerging accuser. This script runs that workload the way the serving
+tier actually supports it: a monitor *watches* the main participants
+of recent trend events, breaking documents arrive through the live
+ingest path (``POST /v1/ingest`` on the gateway; ``service.ingest``
+here), and each ingest pushes a KB delta to the subscription — no
+polling of full KBs, no corpus-wide refresh. Only the entities a
+document touches have their versions bumped, so the warm KBs of
+unrelated queries survive every arrival (``docs/INGEST.md``).
 
 Run:  python examples/news_monitoring.py
 """
 
 from __future__ import annotations
 
-from repro import QKBfly, build_world
+from repro import build_world
+from repro.service import (
+    IngestRequest,
+    QKBflyService,
+    QueryRequest,
+    WatchRequest,
+)
 
 
 def main() -> None:
     world = build_world(seed=7)
-    system = QKBfly.from_world(world)
+    service = QKBflyService.from_world(world)
 
     interesting = [
         e for e in world.events if e.kind in ("divorce", "award", "accusation")
     ][:3]
-    for event in interesting:
-        main_entity = world.entities[event.main_entities[0]]
-        print(f"\nQuery: {main_entity.name}   Corpus: news   "
-              f"(event: {event.kind} on {event.date[0]})")
-        kb = system.build_kb(main_entity.name, source="news", num_documents=5)
-        shown = 0
-        for fact in kb.facts:
-            displays = [fact.subject.display] + [o.display for o in fact.objects]
-            if main_entity.name in displays or any(
-                main_entity.name in d for d in displays
-            ):
-                print(f"  {fact}")
-                shown += 1
-            if shown >= 5:
-                break
-        if kb.emerging:
-            names = [e.display_name for e in kb.emerging.values()]
-            print(f"  emerging entities: {names[:4]}")
+    watched = [world.entities[e.main_entities[0]].name for e in interesting]
+
+    # Warm a KB per participant from the news channel, plus one
+    # unrelated control query whose cache entry should survive every
+    # ingest below untouched.
+    for name in watched:
+        kb = service.serve(
+            QueryRequest(query=name, source="news", num_documents=5)
+        ).kb
+        print(f"Warm KB for {name}: {len(kb)} facts, "
+              f"{len(kb.emerging)} emerging entities")
+    control = world.entities[
+        max(world.entities, key=lambda e: world.entities[e].prominence)
+    ].name
+    if control in watched:
+        control = None
+    else:
+        service.serve(QueryRequest(query=control, source="news"))
+
+    # One subscription covering every watched participant; deltas are
+    # consumed with the cursor-ack long-poll protocol (GET /v1/deltas
+    # on the gateway).
+    subscription = service.watch(
+        WatchRequest(entities=watched, client_id="newsroom")
+    )
+    sub_id = subscription["subscription_id"]
+    print(f"\nWatching {len(watched)} entities "
+          f"(subscription {sub_id})")
+
+    # Breaking documents arrive: each ingest commits the document,
+    # bumps only the touched entities' versions, invalidates exactly
+    # the intersecting warm entries, and queues a delta.
+    cursor = 0
+    for event, name in zip(interesting, watched):
+        ack = service.ingest(
+            IngestRequest(
+                doc_id=f"breaking-{event.kind}",
+                text=f"{name} confirmed the {event.kind} "
+                     f"reported on {event.date[0]}.",
+                source="news",
+            )
+        )
+        print(f"\nIngested {ack.doc_id!r}: touched {ack.touched_entities}, "
+              f"notified {ack.subscribers} subscription(s)")
+        page = service.poll_deltas(sub_id, after=cursor, timeout=1.0)
+        for delta in page["deltas"]:
+            cursor = delta["delta_id"]  # cursor-ack: next poll acks it
+            print(f"  delta {delta['delta_id']}: doc={delta['doc_id']!r} "
+                  f"entities={delta['entities']} "
+                  f"versions={delta['entity_versions']}")
+        # The re-query rebuilds from the updated corpus...
+        fresh = service.serve(QueryRequest(query=name, source="news"))
+        print(f"  re-query served_from={fresh.served_from} "
+              f"(entity versions {fresh.entity_versions})")
+
+    # ...while the unrelated control query is still a warm cache hit.
+    if control:
+        survivor = service.serve(QueryRequest(query=control, source="news"))
+        print(f"\nControl query {control!r} after {len(interesting)} "
+              f"ingests: served_from={survivor.served_from}")
+
+    stats = service.stats()["ingest"]
+    print(f"\nIngest stats: {stats['ingested']} ingested, "
+          f"{stats['entity_versions']['entities']} entity versions, "
+          f"{stats['subscriptions']['subscriptions']} subscription(s)")
+    service.unwatch(sub_id)
+    service.close()
 
 
 if __name__ == "__main__":

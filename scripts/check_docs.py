@@ -66,6 +66,7 @@ REQUIRED_DOCS = (
     "ARCHITECTURE.md",
     "BENCHMARKS.md",
     "FABRIC.md",
+    "INGEST.md",
     "OPERATIONS.md",
     "PIPELINE.md",
     "SEARCH.md",

@@ -30,14 +30,16 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.faultinject import fabric_harness, harness  # noqa: E402
+from repro.faultinject import (  # noqa: E402
+    fabric_harness,
+    harness,
+    ingest_harness,
+)
 from repro.faultinject.schedule import FaultSchedule, minimize  # noqa: E402
 
 
-def _report_failure(seed: int, report, fabric: bool) -> None:
+def _report_failure(seed: int, report, flag: str, run) -> None:
     """Print everything needed to reproduce and debug one failure."""
-    flag = " --fabric" if fabric else ""
-    run = fabric_harness.run_fabric_schedule if fabric else harness.run_schedule
     print(f"\nFAIL seed={seed}")
     print(report.describe())
     print("reproduce with:")
@@ -82,18 +84,34 @@ def main(argv=None) -> int:
         help="run the fabric scenario (socket shard servers, replica "
         "reads, online rebalance) instead of the local-store one",
     )
+    parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="run the live-ingest scenario (entity-granular "
+        "invalidation, delta subscriptions, acked-ingest durability) "
+        "instead of the local-store one",
+    )
     args = parser.parse_args(argv)
+    if args.fabric and args.ingest:
+        parser.error("--fabric and --ingest are mutually exclusive")
 
     seeds = (
         [args.seed]
         if args.seed is not None
         else list(range(args.base_seed, args.base_seed + args.schedules))
     )
-    run_seed = (
-        fabric_harness.run_fabric_scenario
-        if args.fabric
-        else harness.run_scenario
-    )
+    if args.fabric:
+        flag = " --fabric"
+        run_seed = fabric_harness.run_fabric_scenario
+        run_schedule = fabric_harness.run_fabric_schedule
+    elif args.ingest:
+        flag = " --ingest"
+        run_seed = ingest_harness.run_scenario
+        run_schedule = ingest_harness.run_schedule
+    else:
+        flag = ""
+        run_seed = harness.run_scenario
+        run_schedule = harness.run_schedule
     started = time.perf_counter()
     failures = 0
     for seed in seeds:
@@ -106,7 +124,7 @@ def main(argv=None) -> int:
             )
         else:
             failures += 1
-            _report_failure(seed, report, args.fabric)
+            _report_failure(seed, report, flag, run_schedule)
     elapsed = time.perf_counter() - started
     print(
         f"\n{len(seeds)} schedule(s), {failures} failure(s), "

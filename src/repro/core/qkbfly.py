@@ -137,6 +137,11 @@ class SessionState:
         self._corpus_version = corpus_version
         self._nlp = nlp
         self._stage_cache = stage_cache
+        # Per-entity version vector, installed by the serving layer's
+        # live-ingest path (an :class:`~repro.service.ingest.versions.
+        # EntityVersionVector`); None outside a serving deployment.
+        # The retrieval stage folds its query slice into signatures.
+        self.entity_versions = None
 
     @property
     def stage_cache(self) -> Optional["StageCache"]:
@@ -173,6 +178,9 @@ class SessionState:
     def __getstate__(self) -> Dict:
         state = self.__dict__.copy()
         state["_nlp"] = None  # derived; rebuilt lazily after unpickling
+        # The version vector is serving-process state (and carries a
+        # lock): workers see None and use the empty versions token.
+        state["entity_versions"] = None
         cache = state.get("_stage_cache")
         if cache is not None:
             # Entries are process-local (and potentially large); only
@@ -410,12 +418,25 @@ class QKBfly:
             return self.search_engine.search(
                 query, source=source, k=num_documents
             )
+        normalized = " ".join(query.lower().split())
+        # Live ingest bumps a per-entity version vector instead of the
+        # global corpus version (see docs/INGEST.md); the token of the
+        # slice relevant to this query joins the signature, so an
+        # ingest touching the query's entities makes the old ranking
+        # unreachable while every other query's entry stays addressed.
+        # Sessions without the serving layer (or process-pool workers,
+        # whose vector is not pickled) contribute the empty token.
+        vector = getattr(self.session, "entity_versions", None)
+        versions_token = (
+            vector.token_for_query(normalized) if vector is not None else ""
+        )
         signature = _stage_signature(
             "retrieval",
             self.session.corpus_version,
+            versions_token,
             source,
             str(num_documents),
-            " ".join(query.lower().split()),
+            normalized,
         )
         doc_ids = cache.get("retrieval", signature)
         if doc_ids is not None:
@@ -429,6 +450,7 @@ class QKBfly:
             "retrieval",
             signature,
             [document.doc_id for document in documents],
+            tag=normalized,
         )
         return documents
 

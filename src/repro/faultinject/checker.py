@@ -18,9 +18,27 @@ serving tier's freshness/integrity contract:
   version or one introduced by a refresh). A serve from a version the
   deployment never ran is a torn or foreign entry.
 - **content integrity** (``divergent_content``) — two serves of the
-  same ``(request_key, corpus_version)`` must carry the same content
-  digest, whatever tier they came from. A divergence means the store or
-  cache handed out a torn / partially-rebalanced entry.
+  same ``(request_key, corpus_version, entity-versions)`` must carry
+  the same content digest, whatever tier they came from. A divergence
+  means the store or cache handed out a torn / partially-rebalanced /
+  stale-after-ingest entry. Including the serve's stamped per-entity
+  version slice in the key is what catches entity-granular staleness
+  at the hit tiers: a stale hit stamps the *current* vector over *old*
+  content, so it lands in the same bucket as a fresh rebuild and the
+  digests diverge.
+- **per-entity monotonic freshness** (``stale_entity_serve``) — once a
+  client has observed entity E at version v (via a query serve *or* a
+  subscription delta delivery), no later serve or delivery to that
+  client may stamp E at a version older than v. This is the
+  entity-granular analogue of ``stale_serve`` for the live-ingest
+  path, where the global ``corpus_version`` stays fixed and only the
+  per-entity version vector advances. One carve-out: delta delivery is
+  at-least-once until acked, so a *replay* — re-delivering the same
+  (entity, version) this client already received as a delivery — is
+  the documented crash-recovery behaviour, not staleness. A delivery
+  carrying a below-watermark version the client never received before
+  is still a violation (per-entity versions are bumped monotonically,
+  so an (entity, version) pair identifies exactly one delta slice).
 
 The checker is pure (events in, violations out) and deterministic, so
 the seeded-replay tests can pin its verdicts bit-for-bit.
@@ -32,6 +50,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.faultinject.history import (
+    EVENT_DELIVERY,
     EVENT_REFRESH,
     EVENT_SERVE,
     HistoryEvent,
@@ -41,6 +60,7 @@ from repro.faultinject.history import (
 VIOLATION_STALE_SERVE = "stale_serve"
 VIOLATION_UNKNOWN_VERSION = "unknown_version"
 VIOLATION_DIVERGENT_CONTENT = "divergent_content"
+VIOLATION_STALE_ENTITY_SERVE = "stale_entity_serve"
 
 
 @dataclass(frozen=True)
@@ -116,12 +136,29 @@ class MonotonicFreshnessChecker:
         violations: List[Violation] = []
         # client_id -> (rank, version) high-water mark.
         seen: Dict[str, Tuple[int, str]] = {}
-        # (request_key, corpus_version) -> (digest, seq of first serve).
-        digests: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        # (request_key, corpus_version, entity-versions token) ->
+        # (digest, seq of first serve). The entity slice is part of the
+        # key so a stale hit stamping the current vector over old
+        # content collides with the fresh rebuild and diverges.
+        digests: Dict[Tuple[str, str, tuple], Tuple[str, int]] = {}
+        # (client_id, entity) -> version high-water mark across both
+        # query serves and subscription delta deliveries.
+        entity_seen: Dict[Tuple[str, str], int] = {}
+        # (client_id, entity, version) triples this client already
+        # received as a *delivery* — the at-least-once replay set.
+        delivered: set = set()
 
         for event in ordered:
+            if event.kind == EVENT_DELIVERY:
+                violations.extend(
+                    self._check_entity_marks(event, entity_seen, delivered)
+                )
+                continue
             if event.kind != EVENT_SERVE:
                 continue
+            violations.extend(
+                self._check_entity_marks(event, entity_seen, delivered)
+            )
             rank = ranks.get(event.corpus_version)
             if rank is None:
                 violations.append(
@@ -156,7 +193,11 @@ class MonotonicFreshnessChecker:
             if mark is None or rank > mark[0]:
                 seen[event.client_id] = (rank, event.corpus_version)
             if event.digest:
-                key = (event.request_key, event.corpus_version)
+                key = (
+                    event.request_key,
+                    event.corpus_version,
+                    tuple(event.entity_versions),
+                )
                 prior = digests.get(key)
                 if prior is None:
                     digests[key] = (event.digest, event.seq)
@@ -170,18 +211,64 @@ class MonotonicFreshnessChecker:
                             detail=(
                                 f"digest {event.digest} for "
                                 f"{event.request_key!r}@"
-                                f"{event.corpus_version!r} differs from "
-                                f"{prior[0]} first served at seq {prior[1]} "
-                                "— torn or partially-rebalanced entry"
+                                f"{event.corpus_version!r} "
+                                f"(entities {dict(event.entity_versions)}) "
+                                f"differs from {prior[0]} first served at "
+                                f"seq {prior[1]} — torn, "
+                                "partially-rebalanced, or stale-after-"
+                                "ingest entry"
                             ),
                         )
                     )
+        return violations
+
+    @staticmethod
+    def _check_entity_marks(
+        event: HistoryEvent,
+        entity_seen: Dict[Tuple[str, str], int],
+        delivered: set,
+    ) -> List[Violation]:
+        """Per-(client, entity) monotonicity for one serve or delivery
+        event; advances the high-water marks (and, for deliveries, the
+        replay set) in place. A below-watermark *delivery* is exempt
+        when the client already received that exact (entity, version)
+        as a delivery — the at-least-once redelivery of an unacked
+        delta; serves get no such exemption."""
+        violations: List[Violation] = []
+        is_delivery = event.kind == EVENT_DELIVERY
+        for entity, version in event.entity_versions:
+            mark_key = (event.client_id, entity)
+            mark = entity_seen.get(mark_key, 0)
+            replay = (
+                is_delivery
+                and (event.client_id, entity, version) in delivered
+            )
+            if is_delivery:
+                delivered.add((event.client_id, entity, version))
+            if version < mark and not replay:
+                violations.append(
+                    Violation(
+                        kind=VIOLATION_STALE_ENTITY_SERVE,
+                        seq=event.seq,
+                        client_id=event.client_id,
+                        request_key=event.request_key
+                        or event.subscription_id,
+                        detail=(
+                            f"{event.kind} stamped entity {entity!r} at "
+                            f"version {version} after the client already "
+                            f"observed version {mark}"
+                        ),
+                    )
+                )
+            elif version > mark:
+                entity_seen[mark_key] = version
         return violations
 
 
 __all__ = [
     "MonotonicFreshnessChecker",
     "VIOLATION_DIVERGENT_CONTENT",
+    "VIOLATION_STALE_ENTITY_SERVE",
     "VIOLATION_STALE_SERVE",
     "VIOLATION_UNKNOWN_VERSION",
     "Violation",

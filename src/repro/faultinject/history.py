@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional
 EVENT_SERVE = "serve"
 EVENT_REFRESH = "refresh"
 EVENT_INGEST = "ingest"
+EVENT_DELIVERY = "delivery"
 
 
 def kb_digest(kb: Any) -> str:
@@ -65,6 +66,16 @@ class HistoryEvent:
     fact_count: int = 0
     # refresh events only: the version being superseded.
     previous_version: str = ""
+    # live-ingest / delivery events: the document and the entity slice.
+    doc_id: str = ""
+    source: str = ""
+    entities: tuple = ()
+    #: Per-entity versions: on ingest events the *new* versions the
+    #: ingest established; on serve events the query's entity slice at
+    #: serve time; on delivery events the delta's watched slice.
+    entity_versions: tuple = ()
+    # delivery events only: which subscription observed the delta.
+    subscription_id: str = ""
 
     def to_dict(self) -> Dict:
         """JSON wire form (failure reports, offline analysis)."""
@@ -80,7 +91,16 @@ class HistoryEvent:
             "digest": self.digest,
             "fact_count": self.fact_count,
             "previous_version": self.previous_version,
+            "doc_id": self.doc_id,
+            "source": self.source,
+            "entities": list(self.entities),
+            "entity_versions": dict(self.entity_versions),
+            "subscription_id": self.subscription_id,
         }
+
+    def versions(self) -> Dict[str, int]:
+        """The event's entity→version slice as a plain dict."""
+        return dict(self.entity_versions)
 
 
 @dataclass
@@ -111,6 +131,7 @@ class HistoryRecorder:
         if kb is None:
             return
         digest = kb_digest(kb)
+        stamped = getattr(result, "entity_versions", None) or {}
         with self._lock:
             self.events.append(
                 HistoryEvent(
@@ -124,6 +145,7 @@ class HistoryRecorder:
                     front_end=front_end,
                     digest=digest,
                     fact_count=len(kb.facts),
+                    entity_versions=tuple(sorted(stamped.items())),
                 )
             )
 
@@ -143,12 +165,25 @@ class HistoryRecorder:
 
     def record_ingest(
         self,
-        request_key: str,
-        corpus_version: str,
+        request_key: str = "",
+        corpus_version: str = "",
         client_id: str = "",
+        doc_id: str = "",
+        source: str = "",
+        entities: Optional[List[str]] = None,
+        entity_versions: Optional[Dict[str, int]] = None,
+        updated: bool = False,
     ) -> None:
-        """Log one direct store/corpus write (harness scenarios that
-        bypass the serve path use this so the history stays complete)."""
+        """Log one corpus write.
+
+        Two callers share this event kind: harness scenarios that
+        write to the store directly (``request_key`` form, the
+        original contract) and the live-ingest path, whose
+        acknowledgment carries the touched entities and the *new*
+        per-entity versions — the edges the checker's per-entity
+        freshness rules are built from.
+        """
+        del updated  # recorded implicitly: a later event for the same doc
         with self._lock:
             self.events.append(
                 HistoryEvent(
@@ -158,6 +193,41 @@ class HistoryRecorder:
                     client_id=client_id,
                     request_key=request_key,
                     corpus_version=corpus_version,
+                    doc_id=doc_id,
+                    source=source,
+                    entities=tuple(entities or ()),
+                    entity_versions=tuple(
+                        sorted((entity_versions or {}).items())
+                    ),
+                )
+            )
+
+    def record_delivery(
+        self,
+        subscription_id: str,
+        client_id: str,
+        doc_id: str,
+        entities: Optional[List[str]] = None,
+        entity_versions: Optional[Dict[str, int]] = None,
+        corpus_version: str = "",
+    ) -> None:
+        """Log one KB delta handed to a subscriber (long-poll return or
+        acknowledged webhook POST) — the subscriber-side observation
+        the per-entity monotonicity rules check."""
+        with self._lock:
+            self.events.append(
+                HistoryEvent(
+                    seq=len(self.events),
+                    kind=EVENT_DELIVERY,
+                    ts=time.time(),
+                    client_id=client_id,
+                    corpus_version=corpus_version,
+                    doc_id=doc_id,
+                    subscription_id=subscription_id,
+                    entities=tuple(entities or ()),
+                    entity_versions=tuple(
+                        sorted((entity_versions or {}).items())
+                    ),
                 )
             )
 
@@ -182,6 +252,7 @@ class HistoryRecorder:
 
 
 __all__ = [
+    "EVENT_DELIVERY",
     "EVENT_INGEST",
     "EVENT_REFRESH",
     "EVENT_SERVE",

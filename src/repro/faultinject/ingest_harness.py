@@ -1,0 +1,374 @@
+"""Fault-injection scenario for the live-ingest path.
+
+The sibling of :mod:`repro.faultinject.harness`, aimed at the two
+invariants the ingest subsystem promises (docs/INGEST.md):
+
+1. **acked ⇒ durable** — once an ingest is acknowledged (recorded as
+   an ``EVENT_INGEST`` in the history), the document revision is in
+   the live search engine, whatever crashed afterwards;
+2. **per-entity monotone freshness** — no client or subscriber ever
+   observes a watched entity at a version older than one it already
+   saw, and no warm entry predating the version vector is ever served
+   (the extended :class:`~repro.faultinject.checker.
+   MonotonicFreshnessChecker` rules).
+
+Like the base harness this module is not imported by the package
+``__init__`` — it pulls in the whole serving stack. Unlike the base
+harness the scenario is **fully sequential**: ingests, serves and
+long-polls interleave on one thread in a seed-independent order, and
+only the fault schedule varies. That makes ``same seed ⇒ same
+verdict`` exact rather than statistical, which is what lets the CI
+sweep replay a failing seed bit-for-bit.
+
+The schedule draws from :data:`INGEST_POINTS` — the three ingest
+points (``ingest.commit``, ``ingest.invalidate``,
+``subscribe.deliver``) plus the store-write and index points an ingest
+or a serve crosses. Crashed ingests are retried (the retry first runs
+:meth:`~repro.service.ingest.pipeline.IngestPipeline.recover`, the
+same loop a real feeder runs), so every document eventually commits
+and the end-state checks are exact:
+
+- every acknowledged ingest's final revision is present in the engine;
+- every surviving store entry loads and is re-recorded as a synthetic
+  serve stamped with the *current* version slice, so a stale entry
+  that dodged invalidation collides with a fresh post-ingest serve in
+  the checker's digest buckets (divergent content);
+- a delta acknowledged via the long-poll cursor is never delivered
+  again (crashed polls may re-deliver *unacked* deltas — that is the
+  at-least-once contract, and the checker accepts the equal-version
+  replay).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.faultinject.checker import MonotonicFreshnessChecker
+from repro.faultinject.harness import ScenarioReport, _bundle, _fresh_session
+from repro.faultinject.history import EVENT_INGEST, HistoryRecorder
+from repro.faultinject.points import SimulatedCrash, inject
+from repro.faultinject.schedule import FaultSchedule
+
+#: The catalog slice ingest schedules draw from: the three ingest
+#: points plus every store/index point an ingest or serve crosses.
+#: ``service.close`` is delay-only and keeps teardown exercised.
+INGEST_POINTS = (
+    "ingest.commit",
+    "ingest.invalidate",
+    "subscribe.deliver",
+    "kb_store.save.mid_entry",
+    "kb_store.save.pre_commit",
+    "search.index.update",
+    "service.close",
+)
+
+
+def schedule_for_seed(seed: int) -> FaultSchedule:
+    """The deterministic ingest schedule for ``seed`` (pure function:
+    replaying a seed regenerates the identical schedule)."""
+    return FaultSchedule.generate(seed, points=INGEST_POINTS)
+
+
+def run_scenario(seed: int) -> ScenarioReport:
+    """Generate ``seed``'s schedule and run the scenario under it."""
+    return run_schedule(schedule_for_seed(seed))
+
+
+def run_schedule(schedule: FaultSchedule) -> ScenarioReport:
+    """Run the fixed ingest scenario with ``schedule`` armed; injected
+    faults are outcomes, not failures — see :class:`~repro.faultinject.
+    harness.ScenarioReport`."""
+    report = ScenarioReport(schedule=schedule)
+    tmpdir = tempfile.mkdtemp(prefix="faultinject-ingest-")
+    try:
+        with inject(schedule) as injector:
+            try:
+                _run_phases(schedule, report, tmpdir)
+            except Exception as error:  # pragma: no cover - harness bug
+                report.errors.append(
+                    f"unexpected {type(error).__name__}: {error}"
+                )
+            report.fired = list(injector.fired)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return report
+
+
+class _VerifyServe:
+    """Duck-typed result envelope for the verify phase's synthetic
+    store reads (shape of :class:`~repro.service.api.QueryResult` as
+    read by ``HistoryRecorder.record_serve``)."""
+
+    def __init__(
+        self,
+        client_id: str,
+        request_key: str,
+        corpus_version: str,
+        kb: Any,
+        entity_versions: Optional[Dict[str, int]],
+    ) -> None:
+        self.client_id = client_id
+        self.request_key = request_key
+        self.corpus_version = corpus_version
+        self.served_from = "store"
+        self.kb = kb
+        self.entity_versions = entity_versions
+
+
+def _run_phases(
+    schedule: FaultSchedule, report: ScenarioReport, tmpdir: str
+) -> None:
+    import os
+
+    from repro.service.api import (
+        IngestRequest,
+        QueryRequest,
+        ServiceError,
+        WatchRequest,
+    )
+    from repro.service.service import QKBflyService, ServiceConfig
+
+    _, _, queries = _bundle()
+    counts = report.counts
+    counts.update(
+        {
+            "serves": 0,
+            "ingests": 0,
+            "polls": 0,
+            "deltas": 0,
+            "crashes": 0,
+            "service_errors": 0,
+            "recovered": 0,
+            "store_reads": 0,
+        }
+    )
+    # Each armed action fires at most once, so this many attempts
+    # always push a retried operation through.
+    attempts = len(schedule.actions) + 1
+    recorder = HistoryRecorder()
+
+    service = QKBflyService(
+        _fresh_session(),
+        service_config=ServiceConfig(
+            max_workers=2,
+            num_documents=1,
+            store_path=os.path.join(tmpdir, "store"),
+            store_shards=2,
+        ),
+    )
+    service.attach_history(recorder)
+
+    def guarded(fn, *args, **kwargs) -> Optional[Any]:
+        """Run one operation; crashes and typed errors are outcomes."""
+        try:
+            return fn(*args, **kwargs)
+        except SimulatedCrash:
+            counts["crashes"] += 1
+        except ServiceError:
+            counts["service_errors"] += 1
+        return None
+
+    def serve(client: str, query: str) -> None:
+        result = guarded(
+            service.serve, QueryRequest(query=query, client_id=client)
+        )
+        if result is not None:
+            counts["serves"] += 1
+
+    def ingest(doc_id: str, text: str) -> Optional[Any]:
+        """Feed one document, retrying crashed attempts through
+        recovery — the loop a real feeder runs. Returns the acked
+        result, or None when every attempt crashed (all armed)."""
+        request = IngestRequest(doc_id=doc_id, text=text, client_id="feed")
+        for _ in range(attempts):
+            result = guarded(service.ingest, request)
+            if result is not None:
+                counts["ingests"] += 1
+                return result
+            if guarded(service.ingest_pipeline.recover):
+                counts["recovered"] += 1
+        return None
+
+    # The long-poll subscriber and its exactly-once-after-ack ledger.
+    watched = (queries[0], queries[1])
+    observed_ids: Set[int] = set()
+    cursor = {"acked": 0}
+
+    def poll(ack: bool) -> None:
+        """One long-poll turn; ``ack`` advances the cursor past what
+        this turn delivered. A delivered-but-unacked delta may appear
+        again (at-least-once); a delta at or below the acked cursor
+        never may — that is the double-delivery check."""
+        page = guarded(
+            service.poll_deltas,
+            subscription["subscription_id"],
+            after=cursor["acked"],
+            timeout=0.0,
+        )
+        if page is None:
+            return
+        counts["polls"] += 1
+        for delta in page["deltas"]:
+            delta_id = delta["delta_id"]
+            if delta_id <= cursor["acked"]:
+                report.errors.append(
+                    f"delta {delta_id} re-delivered after the cursor "
+                    f"acknowledged {cursor['acked']}"
+                )
+            observed_ids.add(delta_id)
+            counts["deltas"] += 1
+        if ack and page["deltas"]:
+            cursor["acked"] = max(d["delta_id"] for d in page["deltas"])
+
+    expected_docs: Dict[str, str] = {}
+    expected_deltas = 0
+    try:
+        # Phase 1: warm the tiers — cold + warm serves for two clients.
+        for client in ("alice", "bob"):
+            for query in queries[:3]:
+                serve(client, query)
+
+        subscription = service.watch(
+            WatchRequest(entities=list(watched), client_id="carol")
+        )
+
+        # Phase 2: interleave ingests (including an update of live-1)
+        # with serves of touched and untouched queries and cursor-acked
+        # long-polls. Sequential by design: the order is seed-independent
+        # so the only varying input is the fault schedule.
+        feed = [
+            ("live-1", f"{queries[0]} announced a merger with {queries[1]}."),
+            ("live-2", f"{queries[2]} opened a research lab in {queries[0]}."),
+            (
+                "live-1",
+                f"{queries[0]} cancelled the merger after talks with "
+                f"{queries[1]} collapsed.",
+            ),
+        ]
+        for round_index, (doc_id, text) in enumerate(feed):
+            result = ingest(doc_id, text)
+            if result is not None:
+                expected_docs[doc_id] = text
+                expected_deltas += result.subscribers
+            serve("alice", queries[0])
+            serve("bob", queries[3])
+            poll(ack=(round_index != 1))  # round 1 leaves its delta unacked
+
+        # Drain the subscription: retried until a poll survives, then
+        # acked, then polled once more — which must return nothing new.
+        for _ in range(attempts):
+            poll(ack=True)
+        final = guarded(
+            service.poll_deltas,
+            subscription["subscription_id"],
+            after=cursor["acked"],
+            timeout=0.0,
+        )
+        if final is not None and final["deltas"]:
+            report.errors.append(
+                f"{len(final['deltas'])} deltas still pending after the "
+                f"cursor acknowledged {cursor['acked']}"
+            )
+        if len(observed_ids) < expected_deltas:
+            report.errors.append(
+                f"subscriber observed {len(observed_ids)} distinct deltas "
+                f"for {expected_deltas} acked matching ingests"
+            )
+
+        # Phase 3: verify acked ⇒ durable — every acknowledged ingest's
+        # final revision must be live in the search engine.
+        acked_ids = {
+            event.doc_id
+            for event in recorder.snapshot()
+            if event.kind == EVENT_INGEST and event.doc_id
+        }
+        engine = service.session.search_engine
+        for doc_id, text in expected_docs.items():
+            if doc_id not in acked_ids:
+                report.errors.append(
+                    f"ingest of {doc_id!r} returned but was never recorded"
+                )
+            document = engine.news_docs.get(doc_id)
+            if document is None:
+                report.errors.append(
+                    f"acked ingest {doc_id!r} lost: not in the live engine"
+                )
+            elif document.text != text:
+                report.errors.append(
+                    f"acked ingest {doc_id!r} lost: engine holds a stale "
+                    "revision"
+                )
+
+        # Phase 4: verify the store — every surviving entry loads, sits
+        # on the unrotated corpus version, and is re-recorded as a
+        # synthetic serve stamped with the current version slice so the
+        # checker's digest rule catches any entry that predates the
+        # version vector.
+        corpus_version = service.session.corpus_version
+        for sig in service.store.signatures():
+            kb = service.store.load(
+                sig.query,
+                corpus_version=sig.corpus_version,
+                mode=sig.mode,
+                algorithm=sig.algorithm,
+                source=sig.source,
+                num_documents=sig.num_documents,
+                config_digest=sig.config_digest,
+            )
+            if kb is None:
+                report.errors.append(
+                    f"store entry {sig.query!r} listed but unreadable"
+                )
+                continue
+            counts["store_reads"] += 1
+            if sig.corpus_version != corpus_version:
+                report.errors.append(
+                    f"entry {sig.query!r}@{sig.corpus_version!r} does not "
+                    f"match the (unrotated) corpus version "
+                    f"{corpus_version!r}"
+                )
+            versions = service.entity_versions.versions_for_query(sig.query)
+            key = service.request_key(
+                sig.query, sig.source, sig.num_documents
+            )
+            recorder.record_serve(
+                _VerifyServe(
+                    client_id="verifier",
+                    request_key=key.signature(),
+                    corpus_version=sig.corpus_version,
+                    kb=kb,
+                    entity_versions=versions or None,
+                ),
+                front_end="verify",
+            )
+    finally:
+        service.close()
+
+    events = recorder.snapshot()
+    counts["events"] = len(events)
+    report.violations = MonotonicFreshnessChecker().check(events)
+
+
+def run_schedules(
+    seeds: List[int],
+) -> Tuple[List[ScenarioReport], List[int]]:
+    """Run many seeded scenarios; returns (reports, failing seeds)."""
+    reports: List[ScenarioReport] = []
+    failing: List[int] = []
+    for seed in seeds:
+        report = run_scenario(seed)
+        reports.append(report)
+        if not report.passed:
+            failing.append(seed)
+    return reports, failing
+
+
+__all__ = [
+    "INGEST_POINTS",
+    "run_scenario",
+    "run_schedule",
+    "run_schedules",
+    "schedule_for_seed",
+]

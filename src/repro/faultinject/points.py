@@ -105,6 +105,18 @@ CATALOG: Dict[str, Tuple[str, ...]] = {
     # KbStore search read path, before the shard SQL executes — models
     # a shard dying or stalling mid-paginated-walk.
     "search.read.page": (KIND_CRASH, KIND_DELAY),
+    # IngestPipeline.ingest: document processed and touched entities
+    # computed, but nothing committed yet — a crash here must leave the
+    # search engine, version vector, caches, and FTS5 index untouched.
+    "ingest.commit": (KIND_CRASH, KIND_DELAY),
+    # IngestPipeline.ingest: engine swapped and versions bumped, the
+    # selective invalidation fan-out (cache/store/stage) in flight —
+    # the ingest must not be acknowledged until this completes.
+    "ingest.invalidate": (KIND_CRASH, KIND_DELAY),
+    # SubscriptionRegistry delivery: a KB delta about to be pushed to
+    # one subscriber (long-poll wakeup or webhook POST). crash before
+    # the ack must redeliver; crash after must not double-deliver.
+    "subscribe.deliver": (KIND_CRASH, KIND_DELAY),
 }
 
 #: Sleep applied by ``delay`` actions: long enough to reorder racing

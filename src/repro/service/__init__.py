@@ -58,6 +58,7 @@ from repro.service.admission import (
     QueueWaitWindow,
     TokenBucket,
     cost_shape,
+    ingest_cost_shape,
     search_cost_shape,
 )
 from repro.service.api import (
@@ -66,6 +67,8 @@ from repro.service.api import (
     DeadlineUnmet,
     FactSearchRequest,
     FactSearchResult,
+    IngestRequest,
+    IngestResult,
     Overloaded,
     PipelineFailure,
     QueryRequest,
@@ -74,6 +77,7 @@ from repro.service.api import (
     RateLimited,
     SearchUnavailable,
     ServiceError,
+    WatchRequest,
     backend_seconds,
 )
 from repro.service.async_service import AsyncQKBflyService
@@ -91,6 +95,14 @@ from repro.service.fabric import (
     ShardUnavailable,
 )
 from repro.service.gateway import HttpGateway, parse_search_query
+from repro.service.ingest import (
+    EntityVersionVector,
+    normalize_entity,
+    query_touches,
+    versions_token,
+)
+from repro.service.ingest.pipeline import IngestPipeline
+from repro.service.ingest.subscriptions import SubscriptionRegistry
 from repro.service.kb_store import EntrySignature, KbStore
 from repro.service.process_executor import (
     PipelineRequest,
@@ -122,12 +134,16 @@ __all__ = [
     "CostCharge",
     "CostLimited",
     "DeadlineUnmet",
+    "EntityVersionVector",
     "EntrySignature",
     "ExecutorSelector",
     "Fabric",
     "FactSearchRequest",
     "FactSearchResult",
     "HttpGateway",
+    "IngestPipeline",
+    "IngestRequest",
+    "IngestResult",
     "KbStore",
     "Overloaded",
     "QueueWaitWindow",
@@ -152,15 +168,21 @@ __all__ = [
     "StageCache",
     "StageCacheSpec",
     "StagePolicy",
+    "SubscriptionRegistry",
     "TokenBucket",
+    "WatchRequest",
     "backend_seconds",
     "cost_shape",
+    "ingest_cost_shape",
+    "normalize_entity",
     "normalize_query",
     "observed_cpu_count",
     "parse_search_query",
+    "query_touches",
     "rebuild_index",
     "search_cost_shape",
     "search_paginated",
     "shard_index",
     "stage_signature",
+    "versions_token",
 ]

@@ -758,6 +758,19 @@ def search_cost_shape(kind: str) -> Tuple[str, str]:
     return ("search", kind)
 
 
+def ingest_cost_shape(source: str) -> Tuple[str, str]:
+    """The cost-estimator shape key for one live-corpus ingest.
+
+    Ingest is its own shape class, keyed only on the channel: the
+    dominant costs (NLP + extraction over the document, the search-
+    engine rebuild, the invalidation fan-out) scale with the corpus
+    and document size, not with any query parameter — and a bulk feed
+    must draw down its client's cost budget so it cannot starve query
+    traffic (see ``docs/INGEST.md``).
+    """
+    return ("ingest", source)
+
+
 __all__ = [
     "AdmissionController",
     "CostBucket",
@@ -769,5 +782,6 @@ __all__ = [
     "QueueWaitWindow",
     "TokenBucket",
     "cost_shape",
+    "ingest_cost_shape",
     "search_cost_shape",
 ]

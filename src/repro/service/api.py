@@ -466,6 +466,12 @@ class QueryResult:
     #: Seconds spent inside the pipeline run (None: no pipeline run).
     pipeline_seconds: Optional[float] = None
     error: Optional[ServiceError] = field(default=None, repr=False)
+    #: Per-entity versions of the query's entity slice at serve time
+    #: (entity → version, from the live-ingest version vector; see
+    #: ``docs/INGEST.md``). None outside ingest-enabled deployments; an
+    #: empty dict means "no ingested entity touches this query". Only
+    #: serialized when set, so pre-ingest envelopes are unchanged.
+    entity_versions: Optional[Dict[str, int]] = None
     api_version: str = API_VERSION
 
     @property
@@ -508,7 +514,7 @@ class QueryResult:
         for logs and metrics surfaces that only need the metadata; the
         field then travels as ``null`` exactly like an error envelope.
         """
-        return {
+        payload = {
             "api_version": self.api_version,
             "status": self.status.value,
             "query": self.query,
@@ -528,6 +534,9 @@ class QueryResult:
             ),
             "error": self.error.to_dict() if self.error else None,
         }
+        if self.entity_versions is not None:
+            payload["entity_versions"] = dict(self.entity_versions)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "QueryResult":
@@ -573,6 +582,14 @@ class QueryResult:
             error=(
                 ServiceError.from_dict(error_payload)
                 if error_payload is not None
+                else None
+            ),
+            entity_versions=(
+                {
+                    str(entity): int(version)
+                    for entity, version in data["entity_versions"].items()
+                }
+                if isinstance(data.get("entity_versions"), dict)
                 else None
             ),
         )
@@ -748,6 +765,294 @@ class FactSearchResult:
         )
 
 
+# ---- ingest / subscription envelopes ---------------------------------------
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """One v1 live-corpus document ingest, validated at construction
+    (the write twin of :class:`QueryRequest`).
+
+    Args:
+        doc_id: Stable document identity; re-ingesting an existing id
+            replaces the document (an *update*).
+        text: The raw document text (non-empty).
+        title: Optional title; defaults to ``doc_id`` downstream.
+        source: Retrieval channel the document joins (``"news"``
+            default, or ``"wikipedia"``).
+        client_id: Admission-control identity; ingest has its own cost
+            shape so bulk feeds cannot starve query traffic.
+        api_version: Must be ``"v1"``.
+    """
+
+    doc_id: str
+    text: str
+    title: str = ""
+    source: str = "news"
+    client_id: str = DEFAULT_CLIENT_ID
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        if self.api_version != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {self.api_version!r} "
+                f"(this server speaks {API_VERSION!r})"
+            )
+        if not isinstance(self.doc_id, str) or not self.doc_id.strip():
+            raise invalid_request("doc_id must be a non-empty string")
+        if not isinstance(self.text, str) or not self.text.strip():
+            raise invalid_request("text must be a non-empty string")
+        if not isinstance(self.title, str):
+            raise invalid_request("title must be a string")
+        if self.source not in ("wikipedia", "news"):
+            raise invalid_request(
+                f"unknown source {self.source!r} "
+                "(supported: wikipedia, news)"
+            )
+        if not isinstance(self.client_id, str) or not self.client_id:
+            raise invalid_request("client_id must be a non-empty string")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the ingest envelope."""
+        return {
+            "api_version": self.api_version,
+            "doc_id": self.doc_id,
+            "text": self.text,
+            "title": self.title,
+            "source": self.source,
+            "client_id": self.client_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "IngestRequest":
+        """Parse and validate a wire payload; unknown keys are errors."""
+        if not isinstance(data, dict):
+            raise invalid_request("ingest body must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise invalid_request(
+                f"unknown ingest field(s): {', '.join(unknown)}"
+            )
+        for required in ("doc_id", "text"):
+            if required not in data:
+                raise invalid_request(f"ingest is missing {required!r}")
+        kwargs = {key: data[key] for key in data}
+        kwargs.setdefault("api_version", API_VERSION)
+        if kwargs.get("client_id") is None:
+            kwargs["client_id"] = DEFAULT_CLIENT_ID
+        if kwargs.get("title") is None:
+            kwargs["title"] = ""
+        if kwargs.get("source") is None:
+            kwargs["source"] = "news"
+        return cls(**kwargs)
+
+
+@dataclass
+class IngestResult:
+    """One acknowledged ingest: what changed, and for whom.
+
+    ``entity_versions`` are the *new* per-entity versions the ingest
+    bumped; ``invalidated`` counts the warm entries cooled per tier
+    (``cache`` / ``store`` / ``stage``); ``subscribers`` is the number
+    of subscriptions selected for delta delivery. The global
+    ``corpus_version`` is unchanged by design — that is the
+    entity-granular contract.
+    """
+
+    doc_id: str
+    source: str
+    corpus_version: str
+    updated: bool = False
+    touched_entities: list = field(default_factory=list)
+    entity_versions: Dict[str, int] = field(default_factory=dict)
+    invalidated: Dict[str, int] = field(default_factory=dict)
+    subscribers: int = 0
+    #: Webhook delivery counters for the inline pass the ingest ran
+    #: after acknowledging (``attempted`` / ``delivered`` / ``failed``);
+    #: long-poll consumers drain via ``GET /v1/deltas`` instead.
+    deliveries: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    status: QueryStatus = QueryStatus.OK
+    client_id: str = DEFAULT_CLIENT_ID
+    error: Optional[ServiceError] = field(default=None, repr=False)
+    api_version: str = API_VERSION
+
+    @classmethod
+    def failure(
+        cls,
+        request: IngestRequest,
+        error: ServiceError,
+        seconds: float = 0.0,
+    ) -> "IngestResult":
+        """An error envelope for ``request`` (nothing was committed)."""
+        return cls(
+            doc_id=request.doc_id,
+            source=request.source,
+            corpus_version="",
+            seconds=seconds,
+            status=error.status,
+            client_id=request.client_id,
+            error=error,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the ingest acknowledgment."""
+        return {
+            "api_version": self.api_version,
+            "status": self.status.value,
+            "doc_id": self.doc_id,
+            "source": self.source,
+            "updated": self.updated,
+            "corpus_version": self.corpus_version,
+            "touched_entities": list(self.touched_entities),
+            "entity_versions": dict(self.entity_versions),
+            "invalidated": dict(self.invalidated),
+            "subscribers": self.subscribers,
+            "deliveries": dict(self.deliveries),
+            "client_id": self.client_id,
+            "timings": {"total_seconds": self.seconds},
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IngestResult":
+        """Rebuild the envelope from its wire form."""
+        if not isinstance(data, dict):
+            raise invalid_request("ingest payload must be a JSON object")
+        if data.get("api_version") != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {data.get('api_version')!r}"
+            )
+        try:
+            status = QueryStatus(data.get("status", "ok"))
+        except ValueError as error:
+            raise invalid_request(
+                f"unknown status {data.get('status')!r}"
+            ) from error
+        timings = data.get("timings") or {}
+        error_payload = data.get("error")
+        return cls(
+            doc_id=str(data.get("doc_id", "")),
+            source=str(data.get("source", "news")),
+            corpus_version=str(data.get("corpus_version", "")),
+            updated=bool(data.get("updated")),
+            touched_entities=list(data.get("touched_entities") or ()),
+            entity_versions={
+                str(entity): int(version)
+                for entity, version in (
+                    data.get("entity_versions") or {}
+                ).items()
+            },
+            invalidated={
+                str(tier): int(count)
+                for tier, count in (data.get("invalidated") or {}).items()
+            },
+            subscribers=int(data.get("subscribers") or 0),
+            deliveries={
+                str(kind): int(count)
+                for kind, count in (data.get("deliveries") or {}).items()
+            },
+            seconds=float(timings.get("total_seconds") or 0.0),
+            status=status,
+            client_id=data.get("client_id", DEFAULT_CLIENT_ID),
+            error=(
+                ServiceError.from_dict(error_payload)
+                if error_payload is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WatchRequest:
+    """One v1 subscription registration: ``watch(entities)``.
+
+    Args:
+        entities: Entity names to watch (non-empty list of non-empty
+            strings; normalized downstream).
+        mode: ``"longpoll"`` (default; consume via ``GET /v1/deltas``)
+            or ``"webhook"`` (deltas POSTed to ``callback_url``).
+        callback_url: Required for webhook mode; must be an ``http://``
+            URL the registry can reach.
+        client_id: The subscriber's identity (freshness is tracked per
+            client).
+        api_version: Must be ``"v1"``.
+    """
+
+    entities: tuple
+    mode: str = "longpoll"
+    callback_url: Optional[str] = None
+    client_id: str = DEFAULT_CLIENT_ID
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        if self.api_version != API_VERSION:
+            raise invalid_request(
+                f"unsupported api_version {self.api_version!r} "
+                f"(this server speaks {API_VERSION!r})"
+            )
+        entities = self.entities
+        if isinstance(entities, (str, bytes)) or not isinstance(
+            entities, (list, tuple)
+        ):
+            raise invalid_request("entities must be a list of strings")
+        if not entities or not all(
+            isinstance(entity, str) and entity.strip()
+            for entity in entities
+        ):
+            raise invalid_request(
+                "entities must be a non-empty list of non-empty strings"
+            )
+        object.__setattr__(self, "entities", tuple(entities))
+        if self.mode not in ("longpoll", "webhook"):
+            raise invalid_request(
+                f"unknown mode {self.mode!r} (supported: longpoll, webhook)"
+            )
+        if self.mode == "webhook":
+            if not isinstance(
+                self.callback_url, str
+            ) or not self.callback_url.startswith("http://"):
+                raise invalid_request(
+                    "webhook mode requires an http:// callback_url"
+                )
+        elif self.callback_url is not None:
+            raise invalid_request("callback_url is only valid for webhooks")
+        if not isinstance(self.client_id, str) or not self.client_id:
+            raise invalid_request("client_id must be a non-empty string")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form of the watch registration."""
+        return {
+            "api_version": self.api_version,
+            "entities": list(self.entities),
+            "mode": self.mode,
+            "callback_url": self.callback_url,
+            "client_id": self.client_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "WatchRequest":
+        """Parse and validate a wire payload; unknown keys are errors."""
+        if not isinstance(data, dict):
+            raise invalid_request("watch body must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise invalid_request(
+                f"unknown watch field(s): {', '.join(unknown)}"
+            )
+        if "entities" not in data:
+            raise invalid_request("watch is missing 'entities'")
+        kwargs = {key: data[key] for key in data}
+        kwargs.setdefault("api_version", API_VERSION)
+        if kwargs.get("client_id") is None:
+            kwargs["client_id"] = DEFAULT_CLIENT_ID
+        if kwargs.get("mode") is None:
+            kwargs["mode"] = "longpoll"
+        return cls(**kwargs)
+
+
 __all__ = [
     "API_VERSION",
     "CostLimited",
@@ -755,6 +1060,8 @@ __all__ = [
     "DeadlineUnmet",
     "FactSearchRequest",
     "FactSearchResult",
+    "IngestRequest",
+    "IngestResult",
     "Overloaded",
     "PipelineFailure",
     "QueryRequest",
@@ -766,6 +1073,7 @@ __all__ = [
     "SERVED_FROM_STORE",
     "SearchUnavailable",
     "ServiceError",
+    "WatchRequest",
     "backend_seconds",
     "classify_timeout",
     "deadline_exceeded",

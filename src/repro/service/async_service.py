@@ -59,10 +59,13 @@ from repro.service.api import (
     DeadlineUnmet,
     FactSearchRequest,
     FactSearchResult,
+    IngestRequest,
+    IngestResult,
     PipelineFailure,
     QueryRequest,
     QueryResult,
     ServiceError,
+    WatchRequest,
     backend_seconds,
     classify_timeout,
     reraise_original,
@@ -428,6 +431,49 @@ class AsyncQKBflyService:
         loop = self._check_loop()
         return await loop.run_in_executor(
             self._dispatch_pool, self.service.search_entities, request
+        )
+
+    # ---- live ingest / subscriptions ---------------------------------------
+
+    async def ingest(self, request: IngestRequest) -> IngestResult:
+        """One live-corpus ingest (``POST /v1/ingest``), off the loop.
+
+        The whole sync :meth:`QKBflyService.ingest` (admission, NLP +
+        extraction, engine swap, selective invalidation, subscriber
+        notification) runs on a dispatch-pool thread — an ingest is
+        seconds of CPU-bound stage work plus store writes, which must
+        never stall loop-side cache hits.
+        """
+        loop = self._check_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool, self.service.ingest, request
+        )
+
+    async def watch(self, request: WatchRequest) -> Dict[str, Any]:
+        """Register a subscription (``POST /v1/watch``), off the loop
+        (registration is cheap but takes the registry lock, which
+        long-poll serving also holds)."""
+        loop = self._check_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool, self.service.watch, request
+        )
+
+    async def poll_deltas(
+        self,
+        subscription_id: str,
+        after: int = 0,
+        timeout: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Long-poll a subscription's KB deltas (``GET /v1/deltas``),
+        off the loop: the poll may block up to its capped timeout on
+        the registry condition, so it occupies a dispatch thread, not
+        the event loop."""
+        loop = self._check_loop()
+        return await loop.run_in_executor(
+            self._dispatch_pool,
+            lambda: self.service.poll_deltas(
+                subscription_id, after=after, timeout=timeout
+            ),
         )
 
     # ---- legacy entry points (deprecated shims) ----------------------------

@@ -188,6 +188,33 @@ class QueryCache:
             self.invalidations += len(stale)
             return len(stale)
 
+    def invalidate_entities(self, entities) -> int:
+        """Drop every entry whose normalized query touches one of
+        ``entities`` (the entity-granular twin of
+        :meth:`invalidate_corpus_version`, used by live ingest).
+
+        Applies :func:`repro.service.ingest.match.query_touches` — the
+        same rule the KB store and stage cache apply — so one ingest
+        cools exactly the same query slice in every tier. Returns the
+        number of entries removed.
+        """
+        from repro.service.ingest.match import touches_any
+
+        entity_list = list(entities)
+        if not entity_list:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if touches_any(key.query, entity_list)
+            ]
+            for key in stale:
+                del self._entries[key]
+                del self._inserted_at[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
     def clear(self) -> None:
         """Remove all entries (statistics are kept)."""
         with self._lock:

@@ -375,6 +375,20 @@ class ReplicatedShardClient:
                 pass
         return removed
 
+    def delete_for_entities(self, entities) -> int:
+        entity_list = [str(entity) for entity in entities]
+        removed = self.primary.delete_for_entities(entity_list)
+        # Best-effort on replicas for the same reason as
+        # delete_entries: a replica hit is only trusted when the
+        # primary confirms the key, so a lagging replica's leftover
+        # rows can never resurface an invalidated KB.
+        for replica in self.replicas:
+            try:
+                replica.delete_for_entities(entity_list)
+            except ShardUnavailable:
+                pass
+        return removed
+
     def compact(
         self,
         max_age_seconds: Optional[float] = None,

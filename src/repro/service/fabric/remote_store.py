@@ -389,6 +389,16 @@ class RemoteKbStore:
             )
         )
 
+    def delete_for_entities(self, entities: Iterable[str]) -> int:
+        """Drop entries whose query touches one of ``entities``; the
+        shard server applies the shared match rule to its own rows."""
+        return int(
+            self._request(
+                "delete_for_entities",
+                {"entities": [str(entity) for entity in entities]},
+            )
+        )
+
     def compact(
         self,
         max_age_seconds: Optional[float] = None,

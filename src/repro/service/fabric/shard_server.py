@@ -264,6 +264,14 @@ class ShardServer(socketserver.ThreadingTCPServer):
     def _op_delete_stale(self, args: Dict[str, Any]) -> int:
         return self.store.delete_stale(args["current_version"])
 
+    def _op_delete_for_entities(self, args: Dict[str, Any]) -> int:
+        # The touched-entity list travels over the wire and the match
+        # runs here, against this shard's own rows, with the same
+        # query_touches rule every local tier applies.
+        return self.store.delete_for_entities(
+            [str(entity) for entity in args.get("entities", [])]
+        )
+
     def _op_compact(self, args: Dict[str, Any]) -> int:
         return self.store.compact(
             max_age_seconds=args.get("max_age_seconds"),

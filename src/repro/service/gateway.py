@@ -25,6 +25,19 @@ Routes (see ``docs/API.md`` for the wire format and curl examples):
   :class:`~repro.service.api.FactSearchResult` envelopes with
   ``next_cursor`` / ``has_more``. A deployment without a store or
   without FTS5 answers 503 (``search_unavailable``).
+- ``POST /v1/ingest`` — one live-corpus document
+  (:class:`~repro.service.api.IngestRequest` JSON body) in, the
+  :class:`~repro.service.api.IngestResult` acknowledgment out:
+  touched entities, new per-entity versions, and per-tier invalidation
+  counts (``docs/INGEST.md``). Same taxonomy mapping as the query
+  route.
+- ``POST /v1/watch`` — register a ``watch(entities)`` subscription
+  (:class:`~repro.service.api.WatchRequest`); returns the
+  ``subscription_id`` plus the registration's wire form.
+- ``GET /v1/deltas?subscription=S&after=N&timeout=T`` — long-poll a
+  subscription's pending KB deltas; ``after`` is the cursor
+  acknowledgment, ``timeout`` the capped poll wait (strictly parsed:
+  unknown or malformed parameters are 400).
 - ``GET /v1/healthz`` — liveness plus the served corpus version.
 - ``GET /v1/stats`` — the merged serving counters
   (:meth:`AsyncQKBflyService.stats`: cache, store, executor tiers,
@@ -49,9 +62,12 @@ from urllib.parse import parse_qsl
 from repro.service.api import (
     API_VERSION,
     FactSearchRequest,
+    IngestRequest,
+    IngestResult,
     QueryRequest,
     QueryResult,
     ServiceError,
+    WatchRequest,
     invalid_request,
 )
 from repro.service.async_service import AsyncQKBflyService
@@ -389,6 +405,36 @@ class HttpGateway:
                     {"Allow": "POST"},
                 )
             return await self._handle_query(headers, body)
+        if path == "/v1/ingest":
+            if method != "POST":
+                return (
+                    405,
+                    _error_payload(
+                        "method_not_allowed", "use POST", http_status=405
+                    ),
+                    {"Allow": "POST"},
+                )
+            return await self._handle_ingest(headers, body)
+        if path == "/v1/watch":
+            if method != "POST":
+                return (
+                    405,
+                    _error_payload(
+                        "method_not_allowed", "use POST", http_status=405
+                    ),
+                    {"Allow": "POST"},
+                )
+            return await self._handle_watch(headers, body)
+        if path == "/v1/deltas":
+            if method != "GET":
+                return (
+                    405,
+                    _error_payload(
+                        "method_not_allowed", "use GET", http_status=405
+                    ),
+                    {"Allow": "GET"},
+                )
+            return await self._handle_deltas(query_string)
         if path == "/v1/healthz":
             if method != "GET":
                 return (
@@ -487,6 +533,121 @@ class HttpGateway:
         loop = asyncio.get_running_loop()
         body = await loop.run_in_executor(None, _encode_payload, result)
         return 200, body, {}
+
+    async def _handle_ingest(
+        self, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """POST /v1/ingest: document envelope in, acknowledgment out."""
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return (
+                400,
+                _error_payload("invalid_json", "body is not valid JSON"),
+                {},
+            )
+        # Same identity fallback as POST /v1/query.
+        if (
+            isinstance(data, dict)
+            and not data.get("client_id")
+            and headers.get("x-client-id")
+        ):
+            data = dict(data)
+            data["client_id"] = headers["x-client-id"]
+        try:
+            request = IngestRequest.from_dict(data)
+        except ServiceError as error:
+            return error.http_status, _error_payload_from(error), {}
+        serve_started = time.perf_counter()
+        try:
+            result = await self._service.ingest(request)
+        except ServiceError as error:
+            failure = IngestResult.failure(
+                request,
+                error,
+                seconds=time.perf_counter() - serve_started,
+            )
+            return error.http_status, failure.to_dict(), _retry_headers(error)
+        except Exception as error:  # defense in depth: never half-close
+            return (
+                500,
+                _error_payload(
+                    "internal", f"unexpected error: {error}", http_status=500
+                ),
+                {},
+            )
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(None, _encode_payload, result)
+        return 200, body, {}
+
+    async def _handle_watch(
+        self, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """POST /v1/watch: subscription registration in, id out."""
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return (
+                400,
+                _error_payload("invalid_json", "body is not valid JSON"),
+                {},
+            )
+        if (
+            isinstance(data, dict)
+            and not data.get("client_id")
+            and headers.get("x-client-id")
+        ):
+            data = dict(data)
+            data["client_id"] = headers["x-client-id"]
+        try:
+            request = WatchRequest.from_dict(data)
+        except ServiceError as error:
+            return error.http_status, _error_payload_from(error), {}
+        try:
+            subscription = await self._service.watch(request)
+        except ServiceError as error:
+            return error.http_status, _error_payload_from(error), {}
+        except Exception as error:  # defense in depth: never half-close
+            return (
+                500,
+                _error_payload(
+                    "internal", f"unexpected error: {error}", http_status=500
+                ),
+                {},
+            )
+        payload = dict(subscription)
+        payload["api_version"] = API_VERSION
+        payload["status"] = "ok"
+        return 200, payload, {}
+
+    async def _handle_deltas(
+        self, query_string: str
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """GET /v1/deltas: long-poll one subscription's pending deltas."""
+        try:
+            params = parse_deltas_query(query_string)
+        except ServiceError as error:
+            return error.http_status, _error_payload_from(error), {}
+        try:
+            page = await self._service.poll_deltas(
+                params["subscription"],
+                after=params["after"],
+                timeout=params["timeout"],
+            )
+        except ServiceError as error:
+            return error.http_status, _error_payload_from(error), {}
+        except Exception as error:  # defense in depth: never half-close
+            return (
+                500,
+                _error_payload(
+                    "internal", f"unexpected error: {error}", http_status=500
+                ),
+                {},
+            )
+        payload = dict(page)
+        payload["api_version"] = API_VERSION
+        payload["status"] = "ok"
+        return 200, payload, {}
 
     async def _handle_search(
         self, kind: str, query_string: str, headers: Dict[str, str]
@@ -649,6 +810,57 @@ def parse_search_query(query_string: str) -> Dict[str, Any]:
     return out
 
 
+def parse_deltas_query(query_string: str) -> Dict[str, Any]:
+    """The strict query-string parser for ``GET /v1/deltas``.
+
+    Accepts exactly ``subscription`` (required), ``after`` (the cursor
+    acknowledgment, a non-negative integer, default 0), and ``timeout``
+    (the long-poll wait in seconds, a non-negative number, default 0 —
+    the registry caps it server-side). Unknown or malformed parameters
+    raise ``invalid_request`` (400), same contract as the search
+    parser above.
+    """
+    out: Dict[str, Any] = {"after": 0, "timeout": 0.0}
+    for name, value in parse_qsl(query_string, keep_blank_values=True):
+        if not value:
+            continue
+        if name == "subscription":
+            out["subscription"] = value
+        elif name == "after":
+            try:
+                after = int(value)
+            except ValueError:
+                raise invalid_request(
+                    f"query parameter 'after' must be an integer, "
+                    f"got {value!r}"
+                )
+            if after < 0:
+                raise invalid_request(
+                    f"query parameter 'after' must be >= 0, got {after}"
+                )
+            out["after"] = after
+        elif name == "timeout":
+            try:
+                timeout = float(value)
+            except ValueError:
+                raise invalid_request(
+                    f"query parameter 'timeout' must be a number, "
+                    f"got {value!r}"
+                )
+            if timeout < 0:
+                raise invalid_request(
+                    f"query parameter 'timeout' must be >= 0, got {timeout}"
+                )
+            out["timeout"] = timeout
+        else:
+            raise invalid_request(f"unknown query parameter {name!r}")
+    if "subscription" not in out:
+        raise invalid_request(
+            "query parameter 'subscription' is required"
+        )
+    return out
+
+
 def _error_payload(
     code: str, message: str, http_status: int = 400
 ) -> Dict[str, Any]:
@@ -682,5 +894,6 @@ __all__ = [
     "DEFAULT_MAX_BODY_BYTES",
     "HttpGateway",
     "MAX_HEADER_LINES",
+    "parse_deltas_query",
     "parse_search_query",
 ]

@@ -1,0 +1,411 @@
+"""KB-delta subscriptions: ``watch(entity)`` served as push.
+
+A subscriber registers interest in a set of entities and receives a
+:class:`KbDelta` every time an ingest touches one of them. Delivery
+follows the candidates → selection → state → delivery shape: every
+live subscription is a *candidate* for a committed ingest; *selection*
+keeps the ones whose watched set intersects the touched entities; the
+delta is recorded in the subscription's durable *state* (an ordered
+pending queue with a cursor); and *delivery* pushes it out over one of
+two transports:
+
+- **long-poll** — ``GET /v1/deltas?subscription=S&after=N`` blocks
+  until a delta with id > N exists (or the timeout lapses). ``after=N``
+  is a cursor acknowledgment: every delta with id ≤ N is dropped from
+  the pending queue before waiting. A delta handed to a poller that
+  crashes before advancing its cursor stays pending and is served
+  again — at-least-once until acked, never again after.
+- **webhook** — the registry POSTs the delta JSON to the registered
+  callback URL; a 2xx response is the acknowledgment. Non-2xx or a
+  connection error leaves the delta pending for the next delivery
+  pass. The ack is recorded in the same lock region as the response
+  check, so a crash injected at the ``subscribe.deliver`` fault point
+  (which sits *before* the POST) can force redelivery of an unacked
+  delta but can never double-deliver an acked one.
+
+Deliveries are synchronous and explicit — :meth:`SubscriptionRegistry.
+deliver_webhooks` runs on the caller's thread (the ingest path calls
+it after acknowledging the ingest; tests and the gateway may call it
+again to retry failures). No background thread means fault schedules
+replay deterministically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import threading
+import time
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.faultinject.points import fault_point
+from repro.service.ingest.match import normalize_entity
+
+#: The delivery lifecycle of a delta, in order.
+DELIVERY_STATES = ("candidates", "selection", "state", "delivery")
+
+#: Default timeout for one webhook POST attempt, seconds.
+WEBHOOK_TIMEOUT_SECONDS = 2.0
+
+#: Hard cap on a single long-poll wait, seconds. The gateway serves
+#: polls off-loop on the async dispatch pool, so one poll must never
+#: outlive the connection idle timeout (60s) or pin a pool thread
+#: through shutdown grace (5s) for long.
+MAX_POLL_SECONDS = 10.0
+
+
+@dataclass
+class KbDelta:
+    """One entity-granular KB change, scoped to a subscription.
+
+    ``delta_id`` is the subscription-local cursor position (1-based,
+    dense). ``entity_versions`` carries the post-ingest versions of
+    the touched∩watched entities — the monotonicity the freshness
+    checker verifies per subscriber.
+    """
+
+    delta_id: int
+    doc_id: str
+    entities: Tuple[str, ...]
+    entity_versions: Dict[str, int]
+    corpus_version: str
+    state: str = "state"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "delta_id": self.delta_id,
+            "doc_id": self.doc_id,
+            "entities": list(self.entities),
+            "entity_versions": dict(self.entity_versions),
+            "corpus_version": self.corpus_version,
+            "state": self.state,
+        }
+
+
+@dataclass
+class Subscription:
+    """One ``watch(entities)`` registration and its delivery state."""
+
+    subscription_id: str
+    client_id: str
+    entities: FrozenSet[str]
+    mode: str
+    callback_url: Optional[str] = None
+    pending: List[KbDelta] = field(default_factory=list)
+    next_delta_id: int = 1
+    acked_through: int = 0
+    delivered: int = 0
+    active: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subscription_id": self.subscription_id,
+            "client_id": self.client_id,
+            "entities": sorted(self.entities),
+            "mode": self.mode,
+            "callback_url": self.callback_url,
+            "cursor": self.acked_through,
+            "pending": len(self.pending),
+        }
+
+
+class SubscriptionRegistry:
+    """All live subscriptions plus the notify/poll/deliver machinery.
+
+    Thread-safe: one registry lock doubles as the long-poll condition.
+    The ``history`` attribute (set by the owning service) receives a
+    ``record_delivery`` call at each successful delivery so the
+    freshness checker can track per-subscriber watermarks.
+    """
+
+    def __init__(
+        self, webhook_timeout: float = WEBHOOK_TIMEOUT_SECONDS
+    ) -> None:
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.webhook_timeout = webhook_timeout
+        self.history: Optional[Any] = None
+        self.state_counts: Dict[str, int] = {
+            state: 0 for state in DELIVERY_STATES
+        }
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def watch(
+        self,
+        client_id: str,
+        entities: Iterable[str],
+        mode: str = "longpoll",
+        callback_url: Optional[str] = None,
+    ) -> Subscription:
+        if mode not in ("longpoll", "webhook"):
+            raise ValueError(f"unknown subscription mode {mode!r}")
+        if mode == "webhook" and not callback_url:
+            raise ValueError("webhook subscriptions need a callback_url")
+        watched = frozenset(
+            normalize_entity(entity) for entity in entities
+        ) - {""}
+        if not watched:
+            raise ValueError("watch needs at least one entity")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("subscription registry is closed")
+            subscription = Subscription(
+                subscription_id=f"sub-{next(self._ids)}",
+                client_id=client_id,
+                entities=watched,
+                mode=mode,
+                callback_url=callback_url,
+            )
+            self._subscriptions[subscription.subscription_id] = subscription
+        return subscription
+
+    def unwatch(self, subscription_id: str) -> bool:
+        with self._lock:
+            subscription = self._subscriptions.pop(subscription_id, None)
+            if subscription is not None:
+                subscription.active = False
+            self._wakeup.notify_all()
+        return subscription is not None
+
+    def get(self, subscription_id: str) -> Optional[Subscription]:
+        with self._lock:
+            return self._subscriptions.get(subscription_id)
+
+    # ------------------------------------------------------------------
+    # notify (candidates → selection → state)
+
+    def notify(
+        self,
+        doc_id: str,
+        touched: Iterable[str],
+        entity_versions: Dict[str, int],
+        corpus_version: str,
+    ) -> int:
+        """Fan one committed ingest out to the matching subscriptions.
+
+        Appends a delta to each selected subscription's pending queue
+        (the *state* step) and wakes long-pollers; actual *delivery*
+        happens in :meth:`poll` / :meth:`deliver_webhooks`. Returns
+        the number of subscriptions selected.
+        """
+        touched_set = {normalize_entity(entity) for entity in touched} - {""}
+        if not touched_set:
+            return 0
+        selected = 0
+        with self._lock:
+            for subscription in self._subscriptions.values():
+                self.state_counts["candidates"] += 1
+                overlap = subscription.entities & touched_set
+                if not overlap:
+                    continue
+                self.state_counts["selection"] += 1
+                selected += 1
+                delta = KbDelta(
+                    delta_id=subscription.next_delta_id,
+                    doc_id=doc_id,
+                    entities=tuple(sorted(overlap)),
+                    entity_versions={
+                        entity: entity_versions[entity]
+                        for entity in overlap
+                        if entity in entity_versions
+                    },
+                    corpus_version=corpus_version,
+                )
+                subscription.next_delta_id += 1
+                subscription.pending.append(delta)
+                self.state_counts["state"] += 1
+            self._wakeup.notify_all()
+        return selected
+
+    # ------------------------------------------------------------------
+    # delivery: long-poll
+
+    def poll(
+        self,
+        subscription_id: str,
+        after: int = 0,
+        timeout: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Cursor-acknowledging long-poll.
+
+        Drops every pending delta with id ≤ ``after`` (the ack), then
+        returns the remaining pending deltas — waiting up to
+        ``timeout`` seconds (capped at :data:`MAX_POLL_SECONDS`) for
+        one to arrive if the queue is empty.
+        """
+        deadline = time.monotonic() + min(max(timeout, 0.0), MAX_POLL_SECONDS)
+        with self._lock:
+            subscription = self._subscriptions.get(subscription_id)
+            if subscription is None:
+                raise KeyError(subscription_id)
+            if subscription.mode != "longpoll":
+                raise ValueError(
+                    f"subscription {subscription_id!r} is not long-poll"
+                )
+            if after > subscription.acked_through:
+                subscription.acked_through = after
+                subscription.pending = [
+                    delta
+                    for delta in subscription.pending
+                    if delta.delta_id > after
+                ]
+            while not subscription.pending and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wakeup.wait(remaining)
+            deltas = list(subscription.pending)
+            for delta in deltas:
+                fault_point(
+                    "subscribe.deliver",
+                    subscription_id=subscription_id,
+                    delta_id=delta.delta_id,
+                )
+                delta.state = "delivery"
+                subscription.delivered += 1
+                self.state_counts["delivery"] += 1
+                self._record_delivery(subscription, delta)
+            return {
+                "subscription_id": subscription_id,
+                "cursor": subscription.acked_through,
+                "deltas": [delta.to_dict() for delta in deltas],
+            }
+
+    # ------------------------------------------------------------------
+    # delivery: webhook
+
+    def deliver_webhooks(self) -> Dict[str, int]:
+        """One synchronous delivery pass over webhook subscriptions.
+
+        Each pending delta is POSTed to its callback URL in cursor
+        order; the first failure for a subscription stops that
+        subscription's pass (in-order delivery). Returns counters.
+        """
+        with self._lock:
+            targets = [
+                subscription
+                for subscription in self._subscriptions.values()
+                if subscription.mode == "webhook" and subscription.pending
+            ]
+        attempted = delivered = failed = 0
+        for subscription in targets:
+            while True:
+                with self._lock:
+                    if not subscription.active or not subscription.pending:
+                        break
+                    delta = subscription.pending[0]
+                attempted += 1
+                fault_point(
+                    "subscribe.deliver",
+                    subscription_id=subscription.subscription_id,
+                    delta_id=delta.delta_id,
+                )
+                acked = self._post_webhook(subscription, delta)
+                if not acked:
+                    failed += 1
+                    break
+                delivered += 1
+        return {
+            "attempted": attempted,
+            "delivered": delivered,
+            "failed": failed,
+        }
+
+    def _post_webhook(
+        self, subscription: Subscription, delta: KbDelta
+    ) -> bool:
+        """POST one delta; on 2xx, ack it under the registry lock."""
+        parsed = urllib.parse.urlsplit(subscription.callback_url or "")
+        if parsed.scheme != "http" or not parsed.hostname:
+            return False
+        body = json.dumps(
+            dict(
+                delta.to_dict(),
+                subscription_id=subscription.subscription_id,
+                state="delivery",
+            )
+        ).encode("utf-8")
+        try:
+            connection = http.client.HTTPConnection(
+                parsed.hostname,
+                parsed.port or 80,
+                timeout=self.webhook_timeout,
+            )
+            try:
+                connection.request(
+                    "POST",
+                    parsed.path or "/",
+                    body=body,
+                    headers={"content-type": "application/json"},
+                )
+                status = connection.getresponse().status
+            finally:
+                connection.close()
+        except OSError:
+            return False
+        if not 200 <= status < 300:
+            return False
+        with self._lock:
+            if subscription.pending and subscription.pending[0] is delta:
+                subscription.pending.pop(0)
+            subscription.acked_through = max(
+                subscription.acked_through, delta.delta_id
+            )
+            delta.state = "delivery"
+            subscription.delivered += 1
+            self.state_counts["delivery"] += 1
+            self._record_delivery(subscription, delta)
+        return True
+
+    def _record_delivery(
+        self, subscription: Subscription, delta: KbDelta
+    ) -> None:
+        history = self.history
+        if history is None:
+            return
+        history.record_delivery(
+            subscription_id=subscription.subscription_id,
+            client_id=subscription.client_id,
+            doc_id=delta.doc_id,
+            entities=list(delta.entities),
+            entity_versions=dict(delta.entity_versions),
+            corpus_version=delta.corpus_version,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle / stats
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            pending = sum(
+                len(subscription.pending)
+                for subscription in self._subscriptions.values()
+            )
+            return {
+                "subscriptions": len(self._subscriptions),
+                "pending_deltas": pending,
+                "states": dict(self.state_counts),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+
+
+__all__ = [
+    "DELIVERY_STATES",
+    "KbDelta",
+    "MAX_POLL_SECONDS",
+    "Subscription",
+    "SubscriptionRegistry",
+    "WEBHOOK_TIMEOUT_SECONDS",
+]

@@ -747,6 +747,45 @@ class KbStore:
             self._conn.commit()
             return cur.rowcount
 
+    def delete_for_entities(self, entities: Iterable[str]) -> int:
+        """Drop every entry whose stored query touches one of
+        ``entities`` — the store tier of entity-granular invalidation.
+
+        The match runs on the ``kb_entries.query`` column (the
+        normalized query text) with the same
+        :func:`repro.service.ingest.match.query_touches` rule the
+        query cache and stage cache apply, so all tiers cool the same
+        slice. All matched rows go in one transaction — facts cascade
+        and the delete trigger removes the FTS5 index rows with them —
+        with the save-path's BaseException rollback contract, so an
+        interrupt mid-delete leaves entries and search index intact
+        together. Returns the number of entries removed.
+        """
+        from repro.service.ingest.match import touches_any
+
+        entity_list = [entity for entity in entities if entity]
+        if not entity_list:
+            return 0
+        with self._lock:
+            doomed = [
+                (int(entry_id),)
+                for entry_id, query in self._conn.execute(
+                    "SELECT entry_id, query FROM kb_entries"
+                )
+                if touches_any(query, entity_list)
+            ]
+            if not doomed:
+                return 0
+            try:
+                cur = self._conn.executemany(
+                    "DELETE FROM kb_entries WHERE entry_id = ?", doomed
+                )
+                self._conn.commit()
+                return cur.rowcount
+            except BaseException:
+                self._conn.rollback()
+                raise
+
     def entry_count(self) -> int:
         """Number of stored entries — one indexed count, no table scan
         of the fact tables (the fabric health/rebalance probes poll

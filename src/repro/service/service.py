@@ -58,12 +58,15 @@ from repro.service.admission import (
     CostCharge,
     QueueWaitWindow,
     cost_shape,
+    ingest_cost_shape,
     search_cost_shape,
 )
 from repro.service.api import (
     DeadlineUnmet,
     FactSearchRequest,
     FactSearchResult,
+    IngestRequest,
+    IngestResult,
     Overloaded,
     PipelineFailure,
     QueryRequest,
@@ -71,6 +74,7 @@ from repro.service.api import (
     QueryStatus,
     SearchUnavailable,
     ServiceError,
+    WatchRequest,
     backend_seconds,
     classify_timeout,
     invalid_request,
@@ -82,6 +86,9 @@ from repro.service.autoscale import AutoscalePolicy, ExecutorSelector
 from repro.service.cache import CacheKey, QueryCache
 from repro.service.executor import BatchExecutor
 from repro.service.fabric.cluster import Fabric
+from repro.service.ingest.pipeline import IngestPipeline
+from repro.service.ingest.subscriptions import SubscriptionRegistry
+from repro.service.ingest.versions import EntityVersionVector
 from repro.service.kb_store import KbStore
 from repro.service.process_executor import ProcessBatchExecutor
 from repro.service.search.query import search_paginated, store_backends
@@ -362,6 +369,14 @@ class QKBflyService:
             self._selector = None
             self.executor_kind = self.service_config.executor
         self.qkbfly = QKBfly.from_session(session, config=config)
+        # Per-entity version vector (docs/INGEST.md): installed on the
+        # session so the retrieval stage folds the relevant version
+        # slice into its signatures. A session that already carries one
+        # keeps it — two services over one session must share the
+        # vector, like they share the stage cache below.
+        if getattr(session, "entity_versions", None) is None:
+            session.entity_versions = EntityVersionVector()
+        self.entity_versions: EntityVersionVector = session.entity_versions
         # Stage-level pipeline cache (docs/PIPELINE.md): installed on
         # the *session*, so every QKBfly bound to it — including the
         # rebind in refresh_corpus and the pickled copies shipped to
@@ -457,6 +472,10 @@ class QKBflyService:
         # attached, every OK envelope leaving a front end and every
         # corpus refresh is logged for offline freshness checking.
         self.history: Optional[HistoryRecorder] = None
+        # Live-corpus ingest (docs/INGEST.md): the ingest transaction
+        # and the watch(entity) subscription registry.
+        self.subscriptions = SubscriptionRegistry()
+        self.ingest_pipeline = IngestPipeline(self)
         self._config_digest = _config_digest(self.qkbfly.config)
         self.pipeline_runs = 0
         self.executor_switches = 0
@@ -580,6 +599,10 @@ class QKBflyService:
         ``service.history = None``.
         """
         self.history = recorder
+        # The subscription registry records delta deliveries into the
+        # same history, so the checker can track per-subscriber
+        # entity-version watermarks alongside the query serves.
+        self.subscriptions.history = recorder
         return recorder
 
     def serve(self, request: QueryRequest) -> QueryResult:
@@ -936,9 +959,17 @@ class QKBflyService:
             seconds=time.perf_counter() - started,
             client_id=request.client_id,
             request_key=key.signature(),
+            entity_versions=self._versions_stamp(key.query),
         )
         self._record_request(key, result.seconds, allow_switch=False)
         return result
+
+    def _versions_stamp(self, query: str) -> Optional[Dict[str, int]]:
+        """The per-entity version slice to stamp on a result served
+        for ``query`` right now — None (not ``{}``) when no ingested
+        entity touches the query, so pre-ingest wire forms stay
+        byte-identical."""
+        return self.entity_versions.versions_for_query(query) or None
 
     @staticmethod
     def _result_copy(
@@ -966,6 +997,7 @@ class QKBflyService:
             request_key=shared.request_key,
             store_seconds=shared.store_seconds,
             pipeline_seconds=shared.pipeline_seconds,
+            entity_versions=shared.entity_versions,
         )
 
     def _failure(
@@ -1092,6 +1124,7 @@ class QKBflyService:
         if self.store is None:
             return None
         tier_started = time.perf_counter()
+        versions = self.entity_versions.versions_for_query(key.query)
         kb = self.store.load(
             key.query,
             corpus_version=key.corpus_version,
@@ -1109,6 +1142,7 @@ class QKBflyService:
             kb,
             started,
             store_seconds=time.perf_counter() - tier_started,
+            versions=versions,
         )
 
     def store_hit_result(
@@ -1118,14 +1152,28 @@ class QKBflyService:
         kb: KnowledgeBase,
         started: float,
         store_seconds: Optional[float] = None,
+        versions: Optional[Dict[str, int]] = None,
     ) -> QueryResult:
         """Per-consumer envelope for a store hit, shared by every
         probe (the sync saturation rescue and the event-loop fast
         path): fills the cache for the next repeat — unless a
-        concurrent corpus refresh made the key stale — and records the
-        request for the autoscaler without ever swapping pools inline.
+        concurrent corpus refresh or a concurrent ingest made the key
+        stale — and records the request for the autoscaler without
+        ever swapping pools inline.
+
+        ``versions`` is the per-entity version slice snapshotted
+        *before* the store read: if the vector advanced past it while
+        the row was in flight, an ingest's invalidation sweep may
+        already have deleted the row, and refilling the cache from it
+        would resurrect a stale entry.
         """
-        if key.corpus_version == self.session.corpus_version:
+        if versions is None:
+            versions = self.entity_versions.versions_for_query(key.query)
+        if (
+            key.corpus_version == self.session.corpus_version
+            and self.entity_versions.versions_for_query(key.query)
+            == versions
+        ):
             self.cache.put(key, kb)
         result = QueryResult(
             query=request.query,
@@ -1137,6 +1185,7 @@ class QKBflyService:
             client_id=request.client_id,
             request_key=key.signature(),
             store_seconds=store_seconds,
+            entity_versions=versions or None,
         )
         self._record_request(key, result.seconds, allow_switch=False)
         return result
@@ -1163,6 +1212,7 @@ class QKBflyService:
                 cache_hit=True,
                 seconds=time.perf_counter() - started,
                 request_key=key.signature(),
+                entity_versions=self._versions_stamp(key.query),
             )
         result = self._serve_key(request, key)
         result.seconds = time.perf_counter() - started
@@ -1182,6 +1232,11 @@ class QKBflyService:
         store_hit = False
         store_seconds: Optional[float] = None
         pipeline_seconds: Optional[float] = None
+        # Per-entity snapshot before any tier is consulted: the result
+        # is stamped with it, and the cache/store fills below are
+        # skipped if an ingest advanced the query's slice mid-flight
+        # (they would resurrect an entry the ingest just invalidated).
+        versions_before = self.entity_versions.versions_for_query(key.query)
         kb = None
         if self.store is not None:
             tier_started = time.perf_counter()
@@ -1210,6 +1265,8 @@ class QKBflyService:
             if (
                 self.store is not None
                 and key.corpus_version == self.session.corpus_version
+                and self.entity_versions.versions_for_query(key.query)
+                == versions_before
             ):
                 self.store.save(
                     key.query,
@@ -1221,6 +1278,23 @@ class QKBflyService:
                     num_documents=key.num_documents,
                     config_digest=key.config_digest,
                 )
+                current_versions = self.entity_versions.versions_for_query(
+                    key.query
+                )
+                if current_versions != versions_before:
+                    # An ingest committed between the pre-save check
+                    # and the commit: the row just written was built
+                    # under the old engine and may have landed after
+                    # the ingest's delete_for_entities sweep. Re-sweep
+                    # the advanced entities (over-deletion is safe,
+                    # exactly like the version re-sweep below).
+                    self.store.delete_for_entities(
+                        [
+                            entity
+                            for entity, version in current_versions.items()
+                            if versions_before.get(entity) != version
+                        ]
+                    )
                 if key.corpus_version != self.session.corpus_version:
                     # A refresh_corpus completed between the pre-save
                     # check and the commit: the row just written may
@@ -1242,7 +1316,11 @@ class QKBflyService:
         built_under = (
             key.corpus_version if store_hit else self.session.corpus_version
         )
-        if key.corpus_version == self.session.corpus_version:
+        if (
+            key.corpus_version == self.session.corpus_version
+            and self.entity_versions.versions_for_query(key.query)
+            == versions_before
+        ):
             self.cache.put(key, kb)
         return QueryResult(
             query=query,
@@ -1254,6 +1332,7 @@ class QKBflyService:
             request_key=key.signature(),
             store_seconds=store_seconds,
             pipeline_seconds=pipeline_seconds,
+            entity_versions=versions_before or None,
         )
 
     def _run_pipeline(
@@ -1526,6 +1605,129 @@ class QKBflyService:
             self.admission.settle(charge, actual=result.seconds)
         return result
 
+    # ---- live ingest / subscriptions ---------------------------------------
+
+    def ingest(self, request: IngestRequest) -> IngestResult:
+        """Apply one document to the live corpus (``POST /v1/ingest``).
+
+        Runs the document through the NLP/extraction stages to compute
+        its touched-entity set, swaps the search engine, bumps the
+        per-entity version vector, and invalidates exactly the warm
+        entries whose query intersects the touched set — the global
+        ``corpus_version`` (and every unrelated warm entry) survives
+        bit-identical. See docs/INGEST.md for the dataflow and the
+        crash-safety protocol around the ``ingest.commit`` /
+        ``ingest.invalidate`` fault points.
+
+        Admission control applies like :meth:`serve`, with ingests as
+        their own cost-estimator shape class
+        (:func:`repro.service.admission.ingest_cost_shape`) so a bulk
+        feed cannot starve query traffic. Raises ``invalid_request``
+        (400) on a bad source and the admission taxonomy otherwise;
+        returns the acknowledgment envelope once the ingest is durable
+        and subscribers have been notified.
+        """
+        started = time.perf_counter()
+        charge: Optional[CostCharge] = None
+        if self.admission is not None:
+            charge = self.admission.admit(
+                request.client_id, ingest_cost_shape(request.source)
+            )
+        try:
+            try:
+                outcome = self.ingest_pipeline.ingest(request)
+            except ServiceError:
+                raise
+            except ValueError as error:
+                raise invalid_request(str(error)) from error
+            result = IngestResult(
+                doc_id=outcome["doc_id"],
+                source=outcome["source"],
+                corpus_version=outcome["corpus_version"],
+                updated=outcome["updated"],
+                touched_entities=list(outcome["touched_entities"]),
+                entity_versions=dict(outcome["entity_versions"]),
+                invalidated=dict(outcome["invalidated"]),
+                subscribers=outcome["subscribers"],
+                deliveries=dict(outcome["deliveries"]),
+                seconds=time.perf_counter() - started,
+                client_id=request.client_id,
+                api_version=request.api_version,
+            )
+        except BaseException:
+            # Measured cost unknown (including a SimulatedCrash from a
+            # fault schedule) — the estimated reservation stays charged.
+            if charge is not None:
+                self.admission.settle(charge)
+            raise
+        if charge is not None:
+            self.admission.settle(charge, actual=result.seconds)
+        return result
+
+    def watch(self, request: WatchRequest) -> Dict[str, Any]:
+        """Register a ``watch(entities)`` subscription
+        (``POST /v1/watch``); returns its wire form, including the
+        ``subscription_id`` long-pollers pass to :meth:`poll_deltas`.
+        """
+        try:
+            subscription = self.subscriptions.watch(
+                request.client_id,
+                request.entities,
+                mode=request.mode,
+                callback_url=request.callback_url,
+            )
+        except ValueError as error:
+            raise invalid_request(str(error)) from error
+        return subscription.to_dict()
+
+    def unwatch(self, subscription_id: str) -> bool:
+        """Drop a subscription; True when it existed."""
+        return self.subscriptions.unwatch(subscription_id)
+
+    def poll_deltas(
+        self,
+        subscription_id: str,
+        after: int = 0,
+        timeout: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Long-poll a subscription's pending KB deltas
+        (``GET /v1/deltas``). ``after=N`` acknowledges every delta with
+        id ≤ N; the call blocks up to ``timeout`` seconds (capped by
+        the registry) when nothing is pending.
+        """
+        try:
+            return self.subscriptions.poll(
+                subscription_id, after=after, timeout=timeout
+            )
+        except KeyError as error:
+            raise invalid_request(
+                f"unknown subscription {subscription_id!r}"
+            ) from error
+        except ValueError as error:
+            raise invalid_request(str(error)) from error
+
+    def _rebind_after_ingest(self) -> None:
+        """Rebind the pipeline over the session's just-swapped search
+        engine *without* rotating the corpus version.
+
+        The ingest path's slice of :meth:`refresh_corpus`: gazetteer
+        snapshot and QKBfly rebind so the new document is retrievable,
+        plus a process-pool rebuild (workers bootstrapped from the old
+        session pickle would keep serving the old engine). No blanket
+        invalidation — the caller invalidates the touched slice.
+        """
+        self.session.rebuild_nlp()
+        self.qkbfly = QKBfly.from_session(
+            self.session, config=self.qkbfly.config
+        )
+        old = None
+        with self._autoscale_lock:
+            if self._pipeline_executor is not None:
+                old = self._pipeline_executor
+                self._pipeline_executor = self._build_pipeline_executor()
+        if old is not None:
+            old.shutdown()
+
     # ---- corpus lifecycle --------------------------------------------------
 
     def refresh_corpus(
@@ -1544,7 +1746,26 @@ class QKBflyService:
         session, the version stamp is recomputed (or set to ``version``
         explicitly), the cache drops entries from older versions, and
         the store deletes its stale rows. Returns the new version.
+
+        Exception: a refresh that *only* swaps the search engine (no
+        statistics, no patterns, no explicit version pin) is a batch of
+        document changes — exactly what the live-ingest path models —
+        and routes through entity-granular invalidation instead: the
+        documents that differ between the old and new engines are
+        diffed, their touched entities are bumped on the version
+        vector, and only the intersecting warm state is invalidated.
+        The corpus version and every unrelated warm entry survive
+        bit-identical (docs/INGEST.md). Pass ``version`` explicitly to
+        force the full rotation.
         """
+        if (
+            search_engine is not None
+            and version is None
+            and statistics is None
+            and pattern_repository is None
+        ):
+            self.ingest_pipeline.refresh_engine(search_engine)
+            return self.session.corpus_version
         previous_version = self.session.corpus_version
         if search_engine is not None:
             self.session.search_engine = search_engine
@@ -1718,6 +1939,10 @@ class QKBflyService:
             out["fabric"] = self.fabric.stats()
         if self.admission is not None:
             out["admission"] = self.admission.stats()
+        ingest_stats: Dict[str, Any] = self.ingest_pipeline.stats()
+        ingest_stats["entity_versions"] = self.entity_versions.stats()
+        ingest_stats["subscriptions"] = self.subscriptions.stats()
+        out["ingest"] = ingest_stats
         stage_cache = self.session.stage_cache
         if stage_cache is not None:
             out["stage_cache"] = stage_cache.stats()
@@ -1736,6 +1961,10 @@ class QKBflyService:
             self._closed = True
             pipeline_executor = self._pipeline_executor
             self._pipeline_executor = None
+        # Wake blocked long-pollers before the pools drain: a poller
+        # parked on the registry condition would otherwise wait out its
+        # full timeout during shutdown.
+        self.subscriptions.close()
         fault_point("service.close")
         self._executor.shutdown()
         if pipeline_executor is not None:

@@ -45,7 +45,7 @@ import shutil
 import threading
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.faultinject.points import fault_point
 from repro.kb.facts import KnowledgeBase
@@ -636,6 +636,30 @@ class ShardedKbStore:
         if target is not None:
             for shard in target.shards:
                 shard.delete_stale(current_version)
+        return removed
+
+    def delete_for_entities(self, entities: Iterable[str]) -> int:
+        """Drop entries touching the given entities on every shard;
+        returns the count (serving generation only — the staging
+        generation of an in-flight online rebalance is cleaned too, so
+        the cutover cannot resurrect entries an ingest invalidated).
+
+        Every shard applies the same
+        :func:`repro.service.ingest.match.query_touches` rule locally
+        (remote fabric shards receive the entity list over the wire).
+        """
+        entity_list = list(entities)
+        if not entity_list:
+            return 0
+        with self._route_cond:
+            shards = list(self._shards)
+            target = self._target
+        removed = sum(
+            shard.delete_for_entities(entity_list) for shard in shards
+        )
+        if target is not None:
+            for shard in target.shards:
+                shard.delete_for_entities(entity_list)
         return removed
 
     def compact(

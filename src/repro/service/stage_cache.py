@@ -144,6 +144,7 @@ class _StageShard:
         "entries",
         "inserted_at",
         "sizes",
+        "tags",
         "total_bytes",
         "hits",
         "misses",
@@ -152,6 +153,7 @@ class _StageShard:
         "expirations",
         "rejected",
         "unpicklable",
+        "discarded",
     )
 
     def __init__(self, policy: StagePolicy) -> None:
@@ -159,6 +161,7 @@ class _StageShard:
         self.entries: "OrderedDict[str, Any]" = OrderedDict()
         self.inserted_at: Dict[str, float] = {}
         self.sizes: Dict[str, int] = {}
+        self.tags: Dict[str, str] = {}
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -167,6 +170,7 @@ class _StageShard:
         self.expirations = 0
         self.rejected = 0
         self.unpicklable = 0
+        self.discarded = 0
 
 
 class StageCache:
@@ -244,6 +248,7 @@ class StageCache:
         signature: str,
         value: Any,
         size_bytes: Optional[int] = None,
+        tag: Optional[str] = None,
     ) -> None:
         """Insert (or refresh) one stage product.
 
@@ -251,6 +256,13 @@ class StageCache:
         by tests and by callers that already know the payload size). A
         value larger than the stage's whole byte budget is rejected
         rather than flushing everything else.
+
+        ``tag`` attaches an opaque selector (the retrieval stage tags
+        entries with their normalized query text) that
+        :meth:`discard_tagged` can match on — content addressing
+        already makes superseded entries unreachable; tags let the
+        entity-granular ingest path *reclaim* exactly the slice an
+        ingest made unreachable.
         """
         if size_bytes is None:
             size_bytes = _estimate_size(value)
@@ -274,6 +286,8 @@ class StageCache:
             shard.entries[signature] = value
             shard.inserted_at[signature] = self._clock()
             shard.sizes[signature] = size_bytes
+            if tag is not None:
+                shard.tags[signature] = tag
             shard.total_bytes += size_bytes
             shard.puts += 1
             while len(shard.entries) > shard.policy.max_entries or (
@@ -303,7 +317,36 @@ class StageCache:
                 shard.entries.clear()
                 shard.inserted_at.clear()
                 shard.sizes.clear()
+                shard.tags.clear()
                 shard.total_bytes = 0
+        return removed
+
+    def discard_tagged(
+        self, stage: str, predicate: Callable[[str], bool]
+    ) -> int:
+        """Drop every ``stage`` entry whose tag satisfies ``predicate``;
+        returns the number of entries removed.
+
+        Untagged entries are never matched. Like :meth:`clear`, this is
+        memory reclamation, not correctness — the live-ingest path
+        calls it with "does this normalized query touch the ingested
+        entities?" after the version-vector bump has already changed
+        the affected signatures.
+        """
+        removed = 0
+        with self._lock:
+            shard = self._shards.get(stage)
+            if shard is None:
+                return 0
+            doomed = [
+                signature
+                for signature, tag in shard.tags.items()
+                if predicate(tag)
+            ]
+            for signature in doomed:
+                self._drop(shard, signature)
+            removed = len(doomed)
+            shard.discarded += removed
         return removed
 
     # ---- monitoring --------------------------------------------------------
@@ -333,6 +376,7 @@ class StageCache:
                 "expirations": 0,
                 "rejected": 0,
                 "unpicklable": 0,
+                "discarded": 0,
                 "entries": 0,
                 "bytes": 0,
             }
@@ -346,6 +390,7 @@ class StageCache:
                     "expirations": shard.expirations,
                     "rejected": shard.rejected,
                     "unpicklable": shard.unpicklable,
+                    "discarded": shard.discarded,
                     "entries": len(shard.entries),
                     "bytes": shard.total_bytes,
                     "max_entries": shard.policy.max_entries,
@@ -377,6 +422,7 @@ class StageCache:
     def _drop(shard: _StageShard, signature: str) -> None:
         del shard.entries[signature]
         del shard.inserted_at[signature]
+        shard.tags.pop(signature, None)
         shard.total_bytes -= shard.sizes.pop(signature)
 
 

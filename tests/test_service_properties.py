@@ -9,8 +9,14 @@ from collections import OrderedDict
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faultinject.checker import (
+    VIOLATION_DIVERGENT_CONTENT,
+    MonotonicFreshnessChecker,
+)
+from repro.faultinject.history import HistoryRecorder
 from repro.kb.facts import ARG_ENTITY, Argument, Fact, KnowledgeBase
 from repro.service.cache import CacheKey, QueryCache
+from repro.service.ingest.versions import EntityVersionVector
 from repro.service.sharding import ShardedKbStore, shard_index
 
 # SQLite TEXT and utf-8 hashing both need real characters: no lone
@@ -221,3 +227,157 @@ def test_lru_keeps_exactly_the_most_recent_distinct_keys(puts, max_size):
             assert cache.get(keys[key_no], count=False) == key_no
         else:
             assert cache.get(keys[key_no], count=False) is None
+
+
+# ---- live-ingest freshness invariants ---------------------------------------
+#
+# Generated interleavings of ingests and queries over the real
+# QueryCache + EntityVersionVector, with every serve recorded into a
+# HistoryRecorder and replayed through the MonotonicFreshnessChecker:
+#
+# - with entity-granular invalidation wired in (the production path),
+#   a cache hit never returns an entry filled under an older version
+#   slice, stamped per-entity versions are monotone per client, and
+#   the checker finds nothing;
+# - with invalidation *skipped* (the mutation), every interleaving
+#   that produces a stale hit must be caught by the checker — the
+#   stale entry stamps the current vector over old content, collides
+#   with the oracle's fresh rebuild, and the digests diverge.
+
+_LIVE_ENTITIES = ("alpha corp", "beta group", "gamma")
+# The last query touches no entity: its cached entry must survive
+# every ingest untouched.
+_LIVE_QUERIES = (
+    "alpha corp news",
+    "beta group latest",
+    "gamma",
+    "delta unrelated",
+)
+_LIVE_CLIENTS = ("c1", "c2")
+
+_LIVE_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("ingest"),
+            st.lists(
+                st.sampled_from(_LIVE_ENTITIES),
+                unique=True,
+                min_size=1,
+                max_size=2,
+            ).map(tuple),
+        ),
+        st.tuples(
+            st.just("query"),
+            st.sampled_from(_LIVE_CLIENTS),
+            st.sampled_from(_LIVE_QUERIES),
+        ),
+    ),
+    min_size=2,
+    max_size=30,
+)
+
+
+class _ServeEnvelope:
+    """Duck-typed QueryResult: just what record_serve reads."""
+
+    def __init__(self, client_id, request_key, kb, entity_versions,
+                 served_from):
+        self.client_id = client_id
+        self.request_key = request_key
+        self.corpus_version = "v1"
+        self.served_from = served_from
+        self.kb = kb
+        self.entity_versions = entity_versions or None
+
+
+def _run_live_interleaving(ops, *, invalidate):
+    """Drive one interleaving; return (violations, stale_hits).
+
+    ``stale_hits`` counts cache hits whose entry was filled under an
+    older version slice than the current one — the model-level truth
+    the checker's verdict is compared against. Besides the generated
+    clients, an ``oracle`` client re-builds every answer fresh, so a
+    stale hit always has a fresh twin in the same digest bucket.
+    """
+    vector = EntityVersionVector()
+    cache = QueryCache(max_size=32)
+    recorder = HistoryRecorder()
+    filled_token = {}
+    stale_hits = 0
+    for step, op in enumerate(ops):
+        if op[0] == "ingest":
+            entities = list(op[1])
+            new_versions = vector.bump(entities)
+            if invalidate:
+                cache.invalidate_entities(entities)
+            recorder.record_ingest(
+                doc_id=f"doc-{step}",
+                source="news",
+                corpus_version="v1",
+                entities=entities,
+                entity_versions=new_versions,
+            )
+            continue
+        _, client, query = op
+        key = CacheKey.for_request(
+            query, mode="joint", algorithm="greedy", corpus_version="v1"
+        )
+        token = vector.token_for_query(query)
+        fresh_kb = _kb(f"{query}|{token}")
+        kb = cache.get(key)
+        if kb is None:
+            served_from = "executor"
+            kb = fresh_kb
+            cache.put(key, kb)
+            filled_token[query] = token
+        else:
+            served_from = "cache"
+            if filled_token[query] != token:
+                stale_hits += 1
+                # The production path never serves an entry filled
+                # under an older slice: invalidation removed it.
+                assert not invalidate, (
+                    "invalidated entry served after ingest"
+                )
+        slice_now = vector.versions_for_query(query)
+        recorder.record_serve(
+            _ServeEnvelope(
+                client, key.signature(), kb, slice_now, served_from
+            ),
+            front_end="model",
+        )
+        # The oracle always rebuilds from the current slice.
+        recorder.record_serve(
+            _ServeEnvelope(
+                "oracle", key.signature(), fresh_kb, slice_now, "executor"
+            ),
+            front_end="model",
+        )
+    checker = MonotonicFreshnessChecker(version_order=["v1"])
+    return checker.check(recorder.snapshot()), stale_hits
+
+
+@given(ops=_LIVE_OPS)
+@settings(max_examples=60, deadline=None)
+def test_ingest_interleavings_stay_fresh_and_monotonic(ops):
+    """Entity-granular invalidation keeps every interleaving clean:
+    no stale hit ever happens, per-client per-entity stamped versions
+    only advance, and the checker replay finds zero violations."""
+    violations, stale_hits = _run_live_interleaving(ops, invalidate=True)
+    assert stale_hits == 0
+    assert violations == []
+
+
+@given(ops=_LIVE_OPS)
+@settings(max_examples=60, deadline=None)
+def test_checker_catches_every_skipped_invalidation(ops):
+    """Mutation: with invalidate_entities() skipped, the checker's
+    verdict tracks the model exactly — violations iff a stale hit
+    actually occurred (detection power, no false positives)."""
+    violations, stale_hits = _run_live_interleaving(ops, invalidate=False)
+    if stale_hits:
+        assert any(
+            v.kind == VIOLATION_DIVERGENT_CONTENT for v in violations
+        ), [v.describe() for v in violations]
+    else:
+        assert violations == []
